@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Row collection is cached per session so the shape assertions in the
+table benchmarks do not recompute the full pipeline per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.metrics import measure_workload, pressure_rows
+from repro.bench.workloads import ORDER, WORKLOADS
+
+
+@pytest.fixture(scope="session")
+def sastry_rows():
+    return {name: measure_workload(WORKLOADS[name], "sastry-ju") for name in ORDER}
+
+
+@pytest.fixture(scope="session")
+def lucooper_rows():
+    return {name: measure_workload(WORKLOADS[name], "lucooper") for name in ORDER}
+
+
+@pytest.fixture(scope="session")
+def mahlke_rows():
+    return {name: measure_workload(WORKLOADS[name], "mahlke") for name in ORDER}
+
+
+@pytest.fixture(scope="session")
+def pressure():
+    return {name: pressure_rows(WORKLOADS[name]) for name in ORDER}

@@ -1,0 +1,223 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* **Against the baselines** (paper §6): the algorithm never loses to
+  Lu-Cooper or Mahlke on dynamic memory operations, and strictly beats
+  Lu-Cooper wherever infrequent calls appear inside hot loops.
+* **Profile-driven vs profile-blind**: dropping the profitability gate
+  must never help (it can insert compensation on paths hotter than what
+  it removes) — and stays *correct*.
+* **Web granularity vs whole-variable**: webs expose at least as many
+  opportunities (§4.2: "Finer grained units of promotion expose more
+  opportunities for promotion").
+* **Store removal**: disabling the store-removal half keeps the load
+  wins but leaves all dynamic stores in place.
+* **Alias precision**: mod/ref call summaries barely move the results —
+  the Lu & Cooper observation ("pointer analysis does not greatly
+  improve the results of register promotion") reproduced.
+"""
+
+from __future__ import annotations
+
+from repro.bench.metrics import measure_workload
+from repro.bench.workloads import ORDER, WORKLOADS
+from repro.frontend.lower import compile_source
+from repro.memory.aliasing import AliasModel
+from repro.promotion.driver import PromotionOptions
+from repro.promotion.pipeline import PromotionPipeline
+
+
+def check_beats_baselines(sastry, lucooper, mahlke) -> None:
+    for name in ORDER:
+        ours = sastry[name].pct("dynamic_total")
+        assert ours >= lucooper[name].pct("dynamic_total") - 0.5, name
+        assert ours >= mahlke[name].pct("dynamic_total") - 0.5, name
+    # Strictly better than Lu-Cooper where cold calls sit in hot loops.
+    assert sastry["go"].pct("dynamic_total") > lucooper["go"].pct("dynamic_total") + 5
+    assert (
+        sastry["compress"].pct("dynamic_total")
+        > lucooper["compress"].pct("dynamic_total") + 5
+    )
+
+
+def test_baseline_comparison(benchmark, sastry_rows, lucooper_rows, mahlke_rows):
+    def check():
+        check_beats_baselines(sastry_rows, lucooper_rows, mahlke_rows)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_profile_gate_prevents_regressions(benchmark):
+    """The point of profile-driven placement: promoting regardless of the
+    profit test can *regress* (perl: the blind variant reloads around the
+    hot dispatch calls and loses its entire gain), while the guided
+    algorithm never loses ground.  On call-light workloads (go) the blind
+    variant may promote more — the gate trades peak wins for safety,
+    which is the paper's design point."""
+
+    def run():
+        results = {}
+        for name in ("go", "perl"):
+            blind = measure_workload(
+                WORKLOADS[name],
+                options=PromotionOptions(require_profit=False),
+            )
+            guided = measure_workload(WORKLOADS[name])
+            assert blind.output_matches, name
+            results[name] = (
+                guided.pct("dynamic_total"),
+                blind.pct("dynamic_total"),
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, (guided, blind) in results.items():
+        # Guided promotion never regresses...
+        assert guided >= -0.5, (name, guided)
+    # ...while the blind variant demonstrably does on perl.
+    guided_perl, blind_perl = results["perl"]
+    assert blind_perl < guided_perl - 5.0
+    assert blind_perl <= 1.0
+
+
+def test_web_granularity_pays(benchmark):
+    def run():
+        out = {}
+        for name in ("go", "li"):
+            webs = measure_workload(WORKLOADS[name])
+            whole = measure_workload(
+                WORKLOADS[name], options=PromotionOptions(per_web=False)
+            )
+            assert whole.output_matches, name
+            out[name] = (webs.pct("dynamic_total"), whole.pct("dynamic_total"))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, (webs, whole) in results.items():
+        assert webs >= whole - 0.5, (name, webs, whole)
+
+
+def test_store_removal_half(benchmark):
+    def run():
+        return measure_workload(
+            WORKLOADS["go"], options=PromotionOptions(remove_stores=False)
+        )
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert row.output_matches
+    # Loads still improve; stores stay where they were.
+    assert row.pct("dynamic_loads") >= 10.0
+    assert row.dynamic_stores_after >= row.dynamic_stores_before * 0.98
+
+
+def test_alias_precision_barely_matters(benchmark):
+    """Promotion with transitive mod/ref summaries vs the conservative
+    model: the Lu & Cooper result (small deltas)."""
+
+    def run():
+        out = {}
+        for name in ("go", "gcc"):
+            workload = WORKLOADS[name]
+            conservative = measure_workload(workload)
+
+            module = compile_source(workload.source)
+            pipeline = PromotionPipeline(
+                alias_model=AliasModel.with_modref_summaries,
+                entry=workload.entry,
+                args=list(workload.args),
+            )
+            result = pipeline.run(module)
+            assert result.output_matches, name
+            precise_pct = 100.0 * (
+                result.dynamic_before.total - result.dynamic_after.total
+            ) / result.dynamic_before.total
+            out[name] = (conservative.pct("dynamic_total"), precise_pct)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, (conservative, precise) in results.items():
+        # Better aliasing may only help.
+        assert precise >= conservative - 0.5, (name, conservative, precise)
+    # Divergence note (recorded in EXPERIMENTS.md): on go — whose callees
+    # touch broad global state, like real SPEC call graphs — precision
+    # adds little, matching Lu & Cooper's observation.  On gcc our
+    # proxy's callees have narrow, analyzable footprints, so summaries
+    # help more than the paper's setting would suggest.
+    go_cons, go_prec = results["go"]
+    assert go_prec - go_cons <= 15.0, results
+
+
+def test_pressure_limit_tradeoff(benchmark):
+    """Extension bench: the register-pressure gate (Table 3's trade-off
+    as a knob).  Tighter color budgets must cost dynamic improvement
+    monotonically, converging to the unlimited algorithm."""
+
+    def run():
+        totals = []
+        for limit in (4, 8, None):
+            row = measure_workload(
+                WORKLOADS["go"], options=PromotionOptions(pressure_limit=limit)
+            )
+            assert row.output_matches
+            totals.append(row.dynamic_total_after)
+        return totals
+
+    tight, mid, unlimited = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert tight >= mid >= unlimited
+
+
+def test_unrolling_composes_with_promotion(benchmark):
+    """Extension bench: §4.4's suggested use of the incremental update —
+    unroll loops first, then promote; behaviour preserved and the hot
+    loops still collapse."""
+    from repro.frontend.lower import compile_source as _compile
+    from repro.passes.unroll import unroll_module
+    from repro.promotion.pipeline import PromotionPipeline as _Pipeline
+
+    def run():
+        module = _compile(WORKLOADS["compress"].source)
+        unrolled = unroll_module(module)
+        result = _Pipeline().run(module)
+        return unrolled, result
+
+    unrolled, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert unrolled >= 1
+    assert result.output_matches
+    assert result.dynamic_after.total <= result.dynamic_before.total
+
+
+def test_measured_profile_beats_estimator(benchmark):
+    """Ablation: the paper is profile-driven; here we quantify what a
+    measured profile buys over the structural estimator.  The estimator
+    arm must stay correct and may not beat the measured profile."""
+    from repro.frontend.lower import compile_source as _compile
+    from repro.profile.interp import run_module as _run
+    from repro.ssa.construct import construct_ssa as _mem2reg
+
+    def run():
+        out = {}
+        for name in ("go", "perl"):
+            workload = WORKLOADS[name]
+            measured = measure_workload(workload)
+
+            # Baseline on the same footing the pipeline measures from:
+            # after mem2reg, before promotion.
+            module = _compile(workload.source)
+            for f in module.functions.values():
+                _mem2reg(f)
+            baseline = _run(module)
+
+            module = _compile(workload.source)
+            pipeline = PromotionPipeline(use_interpreter_profile=False)
+            pipeline.run(module)
+            after = _run(module)
+            assert after.output == baseline.output, name
+            est_pct = 100.0 * (
+                (baseline.loads + baseline.stores) - (after.loads + after.stores)
+            ) / (baseline.loads + baseline.stores)
+            out[name] = (measured.pct("dynamic_total"), est_pct)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, (measured, estimated) in results.items():
+        assert measured >= estimated - 1.0, (name, measured, estimated)

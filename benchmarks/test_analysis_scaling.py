@@ -1,0 +1,87 @@
+"""Compile-time scaling of the analysis substrate.
+
+The paper's efficiency argument rests on linear-time building blocks
+(the [SrG95] DJ-graph IDF, one-pass web construction).  These benchmarks
+time the substrate on large synthetic CFGs so regressions in asymptotic
+behaviour show up:
+
+* dominator tree + dominance frontiers on a 3000-block chain of diamonds;
+* DJ-graph IDF vs the classic worklist IDF on wide def sets;
+* full memory-SSA construction on a 600-block function.
+"""
+
+from __future__ import annotations
+
+from benchmarks.test_incremental_vs_css96 import build_diamond_chain
+from repro.analysis.dominance import DominatorTree
+from repro.analysis.idf import idf_cytron, idf_sreedhar_gao
+from repro.memory.aliasing import AliasModel
+from repro.memory.memssa import build_memory_ssa
+
+
+def _big(n_diamonds):
+    module, func, x0, sites = build_diamond_chain(n_diamonds, clone_every=7)
+    return module, func
+
+
+def test_dominator_tree_3000_blocks(benchmark):
+    _, func = _big(1000)  # 3001 blocks
+    tree = benchmark.pedantic(
+        DominatorTree.compute, args=(func,), rounds=3, iterations=1
+    )
+    assert len(tree.reachable) == len(func.blocks)
+
+
+def test_dominance_frontier_3000_blocks(benchmark):
+    _, func = _big(1000)
+
+    def run():
+        tree = DominatorTree.compute(func)
+        return tree.dominance_frontier()
+
+    frontier = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert frontier
+
+
+def test_idf_sreedhar_gao_wide(benchmark):
+    _, func = _big(700)
+    tree = DominatorTree.compute(func)
+    defs = [b for b in tree.reachable if b.name.startswith("l")]
+    result = benchmark.pedantic(
+        idf_sreedhar_gao, args=(tree, defs), rounds=3, iterations=1
+    )
+    assert result
+
+
+def test_idf_cytron_wide(benchmark):
+    _, func = _big(700)
+    tree = DominatorTree.compute(func)
+    defs = [b for b in tree.reachable if b.name.startswith("l")]
+    result = benchmark.pedantic(
+        idf_cytron, args=(tree, defs), rounds=3, iterations=1
+    )
+    assert result
+
+
+def test_idf_algorithms_agree_at_scale(benchmark):
+    _, func = _big(400)
+    tree = DominatorTree.compute(func)
+    defs = [b for b in tree.reachable if b.name.startswith("r")][::2]
+
+    def run():
+        a = idf_sreedhar_gao(tree, defs)
+        b = idf_cytron(tree, defs)
+        return a, b
+
+    a, b = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sorted(x.name for x in a) == sorted(x.name for x in b)
+
+
+def test_memory_ssa_600_blocks(benchmark):
+    module, func = _big(200)  # 601 blocks, loads of @x everywhere
+
+    def run():
+        return build_memory_ssa(func, AliasModel.conservative(module))
+
+    mssa = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert mssa.tracked

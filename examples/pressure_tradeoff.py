@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The register-pressure trade-off (paper Table 3), swept as a knob.
+
+The paper observes that promotion "increases register pressure and
+requires more registers to color the graph."  This repository adds a
+pressure-aware gate (`PromotionOptions(pressure_limit=k)`): promotion in
+a function stops once its interference graph needs k colors.  This
+example sweeps the budget on the `go` proxy workload and prints the
+trade-off curve — the empirical content behind Table 3's caveat.
+
+Run:  python examples/pressure_tradeoff.py
+"""
+
+from repro.bench.workloads import WORKLOADS
+from repro.frontend import compile_source
+from repro.promotion import PromotionOptions, PromotionPipeline
+from repro.regalloc import build_interference_graph, colors_needed
+
+
+def measure(limit):
+    module = compile_source(WORKLOADS["go"].source)
+    options = PromotionOptions(pressure_limit=limit)
+    result = PromotionPipeline(options=options).run(module)
+    assert result.output_matches
+    colors = max(
+        colors_needed(build_interference_graph(f))
+        for f in module.functions.values()
+    )
+    improvement = 100.0 * (
+        result.dynamic_before.total - result.dynamic_after.total
+    ) / result.dynamic_before.total
+    return colors, improvement
+
+
+def main() -> None:
+    print(f"{'color budget':>13} {'max colors':>11} {'dyn. improvement':>17}")
+    rows = []
+    for limit in (3, 4, 5, 6, 8, 10, None):
+        colors, improvement = measure(limit)
+        rows.append(improvement)
+        label = "unlimited" if limit is None else str(limit)
+        print(f"{label:>13} {colors:>11} {improvement:>16.1f}%")
+    # The curve is monotone: looser budgets never hurt.
+    assert all(a <= b + 1e-9 for a, b in zip(rows, rows[1:]))
+    print(
+        "\nTighter budgets cap the colors the routine needs at the cost of"
+        "\ndynamic memory traffic — Table 3's observation as a dial."
+    )
+
+
+if __name__ == "__main__":
+    main()

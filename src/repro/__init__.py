@@ -1,0 +1,20 @@
+"""repro — a reproduction of Sastry & Ju's SSA-based scalar register
+promotion (PLDI 1998).
+
+The package provides a small but complete optimizing-compiler substrate
+(IR, SSA construction, dominance/interval analyses, an interpreter, a
+mini-C front end, a graph-coloring back end) and, on top of it, the
+paper's contributions: interval-scoped profile-driven register promotion
+over memory SSA webs, and incremental SSA update for cloned definitions.
+
+Quick start::
+
+    from repro.frontend import compile_source
+    from repro.promotion import PromotionPipeline
+
+    module = compile_source(source_text)
+    result = PromotionPipeline().run(module)
+    print(result.report())
+"""
+
+__version__ = "1.0.0"

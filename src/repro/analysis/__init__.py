@@ -1,0 +1,30 @@
+"""Program analyses: dominance, iterated dominance frontiers, intervals,
+liveness, and CFG normalization utilities."""
+
+from repro.analysis.cfgutils import (
+    postorder,
+    reverse_postorder,
+    remove_unreachable_blocks,
+    split_critical_edges,
+    split_edge,
+)
+from repro.analysis.dominance import DominatorTree
+from repro.analysis.idf import iterated_dominance_frontier, idf_cytron, idf_sreedhar_gao
+from repro.analysis.intervals import Interval, IntervalTree, normalize_for_promotion
+from repro.analysis.liveness import Liveness
+
+__all__ = [
+    "DominatorTree",
+    "Interval",
+    "IntervalTree",
+    "Liveness",
+    "idf_cytron",
+    "idf_sreedhar_gao",
+    "iterated_dominance_frontier",
+    "normalize_for_promotion",
+    "postorder",
+    "remove_unreachable_blocks",
+    "reverse_postorder",
+    "split_critical_edges",
+    "split_edge",
+]

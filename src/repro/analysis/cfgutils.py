@@ -1,0 +1,96 @@
+"""CFG traversal and normalization utilities.
+
+``split_critical_edges`` implements the paper's assumption that "each
+interval entry or exit edge of an interval is not a critical edge": "A
+critical edge can always be removed by inserting a basic block on the
+edge."  Phi and memphi incoming lists are kept consistent across splits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Jump, MemPhi, Phi
+
+
+def postorder(function: Function) -> List[BasicBlock]:
+    """Reachable blocks in postorder (iterative DFS, successor order)."""
+    seen = set()
+    order: List[BasicBlock] = []
+    stack: List[Tuple[BasicBlock, int]] = [(function.entry, 0)]
+    seen.add(id(function.entry))
+    while stack:
+        block, i = stack.pop()
+        succs = block.succs
+        if i < len(succs):
+            stack.append((block, i + 1))
+            succ = succs[i]
+            if id(succ) not in seen:
+                seen.add(id(succ))
+                stack.append((succ, 0))
+        else:
+            order.append(block)
+    return order
+
+
+def reverse_postorder(function: Function) -> List[BasicBlock]:
+    return list(reversed(postorder(function)))
+
+
+def remove_unreachable_blocks(function: Function) -> List[BasicBlock]:
+    """Delete unreachable blocks; returns the removed blocks."""
+    reachable = {id(b) for b in postorder(function)}
+    dead = [b for b in function.blocks if id(b) not in reachable]
+    for block in dead:
+        function.remove_block(block)
+    return dead
+
+
+def is_critical_edge(src: BasicBlock, dst: BasicBlock) -> bool:
+    """An edge is critical if its source has multiple successors and its
+    target has multiple predecessors."""
+    return len(src.succs) > 1 and len(dst.preds) > 1
+
+
+def split_edge(src: BasicBlock, dst: BasicBlock, hint: str = "split") -> BasicBlock:
+    """Insert a fresh block on the edge ``src -> dst``.
+
+    Phi/memphi incoming entries in ``dst`` are retargeted to the new
+    block.  Returns the new block.  If ``src`` targets ``dst`` on several
+    terminator slots (a condbr with both arms equal), all of them are
+    redirected to the single new block.
+    """
+    function = src.function
+    assert function is not None and dst.function is function
+    mid = function.new_block(hint)
+    mid.append(Jump(dst))
+    # Retarget src's terminator from dst to mid.
+    src.retarget(dst, mid)
+    for phi in list(dst.all_phis()):
+        if isinstance(phi, (Phi, MemPhi)):
+            phi.replace_incoming_block(src, mid)
+    return mid
+
+
+def split_critical_edges(function: Function) -> List[BasicBlock]:
+    """Split every critical edge; returns the inserted blocks."""
+    inserted: List[BasicBlock] = []
+    for src in list(function.blocks):
+        term = src.terminator
+        if term is None or len(src.succs) < 2:
+            continue
+        for dst in list(src.succs):
+            if len(dst.preds) > 1:
+                inserted.append(split_edge(src, dst, hint="ce"))
+    return inserted
+
+
+def edges(function: Function) -> List[Tuple[BasicBlock, BasicBlock]]:
+    """All CFG edges in deterministic (block order, successor order)."""
+    result = []
+    for block in function.blocks:
+        for succ in block.succs:
+            result.append((block, succ))
+    return result

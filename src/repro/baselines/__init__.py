@@ -1,0 +1,24 @@
+"""Related-work baselines reimplemented for comparison (paper §6).
+
+* :mod:`repro.baselines.lucooper` — Lu & Cooper, "Register Promotion in
+  C Programs" (PLDI 1997): loop-based, profile-blind, rejects a variable
+  in any loop containing an ambiguous (aliased) reference to it.
+* :mod:`repro.baselines.mahlke` — Mahlke's IMPACT global variable
+  migration (1992): superblock-based and profile-driven, but gives up
+  when a side-effecting call sits on the hot trace.
+
+Both reuse this repository's web machinery for the mechanical parts, so
+differences in results isolate the *policy* differences the paper argues
+about (profile use, partial promotion, web granularity, interval
+recursion).
+"""
+
+from repro.baselines.lucooper import LuCooperPipeline, lu_cooper_promote
+from repro.baselines.mahlke import MahlkePipeline, mahlke_promote
+
+__all__ = [
+    "LuCooperPipeline",
+    "MahlkePipeline",
+    "lu_cooper_promote",
+    "mahlke_promote",
+]

@@ -1,0 +1,116 @@
+"""``repro-report`` — regenerate the paper's tables from the proxies.
+
+Usage::
+
+    repro-report                 # all tables
+    repro-report --table 2      # dynamic counts only
+    repro-report --table 3      # register pressure
+    repro-report --compare      # ours vs Lu-Cooper vs Mahlke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.bench.metrics import measure_workload, pressure_rows
+from repro.bench.tables import (
+    format_comparison,
+    format_table1,
+    format_table2,
+    format_table3,
+)
+from repro.bench.workloads import ORDER, WORKLOADS
+
+
+def collect_rows(promoter: str = "sastry-ju"):
+    return [measure_workload(WORKLOADS[name], promoter) for name in ORDER]
+
+
+def collect_json() -> dict:
+    """All evaluation data as one JSON-serializable document."""
+    rows = collect_rows()
+    doc: dict = {"workloads": {}, "pressure": []}
+    for row in rows:
+        doc["workloads"][row.name] = {
+            "static": {
+                "loads_before": row.static_loads_before,
+                "loads_after": row.static_loads_after,
+                "stores_before": row.static_stores_before,
+                "stores_after": row.static_stores_after,
+            },
+            "dynamic": {
+                "loads_before": row.dynamic_loads_before,
+                "loads_after": row.dynamic_loads_after,
+                "stores_before": row.dynamic_stores_before,
+                "stores_after": row.dynamic_stores_after,
+            },
+            "improvement_pct": {
+                "static_loads": row.pct("static_loads"),
+                "static_stores": row.pct("static_stores"),
+                "dynamic_loads": row.pct("dynamic_loads"),
+                "dynamic_stores": row.pct("dynamic_stores"),
+                "dynamic_total": row.pct("dynamic_total"),
+            },
+            "behaviour_preserved": row.output_matches,
+        }
+    for name in ORDER:
+        for row in pressure_rows(WORKLOADS[name]):
+            doc["pressure"].append(
+                {
+                    "workload": row.name,
+                    "routine": row.routine,
+                    "colors_before": row.colors_before,
+                    "colors_after": row.colors_after,
+                }
+            )
+    return doc
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-report")
+    parser.add_argument("--table", choices=["1", "2", "3", "all"], default="all")
+    parser.add_argument(
+        "--compare", action="store_true", help="also print the promoter comparison"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON instead"
+    )
+    options = parser.parse_args(argv)
+
+    if options.json:
+        print(json.dumps(collect_json(), indent=2, sort_keys=True))
+        return 0
+
+    sections: List[str] = []
+    rows = None
+    if options.table in ("1", "2", "all"):
+        rows = collect_rows()
+        bad = [r.name for r in rows if not r.output_matches]
+        if bad:
+            print(f"WARNING: behaviour changed for {bad}", file=sys.stderr)
+    if options.table in ("1", "all"):
+        sections.append(format_table1(rows))
+    if options.table in ("2", "all"):
+        sections.append(format_table2(rows))
+    if options.table in ("3", "all"):
+        pressure = [
+            row for name in ORDER for row in pressure_rows(WORKLOADS[name])
+        ]
+        sections.append(format_table3(pressure))
+    if options.compare:
+        sections.append(
+            format_comparison(
+                rows or collect_rows(),
+                collect_rows("lucooper"),
+                collect_rows("mahlke"),
+            )
+        )
+    print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Table formatting in the paper's layout, with the paper's own numbers
+alongside for shape comparison.
+
+Absolute counts cannot match (proxy workloads on an interpreter, not
+SPEC binaries on PA-RISC); the tables therefore print the paper's
+percentage column next to ours so the *shape* — sign, ranking, rough
+magnitude — is inspectable at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.bench.metrics import BenchmarkRow, PressureRow
+
+#: Paper Table 1: benchmark -> (loads %, stores %, total %) improvement.
+#: (Negative = static counts increased, the common case.)
+PAPER_TABLE1: Dict[str, tuple] = {
+    "go": (-14.3, 2.5, -9.1),
+    "li": (-3.6, -4.2, -3.9),
+    "ijpeg": (-5.8, 2.9, -2.1),
+    "perl": (-5.6, -0.3, -2.9),
+    "m88ksim": (-0.8, 4.7, 1.3),
+    "gcc": (-11.3, 7.3, -6.6),
+    "compress": (1.0, 1.4, 1.2),
+    "vortex": (-5.0, 0.9, -2.8),
+}
+
+#: Paper Table 2 (dynamic): the rows that are legible in the source text.
+#: go and li are fully legible; ijpeg's load reduction is quoted in the
+#: prose; vortex's near-zero change is quoted; the rest of the OCR is
+#: ambiguous, so those cells are None (see EXPERIMENTS.md).
+PAPER_TABLE2_LOADS: Dict[str, Optional[float]] = {
+    "go": 25.5,
+    "li": 16.5,
+    "ijpeg": 25.7,
+    "perl": None,
+    "m88ksim": None,
+    "gcc": None,
+    "compress": None,
+    "vortex": 0.2,
+}
+
+
+def _fmt_pct(value: Optional[float]) -> str:
+    return f"{value:+7.1f}" if value is not None else "      ?"
+
+
+def format_table1(rows: Sequence[BenchmarkRow]) -> str:
+    """Static counts of memory operations (paper Table 1)."""
+    lines = [
+        "Table 1: Effect of register promotion on static counts of memory operations",
+        f"{'bench':<10}{'ld before':>10}{'ld after':>10}{'% ours':>8}{'% paper':>8}"
+        f"{'st before':>11}{'st after':>10}{'% ours':>8}{'% paper':>8}"
+        f"{'total %':>9}{'paper %':>9}",
+    ]
+    for row in rows:
+        paper = PAPER_TABLE1.get(row.name, (None, None, None))
+        lines.append(
+            f"{row.name:<10}"
+            f"{row.static_loads_before:>10}{row.static_loads_after:>10}"
+            f"{_fmt_pct(row.pct('static_loads')):>8}{_fmt_pct(paper[0]):>8}"
+            f"{row.static_stores_before:>11}{row.static_stores_after:>10}"
+            f"{_fmt_pct(row.pct('static_stores')):>8}{_fmt_pct(paper[1]):>8}"
+            f"{_fmt_pct(row.pct('static_total')):>9}{_fmt_pct(paper[2]):>9}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(rows: Sequence[BenchmarkRow]) -> str:
+    """Dynamic counts of memory operations (paper Table 2)."""
+    lines = [
+        "Table 2: Effect of register promotion on dynamic counts of memory operations",
+        f"{'bench':<10}{'ld before':>10}{'ld after':>10}{'% ours':>8}{'% paper':>8}"
+        f"{'st before':>11}{'st after':>10}{'% ours':>8}"
+        f"{'total %':>9}",
+    ]
+    total_before = total_after = 0
+    for row in rows:
+        paper_loads = PAPER_TABLE2_LOADS.get(row.name)
+        total_before += row.dynamic_total_before
+        total_after += row.dynamic_total_after
+        lines.append(
+            f"{row.name:<10}"
+            f"{row.dynamic_loads_before:>10}{row.dynamic_loads_after:>10}"
+            f"{_fmt_pct(row.pct('dynamic_loads')):>8}{_fmt_pct(paper_loads):>8}"
+            f"{row.dynamic_stores_before:>11}{row.dynamic_stores_after:>10}"
+            f"{_fmt_pct(row.pct('dynamic_stores')):>8}"
+            f"{_fmt_pct(row.pct('dynamic_total')):>9}"
+        )
+    overall = 100.0 * (total_before - total_after) / total_before if total_before else 0.0
+    lines.append(
+        f"{'overall':<10}{total_before:>10}{total_after:>10}"
+        f"{_fmt_pct(overall):>8}   (paper: ~12% of scalar memory ops)"
+    )
+    return "\n".join(lines)
+
+
+def format_table3(rows: Sequence[PressureRow]) -> str:
+    """Register pressure: colors needed before/after (paper Table 3)."""
+    lines = [
+        "Table 3: Effect of register promotion on register pressure",
+        f"{'bench':<10}{'routine':<16}{'colors before':>14}{'colors after':>14}{'delta':>7}",
+    ]
+    for row in rows:
+        delta = row.colors_after - row.colors_before
+        lines.append(
+            f"{row.name:<10}{row.routine:<16}"
+            f"{row.colors_before:>14}{row.colors_after:>14}{delta:>+7}"
+        )
+    lines.append(
+        "(paper: promotion increases the number of colors needed, most "
+        "visibly for routines that needed few colors)"
+    )
+    return "\n".join(lines)
+
+
+def format_comparison(
+    ours: Sequence[BenchmarkRow],
+    lucooper: Sequence[BenchmarkRow],
+    mahlke: Sequence[BenchmarkRow],
+) -> str:
+    """Ablation table: dynamic total improvement per promoter."""
+    lines = [
+        "Comparison: dynamic memory-op improvement by promoter (%)",
+        f"{'bench':<10}{'sastry-ju':>11}{'lu-cooper':>11}{'mahlke':>9}",
+    ]
+    by_name = lambda rows: {r.name: r for r in rows}
+    lc, mk = by_name(lucooper), by_name(mahlke)
+    for row in ours:
+        lines.append(
+            f"{row.name:<10}"
+            f"{row.pct('dynamic_total'):>+11.1f}"
+            f"{lc[row.name].pct('dynamic_total'):>+11.1f}"
+            f"{mk[row.name].pct('dynamic_total'):>+9.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""``compress`` proxy — a tight byte-compression loop.
+
+129.compress is tiny (the paper's static rows are two orders of
+magnitude below gcc's); its inner loop hashes bytes and maintains
+input/output counters and a checksum in globals, with an occasional
+table-flush call.  Absolute counts stay small and the improvement is
+modest, matching the paper's near-flat compress row.
+"""
+
+DESCRIPTION = "byte loop with checksum/count globals and an occasional flush call"
+
+SOURCE = """
+int htab[64];
+int in_count = 0;
+int out_count = 0;
+int checksum = 0;
+int flushes = 0;
+int seed = 99;
+
+int next_byte() {
+    int s = (seed * 75 + 74) % 65537;
+    seed = s;
+    return s % 256;
+}
+
+int literals = 0;
+int matches = 0;
+
+void classify_byte(int byte) {
+    if (byte % 4 == 0) {
+        matches++;
+    } else {
+        literals++;
+    }
+}
+
+void flush_table() {
+    flushes++;
+    for (int i = 0; i < 64; i++) {
+        htab[i] = 0;
+    }
+}
+
+int main() {
+    for (int round = 0; round < 220; round++) {
+        int byte = next_byte();
+        classify_byte(byte);
+        in_count++;
+        checksum = (checksum * 31 + byte) % 100003;
+        int slot = byte % 64;
+        if (htab[slot] == byte) {
+            out_count++;
+        } else {
+            htab[slot] = byte;
+        }
+        if (in_count % 96 == 0) {
+            flush_table();
+        }
+    }
+    print(in_count, out_count, checksum, flushes, literals, matches);
+    return checksum % 251;
+}
+"""

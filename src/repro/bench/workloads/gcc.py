@@ -1,0 +1,93 @@
+"""``gcc`` proxy — a multi-pass token pipeline over global tables.
+
+126.gcc walks large token/tree tables under the control of global
+option flags and statistic counters.  The proxy runs scan and fold
+passes whose inner loops read option globals invariantly and bump
+counters, with a cold diagnostic call — a mix of full and partial
+promotion opportunities and a visible static-count increase after
+promotion (the paper reports an 11.3% static load increase for gcc/sc).
+"""
+
+DESCRIPTION = "scan+fold compiler passes driven by global option flags and counters"
+
+SOURCE = """
+int tokens[96];
+int values[96];
+int opt_level = 2;
+int fold_enabled = 1;
+int warn_limit = 4;
+int folds = 0;
+int scans = 0;
+int warnings = 0;
+int symbols = 0;
+
+void diagnose(int where) {
+    warnings++;
+    symbols = (symbols + where) % 4999;
+}
+
+int hash_chain = 0;
+int interned = 0;
+
+int collisions = 0;
+int probe_cost = 0;
+
+int intern(int token) {
+    int h = (hash_chain * 33 + token) % 6151;
+    hash_chain = h;
+    probe_cost = (probe_cost + h % 7) % 9973;
+    if (h % 3 == 0) {
+        interned++;
+    } else {
+        collisions = (collisions + h % 5) % 9973;
+    }
+    return h % 96;
+}
+
+int scan_pass() {
+    int found = 0;
+    for (int i = 0; i < 96; i++) {
+        int t = tokens[i];
+        scans++;
+        int slot = intern(t);
+        if (t % 5 == opt_level) {
+            found++;
+            values[slot] = values[slot] + opt_level;
+        }
+        if (t % 89 == 0 && warnings < warn_limit) {
+            diagnose(i);
+        }
+    }
+    return found;
+}
+
+int fold_pass() {
+    int changed = 0;
+    for (int i = 0; i + 1 < 96; i++) {
+        if (fold_enabled == 1 && values[i] % 3 == 0) {
+            values[i] = (values[i] + values[i + 1]) / 2;
+            folds++;
+            changed++;
+        }
+    }
+    return changed;
+}
+
+int main() {
+    for (int i = 0; i < 96; i++) {
+        tokens[i] = (i * 41 + 13) % 178;
+        values[i] = i % 23;
+    }
+    int work = 0;
+    for (int pass = 0; pass < 12; pass++) {
+        work += scan_pass();
+        work += fold_pass();
+        if (pass % 4 == 3) {
+            opt_level = (opt_level + 1) % 3;
+        }
+    }
+    print(work, folds, scans, warnings, symbols, opt_level);
+    print(hash_chain, interned, collisions, probe_cost);
+    return work % 251;
+}
+"""

@@ -1,0 +1,128 @@
+"""``go`` proxy — a global-state board game engine.
+
+The paper singles out 099.go: "The benchmark go uses a number of global
+variables including freelist, mvp, etc. which are successfully promoted
+by our algorithm", and reports its largest dynamic load reduction
+(25.5%) alongside a 14.3% *increase* in static loads (compensation code
+on cold paths).
+
+The proxy has the same composition as the real program: a promotable
+kernel (``scan_board`` — hot global counters, one cold capture call) and
+a larger body of scalar traffic that promotion legitimately cannot touch
+(``classify``-style helpers called per position, whose callee-side
+global updates are killed by the call boundary on every path).
+"""
+
+DESCRIPTION = "board-scan game engine with hot global counters, cold capture calls"
+
+SOURCE = """
+int board[121];
+int liberties = 0;
+int territory = 0;
+int captures = 0;
+int freelist = 0;
+int mvp = 0;
+int influence = 0;
+int seed = 12345;
+int generations = 0;
+int stones_black = 0;
+int stones_white = 0;
+int contested = 0;
+int quiet = 0;
+
+int next_rand() {
+    seed = (seed * 1103 + 12345) % 65521;
+    return seed;
+}
+
+void record_capture(int pos) {
+    captures++;
+    freelist = (freelist * 7 + pos) % 9973;
+}
+
+void record_ko(int pos) {
+    freelist = (freelist + pos * 3) % 9973;
+}
+
+void record_atari(int pos) {
+    captures = captures + pos % 2;
+}
+
+int scan_board() {
+    liberties = 0;
+    territory = 0;
+    influence = 0;
+    for (int pos = 0; pos < 121; pos++) {
+        int v = board[pos];
+        if (v == 0) {
+            territory++;
+            influence += pos % 3;
+            continue;
+        }
+        liberties += v % 4;
+        influence += v % 5 - 2;
+        if (v % 2 == 1) {
+            mvp = mvp + 1;
+        }
+        if (liberties % 53 == 0) {
+            record_capture(pos);
+        } else if (influence % 67 == 0) {
+            record_ko(pos);
+        } else if (territory % 71 == 70) {
+            record_atari(pos);
+        }
+    }
+    return liberties + territory;
+}
+
+void classify(int v, int pos) {
+    if (v % 2 == 1) {
+        stones_black++;
+        contested = (contested + pos + stones_white) % 7919;
+        quiet = (quiet + stones_black % 3) % 7919;
+    } else if (v != 0) {
+        stones_white++;
+        contested = (contested + v + stones_black) % 7919;
+        quiet = (quiet + stones_white % 3) % 7919;
+    } else {
+        quiet++;
+        contested = (contested + quiet % 5) % 7919;
+    }
+}
+
+int count_stones() {
+    int seen = 0;
+    for (int pos = 0; pos < 121; pos++) {
+        classify(board[pos], pos);
+        classify(board[120 - pos], pos % 9);
+        seen++;
+    }
+    return seen;
+}
+
+void mutate_board() {
+    for (int i = 0; i < 12; i++) {
+        int pos = next_rand() % 121;
+        board[pos] = (board[pos] + next_rand() % 3) % 7;
+    }
+}
+
+int main() {
+    for (int i = 0; i < 121; i++) {
+        board[i] = (i * 17 + 5) % 7;
+    }
+    int score = 0;
+    for (int g = 0; g < 20; g++) {
+        generations++;
+        score += scan_board();
+        score += count_stones();
+        mutate_board();
+        if (score % 97 == 0) {
+            record_capture(g);
+        }
+    }
+    print(score, liberties, territory, captures, mvp, freelist, influence);
+    print(stones_black, stones_white, contested, quiet);
+    return score % 251;
+}
+"""

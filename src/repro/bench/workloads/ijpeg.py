@@ -1,0 +1,96 @@
+"""``ijpeg`` proxy — array kernels with loop-invariant global parameters.
+
+The paper: "The benchmark ijpeg shows a significant reduction in loads
+even though only few stores could be eliminated."  Image kernels read
+tuning globals (quality factor, bias, clip limit) in every inner-loop
+iteration — pure loop-invariant loads that promotion hoists wholesale —
+while global *writes* are rare (per-block summaries and a cold clip
+notifier), so there is little store traffic to remove.
+"""
+
+DESCRIPTION = "quantization kernels reading tuning globals per pixel, writing rarely"
+
+SOURCE = """
+int image[64];
+int quant[64];
+int qfactor = 7;
+int bias = 3;
+int clip_limit = 200;
+int clip_count = 0;
+int total_energy = 0;
+int blocks_done = 0;
+
+void note_clip() {
+    clip_count++;
+}
+
+int quantize_block(int block_seed) {
+    int sum = 0;
+    for (int i = 0; i < 64; i++) {
+        int pixel = (image[i] + block_seed) % 256;
+        int q = pixel * qfactor / (quant[i] + 1) + bias;
+        if (q > clip_limit) {
+            q = clip_limit;
+            note_clip();
+        }
+        sum += q;
+    }
+    total_energy = (total_energy + sum) % 1000003;
+    blocks_done++;
+    return sum;
+}
+
+int smooth_pass() {
+    int acc = 0;
+    for (int i = 1; i < 63; i++) {
+        int avg = (image[i - 1] + image[i] + image[i + 1]) / 3;
+        image[i] = (avg * qfactor + bias) % 256;
+        acc += avg % 9;
+    }
+    return acc;
+}
+
+int bits_out = 0;
+int run_length = 0;
+int last_symbol = 0;
+
+void emit_symbol(int symbol) {
+    if (symbol == last_symbol) {
+        run_length++;
+        bits_out += 2;
+    } else {
+        bits_out += 9 + run_length % 4;
+        run_length = 0;
+        last_symbol = symbol;
+    }
+}
+
+int entropy_encode(int block_seed) {
+    int emitted = 0;
+    for (int i = 0; i < 64; i++) {
+        int symbol = (image[i] + block_seed) % 16;
+        emit_symbol(symbol);
+        emit_symbol(symbol / 4 + 16);
+        emitted++;
+    }
+    return emitted;
+}
+
+int main() {
+    for (int i = 0; i < 64; i++) {
+        image[i] = (i * 31 + 7) % 256;
+        quant[i] = i % 16 + 1;
+    }
+    int checksum = 0;
+    for (int block = 0; block < 22; block++) {
+        checksum = (checksum + quantize_block(block * 13)) % 65521;
+        checksum = (checksum + entropy_encode(block)) % 65521;
+        if (block % 6 == 5) {
+            checksum = (checksum + smooth_pass()) % 65521;
+        }
+    }
+    print(checksum, total_energy, clip_count, blocks_done);
+    print(bits_out, run_length, last_symbol);
+    return checksum % 251;
+}
+"""

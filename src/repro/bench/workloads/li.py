@@ -1,0 +1,98 @@
+"""``li`` proxy — a recursive expression interpreter over a cons arena.
+
+130.li is a Lisp interpreter: recursive evaluation, a cons-cell arena
+managed through global pointers, and interpreter statistics in globals.
+The paper reports a solid 16.5% dynamic load reduction.  The proxy
+builds expression trees in ``car``/``cdr``/``tag`` arrays and evaluates
+them recursively; the allocator's free pointer and the evaluator's
+statistic counters are the promotable globals, and a hot no-call arena
+sweep (the "garbage collector") provides loop-scope promotion wins.
+"""
+
+DESCRIPTION = "recursive cons-arena evaluator with allocator globals and a GC sweep"
+
+SOURCE = """
+int car[400];
+int cdr[400];
+int tag[400];
+int freeptr = 0;
+int allocs = 0;
+int evals = 0;
+int gc_live = 0;
+int gc_runs = 0;
+int deepest = 0;
+
+int cons(int a, int d, int t) {
+    int cell = freeptr;
+    freeptr = (freeptr + 1) % 400;
+    allocs++;
+    car[cell] = a;
+    cdr[cell] = d;
+    tag[cell] = t;
+    return cell;
+}
+
+int leaf(int value) {
+    return cons(value, 0, 0);
+}
+
+int build_tree(int depth, int salt) {
+    if (depth <= 0) {
+        return leaf(salt % 10 + 1);
+    }
+    int lhs = build_tree(depth - 1, salt * 3 + 1);
+    int rhs = build_tree(depth - 1, salt * 5 + 2);
+    return cons(lhs, rhs, 1 + salt % 2);
+}
+
+int eval_node(int node, int depth) {
+    evals++;
+    if (depth > deepest) {
+        deepest = depth;
+    }
+    if (tag[node] == 0) {
+        return car[node];
+    }
+    int a = eval_node(car[node], depth + 1);
+    int b = eval_node(cdr[node], depth + 1);
+    if (tag[node] == 1) {
+        return a + b;
+    }
+    return a * b % 4093;
+}
+
+int marked = 0;
+int mark_cost = 0;
+
+void mark(int cell) {
+    marked++;
+    mark_cost = (mark_cost + cell + marked % 3) % 9973;
+}
+
+int sweep() {
+    gc_runs++;
+    gc_live = 0;
+    int reachable = 0;
+    for (int i = 0; i < 400; i++) {
+        if (tag[i] != 0) {
+            gc_live++;
+            reachable += car[i] % 7;
+            mark(i);
+        } else {
+            reachable += 1;
+        }
+    }
+    return reachable;
+}
+
+int main() {
+    int total = 0;
+    for (int round = 0; round < 14; round++) {
+        int tree = build_tree(4, round);
+        total = (total + eval_node(tree, 0)) % 100003;
+        total = (total + sweep()) % 100003;
+    }
+    print(total, allocs, evals, gc_live, gc_runs, deepest);
+    return total % 251;
+}
+"""

@@ -1,0 +1,102 @@
+"""``m88ksim`` proxy — a CPU simulator's fetch/decode/execute loop.
+
+Global machine state (cycle counter, fetch counter, pc, halt flag) is
+read and updated around a per-instruction ``execute`` call; an
+interrupt-scan stretch with no calls gives loop-scope promotion a
+foothold, yielding the moderate improvement the paper reports (and a
+near-zero *static* change, since compensation roughly balances the
+removed operations).
+"""
+
+DESCRIPTION = "fetch/decode/execute simulator with promotable cycle counters"
+
+SOURCE = """
+int memory[128];
+int regs[16];
+int pc = 0;
+int cycles = 0;
+int fetched = 0;
+int halted = 0;
+int interrupts = 0;
+int irq_mask = 5;
+
+int psr = 0;
+int alu_ops = 0;
+int mem_ops = 0;
+int branches = 0;
+
+void execute(int inst) {
+    int opcode = inst % 8;
+    int rd = inst / 8 % 16;
+    int rs = inst / 128 % 16;
+    if (opcode == 0) {
+        regs[rd] = regs[rs] + 1;
+        alu_ops++;
+        psr = (psr + regs[rd] % 2) % 256;
+    } else if (opcode == 1) {
+        regs[rd] = regs[rd] + regs[rs];
+        alu_ops++;
+        psr = (psr + regs[rd] % 2) % 256;
+    } else if (opcode == 2) {
+        regs[rd] = memory[regs[rs] % 128];
+        mem_ops++;
+    } else if (opcode == 3) {
+        memory[regs[rd] % 128] = regs[rs];
+        mem_ops++;
+    } else if (opcode == 4) {
+        pc = (pc + regs[rs]) % 128;
+        branches++;
+        psr = psr | 4;
+    } else {
+        regs[rd] = regs[rd] ^ regs[rs];
+        alu_ops++;
+    }
+}
+
+int irq_lines[8];
+
+int scan_interrupts() {
+    int pending = 0;
+    int now = cycles % 16;
+    int mask = irq_mask % 4;
+    for (int line = 0; line < 8; line++) {
+        int level = (irq_lines[line] + now) % 16;
+        if (level < irq_lines[(line + 5) % 8] + mask && line % 2 == 0) {
+            pending++;
+        }
+    }
+    return pending;
+}
+
+int simulate(int budget) {
+    while (halted == 0 && cycles < budget) {
+        int inst = memory[pc % 128];
+        pc++;
+        fetched++;
+        cycles += 2;
+        execute(inst);
+        int pending = scan_interrupts();
+        if (pending > 3) {
+            interrupts++;
+            cycles += 5;
+        }
+        if (fetched > budget) {
+            halted = 1;
+        }
+    }
+    return cycles;
+}
+
+int main() {
+    for (int i = 0; i < 128; i++) {
+        memory[i] = (i * 113 + 29) % 1024;
+    }
+    for (int i = 0; i < 8; i++) {
+        irq_lines[i] = i * 5 % 16;
+    }
+    int total = simulate(500);
+    print(total, fetched, interrupts, regs[1], regs[7]);
+    print(psr, alu_ops, mem_ops, branches);
+    return total % 251;
+}
+"""

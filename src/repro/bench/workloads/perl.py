@@ -1,0 +1,76 @@
+"""``perl`` proxy — an opcode-dispatch interpreter.
+
+134.perl's hot loop dispatches through handler routines, so most global
+state (pc, stack pointer, accumulator) is killed by a call every
+iteration; promotion is limited to flushing around the dispatch and to
+call-free decode stretches.  The paper reports one of the smaller (but
+non-zero) dynamic improvements for it.
+"""
+
+DESCRIPTION = "bytecode interpreter whose per-op handler calls limit promotion"
+
+SOURCE = """
+int prog[48];
+int stack[32];
+int pc = 0;
+int sp = 0;
+int acc = 0;
+int steps = 0;
+int faults = 0;
+
+void op_push() {
+    if (sp < 31) {
+        stack[sp] = acc;
+        sp++;
+    } else {
+        faults++;
+    }
+}
+
+void op_pop() {
+    int top = sp;
+    if (top > 0) {
+        sp = top - 1;
+        acc = acc + stack[top - 1];
+    } else {
+        faults++;
+    }
+}
+
+void op_arith(int kind) {
+    if (kind == 0) acc = acc + 3;
+    else if (kind == 1) acc = acc * 2 % 65521;
+    else acc = acc - 1;
+}
+
+int decode_operand(int raw) {
+    int value = 0;
+    for (int bit = 0; bit < 8; bit++) {
+        value = value * 2 + (raw >> bit) % 2;
+    }
+    return value % 7;
+}
+
+int run(int budget) {
+    while (steps < budget) {
+        int at = pc;
+        pc = at + 1;
+        int op = prog[at % 48];
+        steps = steps + 1;
+        int kind = decode_operand(op);
+        if (kind < 2) op_push();
+        else if (kind < 4) op_pop();
+        else op_arith(kind - 4);
+    }
+    return acc;
+}
+
+int main() {
+    for (int i = 0; i < 48; i++) {
+        prog[i] = (i * 37 + 11) % 251;
+    }
+    int result = run(600);
+    print(result, pc, sp, steps, faults);
+    return result % 251;
+}
+"""

@@ -1,0 +1,73 @@
+"""``vortex`` proxy — a call-saturated object store.
+
+147.vortex is the paper's outlier: "Except for vortex, there is a
+significant reduction of memory operations in all of the benchmarks"
+(its dynamic counts barely move: 14877989 → 14853592).  Every operation
+in the proxy goes through a function call that touches the global
+object tables, so from any scope a call kills the globals on every hot
+path, and the profitability test correctly finds nothing worth
+promoting.
+"""
+
+DESCRIPTION = "object-store operations behind calls on every path; promotion finds ~nothing"
+
+SOURCE = """
+int keys[80];
+int vals[80];
+int population = 0;
+int probes = 0;
+int hits = 0;
+int evictions = 0;
+
+int probe(int key) {
+    probes++;
+    return key * 13 % 80;
+}
+
+int lookup(int key) {
+    int slot = probe(key);
+    if (keys[slot] == key) {
+        hits++;
+        return vals[slot];
+    }
+    return -1;
+}
+
+void insert(int key, int value) {
+    int slot = probe(key);
+    if (keys[slot] != 0) {
+        evictions++;
+    } else {
+        population++;
+    }
+    keys[slot] = key;
+    vals[slot] = value;
+}
+
+void remove_key(int key) {
+    int slot = probe(key);
+    if (keys[slot] == key) {
+        keys[slot] = 0;
+        population = population - 1;
+    }
+}
+
+int main() {
+    int total = 0;
+    for (int op = 1; op <= 260; op++) {
+        int key = op * 7 % 143 + 1;
+        if (op % 3 == 0) {
+            insert(key, op);
+        } else if (op % 3 == 1) {
+            int found = lookup(key);
+            if (found > 0) {
+                total = (total + found) % 65521;
+            }
+        } else {
+            remove_key(key);
+        }
+    }
+    print(total, population, probes, hits, evictions);
+    return total % 251;
+}
+"""

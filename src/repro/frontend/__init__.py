@@ -1,0 +1,28 @@
+"""A mini-C front end.
+
+The workloads (and many tests) are written in a small C dialect —
+integers, pointers, arrays, global structs with scalar fields, functions,
+the usual control flow — and lowered to IR with *every* variable in
+memory.  Classic SSA construction then registers the unexposed locals;
+globals, address-exposed locals, and struct fields remain in memory as
+the paper's promotion candidates.
+
+Entry point::
+
+    from repro.frontend import compile_source
+    module = compile_source("int x; int main() { x = x + 1; return x; }")
+"""
+
+from repro.frontend.errors import CompileError
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import parse_program
+from repro.frontend.lower import compile_source, lower_program
+
+__all__ = [
+    "CompileError",
+    "Token",
+    "compile_source",
+    "lower_program",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,218 @@
+"""The mini-C abstract syntax tree.
+
+Plain dataclasses; every node carries its source line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class Name(Expr):
+    """A variable reference: local, parameter, or global scalar."""
+
+    ident: str = ""
+
+
+@dataclass
+class FieldRef(Expr):
+    """``s.f`` — scalar component of a global struct variable."""
+
+    struct: str = ""
+    field_name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """``A[i]``"""
+
+    array: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Deref(Expr):
+    """``*p``"""
+
+    ptr: Optional[Expr] = None
+
+
+@dataclass
+class AddrOfExpr(Expr):
+    """``&lvalue`` where lvalue is a Name, FieldRef, or Index."""
+
+    target: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class ShortCircuit(Expr):
+    """``a && b`` / ``a || b`` with C evaluation order."""
+
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class LocalDecl(Stmt):
+    name: str = ""
+    is_pointer: bool = False
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+    #: ``int buf[4] = {1, 2};`` — literal per-cell initializers (arrays).
+    init_values: Optional[List[int]] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``lvalue op= expr`` where op is "" for plain assignment."""
+
+    target: Optional[Expr] = None  # Name | FieldRef | Index | Deref
+    op: str = ""
+    value: Optional[Expr] = None
+
+
+@dataclass
+class IncDec(Stmt):
+    """``lvalue++`` / ``lvalue--`` (statement position only)."""
+
+    target: Optional[Expr] = None
+    op: str = "++"
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class PrintStmt(Stmt):
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DoWhile(Stmt):
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    array_size: Optional[int] = None
+    init: int = 0
+    line: int = 0
+    #: ``int A[4] = {1, 2};`` — literal per-cell initializers (arrays).
+    init_values: Optional[List[int]] = None
+
+
+@dataclass
+class StructDecl:
+    """``struct s { int a; int b; };`` declares a global struct variable
+    ``s`` whose scalar fields become independent promotion candidates."""
+
+    name: str
+    fields: List[str] = field(default_factory=list)
+    inits: List[int] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class FunctionDecl:
+    name: str
+    params: List[str] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Program:
+    globals: List[GlobalDecl] = field(default_factory=list)
+    structs: List[StructDecl] = field(default_factory=list)
+    functions: List[FunctionDecl] = field(default_factory=list)

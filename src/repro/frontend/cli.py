@@ -1,0 +1,94 @@
+"""Command-line driver: compile, optimize, run, and dump mini-C programs.
+
+Usage::
+
+    repro-minic program.c                 # compile + run
+    repro-minic program.c --promote       # run the register promotion pass
+    repro-minic program.c --emit-ir       # dump IR instead of running
+    repro-minic program.c --baseline lucooper
+    repro-minic program.c --args 3 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.frontend.lower import compile_source
+from repro.ir.printer import print_module
+from repro.profile.interp import Interpreter
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-minic", description="mini-C compiler and runner"
+    )
+    parser.add_argument("source", help="mini-C source file")
+    parser.add_argument("--entry", default="main")
+    parser.add_argument("--args", nargs="*", type=int, default=[])
+    parser.add_argument(
+        "--promote", action="store_true", help="run SSA register promotion"
+    )
+    parser.add_argument(
+        "--baseline",
+        choices=["lucooper", "mahlke"],
+        help="run a baseline promoter instead of the paper's algorithm",
+    )
+    parser.add_argument(
+        "--unroll", action="store_true", help="unroll innermost loops first"
+    )
+    parser.add_argument(
+        "--emit-ir", action="store_true", help="print IR instead of executing"
+    )
+    parser.add_argument(
+        "--emit-dot", action="store_true", help="print a Graphviz CFG dump"
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print before/after operation counts"
+    )
+    options = parser.parse_args(argv)
+
+    with open(options.source) as handle:
+        module = compile_source(handle.read())
+
+    if options.unroll:
+        from repro.passes.unroll import unroll_module
+
+        unrolled = unroll_module(module)
+        print(f"unrolled {unrolled} loop(s)", file=sys.stderr)
+
+    result = None
+    if options.baseline == "lucooper":
+        from repro.baselines.lucooper import LuCooperPipeline
+
+        result = LuCooperPipeline(entry=options.entry, args=options.args).run(module)
+    elif options.baseline == "mahlke":
+        from repro.baselines.mahlke import MahlkePipeline
+
+        result = MahlkePipeline(entry=options.entry, args=options.args).run(module)
+    elif options.promote:
+        from repro.promotion.pipeline import PromotionPipeline
+
+        result = PromotionPipeline(entry=options.entry, args=options.args).run(module)
+
+    if options.stats and result is not None:
+        print(result.report(), file=sys.stderr)
+
+    if options.emit_dot:
+        from repro.ir.dot import module_to_dot
+
+        print(module_to_dot(module), end="")
+        return 0
+    if options.emit_ir:
+        print(print_module(module), end="")
+        return 0
+
+    run = Interpreter(module).run(options.entry, options.args)
+    for values in run.output:
+        print(" ".join(str(v) for v in values))
+    return run.return_value & 0xFF
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Front-end diagnostics."""
+
+from __future__ import annotations
+
+
+class CompileError(ValueError):
+    """A lexical, syntactic, or semantic error in mini-C source."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        self.line = line
+        super().__init__(f"line {line}: {message}" if line else message)

@@ -1,0 +1,314 @@
+"""Lowering from the mini-C AST to IR.
+
+Every variable is lowered to memory — globals and struct fields to
+module-level :class:`MemoryVar`s, locals (including parameters, which are
+spilled on entry so they are assignable) to frame variables.  Classic SSA
+construction later promotes the unexposed locals; what remains in memory
+is exactly the paper's candidate set.
+
+Short-circuit ``&&``/``||`` lower through a temporary local (which
+mem2reg immediately turns into a phi).  ``break``/``continue`` use the
+enclosing loop's exit/continue blocks.  Statements after a terminator
+fall into an unreachable block that CFG cleanup removes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.frontend import cast as A
+from repro.frontend.errors import CompileError
+from repro.frontend.parser import parse_program
+from repro.frontend.sema import FunctionInfo, SemaInfo, analyze
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import Const, Value
+from repro.memory.resources import MemoryVar, VarKind
+
+
+def compile_source(source: str, module_name: str = "minic") -> Module:
+    """Parse, analyze, and lower mini-C source to an IR module."""
+    return lower_program(parse_program(source), module_name)
+
+
+def lower_program(program: A.Program, module_name: str = "minic") -> Module:
+    info = analyze(program)
+    module = Module(module_name)
+    for decl in program.globals:
+        if decl.array_size is not None:
+            module.add_global_array(
+                decl.name, decl.array_size, decl.init, decl.init_values
+            )
+        else:
+            module.add_global(decl.name, decl.init)
+    for struct in program.structs:
+        for field_name, init in zip(struct.fields, struct.inits):
+            module.add_field(struct.name, field_name, init)
+    for function in program.functions:
+        _Lowerer(module, info, info.functions[function.name]).lower()
+    return module
+
+
+class _Lowerer:
+    def __init__(self, module: Module, info: SemaInfo, finfo: FunctionInfo) -> None:
+        self.module = module
+        self.info = info
+        self.finfo = finfo
+        self.func = module.new_function(finfo.decl.name, list(finfo.decl.params))
+        self.b = IRBuilder(self.func)
+        #: (continue_target, break_target) stack for loops.
+        self.loops: List[Tuple[BasicBlock, BasicBlock]] = []
+        self._sc_counter = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def lower(self) -> Function:
+        entry = self.func.add_block("entry")
+        self.b.at(entry)
+        # Spill parameters so they are assignable like any local.
+        for name, reg in zip(self.finfo.decl.params, self.func.params):
+            var = self.func.add_frame_var(name, VarKind.LOCAL)
+            self.b.store(var, reg)
+        # Declare frame storage for every local up front (C block scoping
+        # was flattened by sema); initializers run at their statements.
+        for name, decl in self.finfo.locals.items():
+            kind = VarKind.ARRAY if decl.array_size is not None else VarKind.LOCAL
+            var = self.func.add_frame_var(
+                name, kind, initial=0, size=decl.array_size or 1
+            )
+            var.initial_values = decl.init_values
+        self.lower_body(self.finfo.decl.body)
+        if self.b.block is not None and self.b.block.terminator is None:
+            self.b.ret(0)
+        return self.func
+
+    def _terminated(self) -> bool:
+        return self.b.block is None or self.b.block.terminator is not None
+
+    def _fresh_block_after_terminator(self) -> None:
+        """Code after return/break/continue lands in a dead block."""
+        self.b.at(self.func.new_block("dead"))
+
+    def lower_body(self, body: List[A.Stmt]) -> None:
+        for stmt in body:
+            if self._terminated():
+                self._fresh_block_after_terminator()
+            self.lower_stmt(stmt)
+
+    # -- statements ---------------------------------------------------------
+
+    def lower_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.LocalDecl):
+            if stmt.init is not None:
+                var = self.func.frame_vars[stmt.name]
+                self.b.store(var, self.lower_expr(stmt.init))
+        elif isinstance(stmt, A.Assign):
+            self.lower_assign(stmt)
+        elif isinstance(stmt, A.IncDec):
+            delta = 1 if stmt.op == "++" else -1
+            current = self.lower_expr(stmt.target)
+            updated = self.b.add(current, delta)
+            self.store_lvalue(stmt.target, updated)
+        elif isinstance(stmt, A.ExprStmt):
+            self.lower_expr(stmt.expr)
+        elif isinstance(stmt, A.PrintStmt):
+            self.b.print_(*[self.lower_expr(a) for a in stmt.args])
+        elif isinstance(stmt, A.If):
+            self.lower_if(stmt)
+        elif isinstance(stmt, A.While):
+            self.lower_while(stmt)
+        elif isinstance(stmt, A.DoWhile):
+            self.lower_do_while(stmt)
+        elif isinstance(stmt, A.For):
+            self.lower_for(stmt)
+        elif isinstance(stmt, A.Break):
+            self.b.jump(self.loops[-1][1])
+        elif isinstance(stmt, A.Continue):
+            self.b.jump(self.loops[-1][0])
+        elif isinstance(stmt, A.Return):
+            value = self.lower_expr(stmt.value) if stmt.value is not None else None
+            self.b.ret(value)
+        else:  # pragma: no cover
+            raise CompileError(f"cannot lower {type(stmt).__name__}", stmt.line)
+
+    def lower_assign(self, stmt: A.Assign) -> None:
+        value = self.lower_expr(stmt.value)
+        if stmt.op:
+            current = self.lower_expr(stmt.target)
+            value = self.b.binop(_COMPOUND[stmt.op], current, value)
+        self.store_lvalue(stmt.target, value)
+
+    def lower_if(self, stmt: A.If) -> None:
+        then_block = self.func.new_block("then")
+        join = self.func.new_block("join")
+        else_block = self.func.new_block("else") if stmt.else_body else join
+        self.b.cond_br(self.lower_expr(stmt.cond), then_block, else_block)
+
+        self.b.at(then_block)
+        self.lower_body(stmt.then_body)
+        if not self._terminated():
+            self.b.jump(join)
+        if stmt.else_body:
+            self.b.at(else_block)
+            self.lower_body(stmt.else_body)
+            if not self._terminated():
+                self.b.jump(join)
+        self.b.at(join)
+
+    def lower_while(self, stmt: A.While) -> None:
+        header = self.func.new_block("wh")
+        body = self.func.new_block("wbody")
+        exit_block = self.func.new_block("wexit")
+        self.b.jump(header)
+        self.b.at(header)
+        self.b.cond_br(self.lower_expr(stmt.cond), body, exit_block)
+        self.loops.append((header, exit_block))
+        self.b.at(body)
+        self.lower_body(stmt.body)
+        if not self._terminated():
+            self.b.jump(header)
+        self.loops.pop()
+        self.b.at(exit_block)
+
+    def lower_do_while(self, stmt: A.DoWhile) -> None:
+        body = self.func.new_block("dbody")
+        cond_block = self.func.new_block("dcond")
+        exit_block = self.func.new_block("dexit")
+        self.b.jump(body)
+        self.loops.append((cond_block, exit_block))
+        self.b.at(body)
+        self.lower_body(stmt.body)
+        if not self._terminated():
+            self.b.jump(cond_block)
+        self.loops.pop()
+        self.b.at(cond_block)
+        self.b.cond_br(self.lower_expr(stmt.cond), body, exit_block)
+        self.b.at(exit_block)
+
+    def lower_for(self, stmt: A.For) -> None:
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        header = self.func.new_block("fh")
+        body = self.func.new_block("fbody")
+        step_block = self.func.new_block("fstep")
+        exit_block = self.func.new_block("fexit")
+        self.b.jump(header)
+        self.b.at(header)
+        cond = self.lower_expr(stmt.cond) if stmt.cond is not None else Const(1)
+        self.b.cond_br(cond, body, exit_block)
+        self.loops.append((step_block, exit_block))
+        self.b.at(body)
+        self.lower_body(stmt.body)
+        if not self._terminated():
+            self.b.jump(step_block)
+        self.loops.pop()
+        self.b.at(step_block)
+        if stmt.step is not None:
+            self.lower_stmt(stmt.step)
+        self.b.jump(header)
+        self.b.at(exit_block)
+
+    # -- lvalues ----------------------------------------------------------
+
+    def store_lvalue(self, target: Optional[A.Expr], value: Value) -> None:
+        assert target is not None
+        if isinstance(target, A.Name):
+            self.b.store(self.scalar_var(target.ident), value)
+        elif isinstance(target, A.FieldRef):
+            self.b.store(self.field_var(target), value)
+        elif isinstance(target, A.Index):
+            index = self.lower_expr(target.index)
+            self.b.array_store(self.array_var(target.array), index, value)
+        elif isinstance(target, A.Deref):
+            self.b.ptr_store(self.lower_expr(target.ptr), value)
+        else:  # pragma: no cover - sema rejects
+            raise CompileError("bad assignment target", target.line)
+
+    def scalar_var(self, name: str) -> MemoryVar:
+        var = self.func.frame_vars.get(name)
+        if var is not None:
+            return var
+        return self.module.get_global(name)
+
+    def field_var(self, node: A.FieldRef) -> MemoryVar:
+        return self.module.get_global(f"{node.struct}.{node.field_name}")
+
+    def array_var(self, name: str) -> MemoryVar:
+        var = self.func.frame_vars.get(name)
+        if var is not None:
+            return var
+        return self.module.get_global(name)
+
+    # -- expressions --------------------------------------------------------
+
+    def lower_expr(self, node: Optional[A.Expr]) -> Value:
+        assert node is not None
+        if isinstance(node, A.IntLit):
+            return Const(node.value)
+        if isinstance(node, A.Name):
+            return self.b.load(self.scalar_var(node.ident))
+        if isinstance(node, A.FieldRef):
+            return self.b.load(self.field_var(node))
+        if isinstance(node, A.Index):
+            index = self.lower_expr(node.index)
+            return self.b.array_load(self.array_var(node.array), index)
+        if isinstance(node, A.Deref):
+            return self.b.ptr_load(self.lower_expr(node.ptr))
+        if isinstance(node, A.AddrOfExpr):
+            target = node.target
+            if isinstance(target, A.Name):
+                return self.b.addr_of(self.scalar_var(target.ident))
+            if isinstance(target, A.FieldRef):
+                return self.b.addr_of(self.field_var(target))
+            assert isinstance(target, A.Index)
+            index = self.lower_expr(target.index)
+            return self.b.elem(self.array_var(target.array), index)
+        if isinstance(node, A.Unary):
+            return self.b.unop(node.op, self.lower_expr(node.operand))
+        if isinstance(node, A.Binary):
+            lhs = self.lower_expr(node.lhs)
+            rhs = self.lower_expr(node.rhs)
+            return self.b.binop(node.op, lhs, rhs)
+        if isinstance(node, A.ShortCircuit):
+            return self.lower_short_circuit(node)
+        if isinstance(node, A.CallExpr):
+            args = [self.lower_expr(a) for a in node.args]
+            return self.b.call(node.callee, args)
+        raise CompileError(f"cannot lower {type(node).__name__}", node.line)
+
+    def lower_short_circuit(self, node: A.ShortCircuit) -> Value:
+        """``a && b`` / ``a || b`` via a temporary local that mem2reg
+        turns into a phi."""
+        self._sc_counter += 1
+        tmp = self.func.add_frame_var(f"__sc{self._sc_counter}", VarKind.LOCAL)
+        rhs_block = self.func.new_block("sc")
+        short_block = self.func.new_block("sc")
+        join = self.func.new_block("sc")
+
+        lhs = self.lower_expr(node.lhs)
+        if node.op == "&&":
+            self.b.cond_br(lhs, rhs_block, short_block)
+            short_value: Value = Const(0)
+        else:
+            self.b.cond_br(lhs, short_block, rhs_block)
+            short_value = Const(1)
+
+        self.b.at(rhs_block)
+        rhs = self.lower_expr(node.rhs)
+        self.b.store(tmp, self.b.ne(rhs, 0))
+        self.b.jump(join)
+
+        self.b.at(short_block)
+        self.b.store(tmp, short_value)
+        self.b.jump(join)
+
+        self.b.at(join)
+        return self.b.load(tmp)
+
+
+_COMPOUND = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+}

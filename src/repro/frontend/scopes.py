@@ -1,0 +1,139 @@
+"""Block-scope resolution by alpha-renaming.
+
+Mini-C has C block scoping, but the lowerer flattens locals to one frame
+per function.  This pre-pass walks each function's scope tree and renames
+shadowing or reused declarations to unique internal names (``i``,
+``i.2``, ``i.3`` …), rewriting every reference, so that downstream phases
+can treat local names as function-unique.  Genuine same-scope duplicates
+are rejected here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.frontend import cast as A
+from repro.frontend.errors import CompileError
+
+
+def resolve_scopes(program: A.Program) -> None:
+    global_names = {g.name for g in program.globals}
+    for function in program.functions:
+        _Renamer(function, global_names).run()
+
+
+class _Renamer:
+    def __init__(self, function: A.FunctionDecl, global_names: Set[str]) -> None:
+        self.function = function
+        self.global_names = global_names
+        #: Stack of scopes: source name -> unique name.
+        self.scopes: List[Dict[str, str]] = []
+        self.used: Set[str] = set(function.params) | set(global_names)
+        self.counter: Dict[str, int] = {}
+
+    def run(self) -> None:
+        # Parameters share the outermost block's scope (as in C, where
+        # redeclaring a parameter at function top level is an error).
+        self.push()
+        for name in self.function.params:
+            self.scopes[-1][name] = name
+        for stmt in self.function.body:
+            self.stmt(stmt)
+        self.pop()
+
+    # -- scope bookkeeping -------------------------------------------------
+
+    def push(self) -> None:
+        self.scopes.append({})
+
+    def pop(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, decl: A.LocalDecl) -> None:
+        if decl.name in self.scopes[-1]:
+            raise CompileError(f"duplicate local {decl.name}", decl.line)
+        unique = decl.name
+        if unique in self.used:
+            self.counter[decl.name] = self.counter.get(decl.name, 1) + 1
+            unique = f"{decl.name}.{self.counter[decl.name]}"
+        self.used.add(unique)
+        self.scopes[-1][decl.name] = unique
+        decl.name = unique
+
+    def lookup(self, name: str) -> Optional[str]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # -- walking -----------------------------------------------------------
+
+    def body(self, stmts: List[A.Stmt]) -> None:
+        self.push()
+        for stmt in stmts:
+            self.stmt(stmt)
+        self.pop()
+
+    def stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.LocalDecl):
+            if stmt.init is not None:
+                self.expr(stmt.init)  # initializer sees the outer binding
+            self.declare(stmt)
+        elif isinstance(stmt, A.Assign):
+            self.expr(stmt.target)
+            self.expr(stmt.value)
+        elif isinstance(stmt, A.IncDec):
+            self.expr(stmt.target)
+        elif isinstance(stmt, A.ExprStmt):
+            self.expr(stmt.expr)
+        elif isinstance(stmt, A.PrintStmt):
+            for arg in stmt.args:
+                self.expr(arg)
+        elif isinstance(stmt, A.If):
+            self.expr(stmt.cond)
+            self.body(stmt.then_body)
+            self.body(stmt.else_body)
+        elif isinstance(stmt, (A.While, A.DoWhile)):
+            self.expr(stmt.cond)
+            self.body(stmt.body)
+        elif isinstance(stmt, A.For):
+            # The init declaration scopes over cond, step, and body.
+            self.push()
+            if stmt.init is not None:
+                self.stmt(stmt.init)
+            if stmt.cond is not None:
+                self.expr(stmt.cond)
+            if stmt.step is not None:
+                self.stmt(stmt.step)
+            self.body(stmt.body)
+            self.pop()
+        elif isinstance(stmt, A.Return):
+            if stmt.value is not None:
+                self.expr(stmt.value)
+        # Break/Continue carry no names.
+
+    def expr(self, node: Optional[A.Expr]) -> None:
+        if node is None:
+            return
+        if isinstance(node, A.Name):
+            unique = self.lookup(node.ident)
+            if unique is not None:
+                node.ident = unique
+        elif isinstance(node, A.Index):
+            unique = self.lookup(node.array)
+            if unique is not None:
+                node.array = unique
+            self.expr(node.index)
+        elif isinstance(node, A.Deref):
+            self.expr(node.ptr)
+        elif isinstance(node, A.AddrOfExpr):
+            self.expr(node.target)
+        elif isinstance(node, A.Unary):
+            self.expr(node.operand)
+        elif isinstance(node, (A.Binary, A.ShortCircuit)):
+            self.expr(node.lhs)
+            self.expr(node.rhs)
+        elif isinstance(node, A.CallExpr):
+            for arg in node.args:
+                self.expr(arg)
+        # IntLit and FieldRef (always global) carry no local names.

@@ -1,0 +1,254 @@
+"""Semantic analysis for mini-C.
+
+Builds the program's symbol tables and checks the rules the lowerer
+relies on:
+
+* no duplicate globals, struct names, fields, functions, params, locals;
+* every referenced name resolves (locals/params shadow globals);
+* array subscripts only on arrays; bare references only on scalars;
+* ``&`` targets scalars, fields, or array elements — never pointers;
+* calls name a declared function with the right arity;
+* ``break``/``continue`` appear inside loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.frontend import cast as A
+from repro.frontend.errors import CompileError
+
+
+@dataclass
+class FunctionInfo:
+    decl: A.FunctionDecl
+    params: List[str] = field(default_factory=list)
+    #: Local name -> its declaration (pointers, arrays, scalars).
+    locals: Dict[str, A.LocalDecl] = field(default_factory=dict)
+
+
+@dataclass
+class SemaInfo:
+    globals: Dict[str, A.GlobalDecl] = field(default_factory=dict)
+    structs: Dict[str, A.StructDecl] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def is_global_array(self, name: str) -> bool:
+        decl = self.globals.get(name)
+        return decl is not None and decl.array_size is not None
+
+
+def analyze(program: A.Program) -> SemaInfo:
+    from repro.frontend.scopes import resolve_scopes
+
+    resolve_scopes(program)
+    info = SemaInfo()
+    for decl in program.globals:
+        if decl.name in info.globals or decl.name in info.structs:
+            raise CompileError(f"duplicate global {decl.name}", decl.line)
+        _check_init_values(decl.init_values, decl.array_size, decl.line)
+        info.globals[decl.name] = decl
+    for struct in program.structs:
+        if struct.name in info.structs or struct.name in info.globals:
+            raise CompileError(f"duplicate struct {struct.name}", struct.line)
+        if len(set(struct.fields)) != len(struct.fields):
+            raise CompileError(f"duplicate field in struct {struct.name}", struct.line)
+        info.structs[struct.name] = struct
+    for function in program.functions:
+        if function.name in info.functions:
+            raise CompileError(f"duplicate function {function.name}", function.line)
+        if len(set(function.params)) != len(function.params):
+            raise CompileError(f"duplicate parameter in {function.name}", function.line)
+        info.functions[function.name] = FunctionInfo(function, list(function.params))
+
+    for finfo in info.functions.values():
+        _check_function(info, finfo)
+    return info
+
+
+def _check_init_values(values, size, line) -> None:
+    if values is None:
+        return
+    if size is None:
+        raise CompileError("initializer list requires an array", line)
+    if len(values) > size:
+        raise CompileError(
+            f"{len(values)} initializers for an array of {size}", line
+        )
+
+
+def _check_function(info: SemaInfo, finfo: FunctionInfo) -> None:
+    _collect_locals(info, finfo, finfo.decl.body)
+    _check_body(info, finfo, finfo.decl.body, in_loop=False)
+
+
+def _collect_locals(info: SemaInfo, finfo: FunctionInfo, body: List[A.Stmt]) -> None:
+    for stmt in body:
+        if isinstance(stmt, A.LocalDecl):
+            if stmt.name in finfo.locals or stmt.name in finfo.params:
+                raise CompileError(f"duplicate local {stmt.name}", stmt.line)
+            finfo.locals[stmt.name] = stmt
+        elif isinstance(stmt, A.If):
+            _collect_locals(info, finfo, stmt.then_body)
+            _collect_locals(info, finfo, stmt.else_body)
+        elif isinstance(stmt, (A.While, A.DoWhile)):
+            _collect_locals(info, finfo, stmt.body)
+        elif isinstance(stmt, A.For):
+            if stmt.init is not None:
+                _collect_locals(info, finfo, [stmt.init])
+            _collect_locals(info, finfo, stmt.body)
+
+
+def _check_body(
+    info: SemaInfo, finfo: FunctionInfo, body: List[A.Stmt], in_loop: bool
+) -> None:
+    for stmt in body:
+        _check_stmt(info, finfo, stmt, in_loop)
+
+
+def _check_stmt(info: SemaInfo, finfo: FunctionInfo, stmt: A.Stmt, in_loop: bool) -> None:
+    if isinstance(stmt, A.LocalDecl):
+        _check_init_values(stmt.init_values, stmt.array_size, stmt.line)
+        if stmt.init is not None:
+            _check_expr(info, finfo, stmt.init)
+    elif isinstance(stmt, A.Assign):
+        _check_lvalue(info, finfo, stmt.target)
+        _check_expr(info, finfo, stmt.value)
+    elif isinstance(stmt, A.IncDec):
+        _check_lvalue(info, finfo, stmt.target)
+    elif isinstance(stmt, A.ExprStmt):
+        _check_expr(info, finfo, stmt.expr)
+    elif isinstance(stmt, A.PrintStmt):
+        for arg in stmt.args:
+            _check_expr(info, finfo, arg)
+    elif isinstance(stmt, A.If):
+        _check_expr(info, finfo, stmt.cond)
+        _check_body(info, finfo, stmt.then_body, in_loop)
+        _check_body(info, finfo, stmt.else_body, in_loop)
+    elif isinstance(stmt, (A.While, A.DoWhile)):
+        _check_expr(info, finfo, stmt.cond)
+        _check_body(info, finfo, stmt.body, in_loop=True)
+    elif isinstance(stmt, A.For):
+        if stmt.init is not None:
+            _check_stmt(info, finfo, stmt.init, in_loop)
+        if stmt.cond is not None:
+            _check_expr(info, finfo, stmt.cond)
+        if stmt.step is not None:
+            _check_stmt(info, finfo, stmt.step, in_loop=True)
+        _check_body(info, finfo, stmt.body, in_loop=True)
+    elif isinstance(stmt, (A.Break, A.Continue)):
+        if not in_loop:
+            kind = "break" if isinstance(stmt, A.Break) else "continue"
+            raise CompileError(f"{kind} outside a loop", stmt.line)
+    elif isinstance(stmt, A.Return):
+        if stmt.value is not None:
+            _check_expr(info, finfo, stmt.value)
+    else:  # pragma: no cover - parser produces no other nodes
+        raise CompileError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+
+def _is_local_array(finfo: FunctionInfo, name: str) -> bool:
+    decl = finfo.locals.get(name)
+    return decl is not None and decl.array_size is not None
+
+
+def _is_pointer_local(finfo: FunctionInfo, name: str) -> bool:
+    decl = finfo.locals.get(name)
+    return decl is not None and decl.is_pointer
+
+
+def _check_lvalue(info: SemaInfo, finfo: FunctionInfo, node: Optional[A.Expr]) -> None:
+    assert node is not None
+    if isinstance(node, A.Name):
+        _resolve_scalar(info, finfo, node)
+    elif isinstance(node, A.FieldRef):
+        _resolve_field(info, node)
+    elif isinstance(node, A.Index):
+        _resolve_array(info, finfo, node)
+        _check_expr(info, finfo, node.index)
+    elif isinstance(node, A.Deref):
+        _check_expr(info, finfo, node.ptr)
+    else:
+        raise CompileError("not an assignable location", node.line)
+
+
+def _check_expr(info: SemaInfo, finfo: FunctionInfo, node: Optional[A.Expr]) -> None:
+    assert node is not None
+    if isinstance(node, A.IntLit):
+        return
+    if isinstance(node, A.Name):
+        _resolve_scalar(info, finfo, node)
+    elif isinstance(node, A.FieldRef):
+        _resolve_field(info, node)
+    elif isinstance(node, A.Index):
+        _resolve_array(info, finfo, node)
+        _check_expr(info, finfo, node.index)
+    elif isinstance(node, A.Deref):
+        _check_expr(info, finfo, node.ptr)
+    elif isinstance(node, A.AddrOfExpr):
+        target = node.target
+        if isinstance(target, A.Name):
+            if _is_pointer_local(finfo, target.ident):
+                raise CompileError("cannot take the address of a pointer", node.line)
+            _resolve_scalar(info, finfo, target)
+        elif isinstance(target, A.FieldRef):
+            _resolve_field(info, target)
+        elif isinstance(target, A.Index):
+            _resolve_array(info, finfo, target)
+            _check_expr(info, finfo, target.index)
+        else:  # pragma: no cover - parser enforces this
+            raise CompileError("bad & target", node.line)
+    elif isinstance(node, A.Unary):
+        _check_expr(info, finfo, node.operand)
+    elif isinstance(node, (A.Binary, A.ShortCircuit)):
+        _check_expr(info, finfo, node.lhs)
+        _check_expr(info, finfo, node.rhs)
+    elif isinstance(node, A.CallExpr):
+        callee = info.functions.get(node.callee)
+        if callee is None:
+            raise CompileError(f"call to undeclared function {node.callee}", node.line)
+        if len(node.args) != len(callee.params):
+            raise CompileError(
+                f"{node.callee} expects {len(callee.params)} arguments, "
+                f"got {len(node.args)}",
+                node.line,
+            )
+        for arg in node.args:
+            _check_expr(info, finfo, arg)
+    else:  # pragma: no cover
+        raise CompileError(f"unknown expression {type(node).__name__}", node.line)
+
+
+def _resolve_scalar(info: SemaInfo, finfo: FunctionInfo, node: A.Name) -> None:
+    name = node.ident
+    if name in finfo.params:
+        return
+    if name in finfo.locals:
+        if _is_local_array(finfo, name):
+            raise CompileError(f"array {name} used without subscript", node.line)
+        return
+    decl = info.globals.get(name)
+    if decl is not None:
+        if decl.array_size is not None:
+            raise CompileError(f"array {name} used without subscript", node.line)
+        return
+    raise CompileError(f"undeclared variable {name}", node.line)
+
+
+def _resolve_field(info: SemaInfo, node: A.FieldRef) -> None:
+    struct = info.structs.get(node.struct)
+    if struct is None:
+        raise CompileError(f"unknown struct {node.struct}", node.line)
+    if node.field_name not in struct.fields:
+        raise CompileError(
+            f"struct {node.struct} has no field {node.field_name}", node.line
+        )
+
+
+def _resolve_array(info: SemaInfo, finfo: FunctionInfo, node: A.Index) -> None:
+    if _is_local_array(finfo, node.array):
+        return
+    if info.is_global_array(node.array):
+        return
+    raise CompileError(f"{node.array} is not an array", node.line)

@@ -1,0 +1,73 @@
+"""Compiler intermediate representation.
+
+A conventional CFG-of-basic-blocks IR with virtual registers, explicit phi
+instructions, and memory-resource-tagged memory operations, sufficient to
+express every program the paper manipulates (Figures 1 and 7-10) and the
+SPECInt95-proxy workloads.
+"""
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    AddrOf,
+    ArrayLoad,
+    ArrayStore,
+    BinOp,
+    Call,
+    CondBr,
+    Copy,
+    DummyAliasedLoad,
+    Elem,
+    Instruction,
+    Jump,
+    Load,
+    MemPhi,
+    Phi,
+    Print,
+    PtrLoad,
+    PtrStore,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.module import Module
+from repro.ir.printer import print_function, print_module
+from repro.ir.values import Const, Undef, Value, VReg
+from repro.ir.verify import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "AddrOf",
+    "ArrayLoad",
+    "ArrayStore",
+    "BasicBlock",
+    "BinOp",
+    "Call",
+    "CondBr",
+    "Const",
+    "Copy",
+    "DummyAliasedLoad",
+    "Elem",
+    "Function",
+    "IRBuilder",
+    "Instruction",
+    "Jump",
+    "Load",
+    "MemPhi",
+    "Module",
+    "Phi",
+    "Print",
+    "PtrLoad",
+    "PtrStore",
+    "Ret",
+    "Store",
+    "UnOp",
+    "Undef",
+    "VReg",
+    "Value",
+    "VerificationError",
+    "print_function",
+    "print_module",
+    "verify_function",
+    "verify_module",
+]

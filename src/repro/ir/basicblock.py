@@ -1,0 +1,165 @@
+"""Basic blocks.
+
+A block owns an ordered instruction list: zero or more phi/memphi
+instructions first, then ordinary instructions, then exactly one
+terminator.  Successors are derived from the terminator; predecessor lists
+are maintained eagerly by the mutation API (``set_terminator`` and the
+function-level block editing helpers), which every pass must use.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from repro.ir.instructions import Instruction, MemPhi, Phi
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.function import Function
+
+
+class BasicBlock:
+    def __init__(self, name: str, function: Optional["Function"] = None) -> None:
+        self.name = name
+        self.function = function
+        self.instructions: List[Instruction] = []
+        #: Predecessor blocks, in deterministic insertion order.
+        self.preds: List["BasicBlock"] = []
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def succs(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        # Deduplicate while preserving order (a condbr may target one block
+        # on both edges).
+        seen = []
+        for target in term.targets:
+            if target not in seen:
+                seen.append(target)
+        return seen
+
+    def phis(self) -> Iterator[Phi]:
+        for inst in self.instructions:
+            if not inst.is_phi:
+                break
+            if isinstance(inst, Phi):
+                yield inst
+
+    def mem_phis(self) -> Iterator[MemPhi]:
+        for inst in self.instructions:
+            if not inst.is_phi:
+                break
+            if isinstance(inst, MemPhi):
+                yield inst
+
+    def all_phis(self) -> Iterator[Instruction]:
+        """All leading phi instructions (register phis and memory phis)."""
+        for inst in self.instructions:
+            if inst.is_phi:
+                yield inst
+            else:
+                break
+
+    def first_non_phi_index(self) -> int:
+        for i, inst in enumerate(self.instructions):
+            if not inst.is_phi:
+                return i
+        return len(self.instructions)
+
+    # -- mutation ----------------------------------------------------------
+
+    def append(self, inst: Instruction) -> Instruction:
+        """Append ``inst``; if it is a terminator, wire successor preds."""
+        if self.terminator is not None:
+            raise ValueError(f"block {self.name} already has a terminator")
+        self.instructions.append(inst)
+        inst.block = self
+        if inst.is_terminator:
+            for succ in _unique(inst.targets):
+                if self not in succ.preds:
+                    succ.preds.append(self)
+        return inst
+
+    def insert_before(self, inst: Instruction, before: Instruction) -> Instruction:
+        """Insert non-terminator ``inst`` immediately before ``before``."""
+        if inst.is_terminator:
+            raise ValueError("use set_terminator for terminators")
+        index = self.instructions.index(before)
+        self.instructions.insert(index, inst)
+        inst.block = self
+        return inst
+
+    def insert_after(self, inst: Instruction, after: Instruction) -> Instruction:
+        """Insert non-terminator ``inst`` immediately after ``after``."""
+        if inst.is_terminator:
+            raise ValueError("use set_terminator for terminators")
+        index = self.instructions.index(after)
+        self.instructions.insert(index + 1, inst)
+        inst.block = self
+        return inst
+
+    def insert_at_front(self, inst: Instruction) -> Instruction:
+        """Insert after any leading phis (or at index 0 for a phi)."""
+        index = 0 if inst.is_phi else self.first_non_phi_index()
+        self.instructions.insert(index, inst)
+        inst.block = self
+        return inst
+
+    def insert_before_terminator(self, inst: Instruction) -> Instruction:
+        term = self.terminator
+        if term is None:
+            return self.append(inst)
+        return self.insert_before(inst, term)
+
+    def set_terminator(self, inst: Instruction) -> Instruction:
+        """Replace the terminator, keeping successor pred lists correct."""
+        if not inst.is_terminator:
+            raise ValueError("set_terminator requires a terminator")
+        old = self.terminator
+        if old is not None:
+            for succ in _unique(old.targets):
+                if self in succ.preds:
+                    succ.preds.remove(self)
+            self.instructions.pop()
+            old.block = None
+        self.instructions.append(inst)
+        inst.block = self
+        for succ in _unique(inst.targets):
+            if self not in succ.preds:
+                succ.preds.append(self)
+        return inst
+
+    def retarget(self, old_succ: "BasicBlock", new_succ: "BasicBlock") -> None:
+        """Redirect every terminator edge ``self -> old_succ`` to
+        ``new_succ``, updating pred lists (but not phis — callers that
+        retarget edges into blocks with phis must fix those up)."""
+        term = self.terminator
+        if term is None:
+            raise ValueError(f"block {self.name} has no terminator")
+        term.targets = [new_succ if t is old_succ else t for t in term.targets]
+        if self in old_succ.preds:
+            old_succ.preds.remove(self)
+        if self not in new_succ.preds:
+            new_succ.preds.append(self)
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.name})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _unique(blocks: List["BasicBlock"]) -> List["BasicBlock"]:
+    seen: List["BasicBlock"] = []
+    for b in blocks:
+        if b not in seen:
+            seen.append(b)
+    return seen

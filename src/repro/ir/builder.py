@@ -1,0 +1,172 @@
+"""A convenience builder for constructing IR by hand.
+
+Used by tests, the examples, and the mini-C lowering pass.  All
+instruction-creating methods append at the current insertion point (the
+end of the current block, before nothing — blocks must not yet be
+terminated).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    AddrOf,
+    ArrayLoad,
+    ArrayStore,
+    BinOp,
+    Call,
+    CondBr,
+    Copy,
+    Elem,
+    Jump,
+    Load,
+    Phi,
+    Print,
+    PtrLoad,
+    PtrStore,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.values import Const, Value, VReg
+from repro.memory.resources import MemoryVar
+
+ValueLike = Union[Value, int]
+
+
+def as_value(v: ValueLike) -> Value:
+    return Const(v) if isinstance(v, int) else v
+
+
+class IRBuilder:
+    def __init__(self, function: Function, block: Optional[BasicBlock] = None) -> None:
+        self.function = function
+        self.block: Optional[BasicBlock] = block
+
+    def at(self, block: BasicBlock) -> "IRBuilder":
+        """Move the insertion point to the end of ``block``."""
+        self.block = block
+        return self
+
+    def new_block(self, hint: str = "b") -> BasicBlock:
+        return self.function.new_block(hint)
+
+    # -- computation -------------------------------------------------------
+
+    def _emit(self, inst):
+        assert self.block is not None, "no insertion block set"
+        return self.block.append(inst)
+
+    def binop(self, op: str, lhs: ValueLike, rhs: ValueLike, hint: str = "t") -> VReg:
+        dst = self.function.new_reg(hint)
+        self._emit(BinOp(dst, op, as_value(lhs), as_value(rhs)))
+        return dst
+
+    def add(self, lhs: ValueLike, rhs: ValueLike) -> VReg:
+        return self.binop("add", lhs, rhs)
+
+    def sub(self, lhs: ValueLike, rhs: ValueLike) -> VReg:
+        return self.binop("sub", lhs, rhs)
+
+    def mul(self, lhs: ValueLike, rhs: ValueLike) -> VReg:
+        return self.binop("mul", lhs, rhs)
+
+    def div(self, lhs: ValueLike, rhs: ValueLike) -> VReg:
+        return self.binop("div", lhs, rhs)
+
+    def lt(self, lhs: ValueLike, rhs: ValueLike) -> VReg:
+        return self.binop("lt", lhs, rhs)
+
+    def le(self, lhs: ValueLike, rhs: ValueLike) -> VReg:
+        return self.binop("le", lhs, rhs)
+
+    def eq(self, lhs: ValueLike, rhs: ValueLike) -> VReg:
+        return self.binop("eq", lhs, rhs)
+
+    def ne(self, lhs: ValueLike, rhs: ValueLike) -> VReg:
+        return self.binop("ne", lhs, rhs)
+
+    def unop(self, op: str, src: ValueLike) -> VReg:
+        dst = self.function.new_reg()
+        self._emit(UnOp(dst, op, as_value(src)))
+        return dst
+
+    def copy(self, src: ValueLike, hint: str = "t") -> VReg:
+        dst = self.function.new_reg(hint)
+        self._emit(Copy(dst, as_value(src)))
+        return dst
+
+    def phi(self, incoming: Sequence, hint: str = "t") -> VReg:
+        """``incoming`` is a sequence of (block, value-like) pairs.
+
+        Phis are placed at the front of the current block.
+        """
+        assert self.block is not None
+        dst = self.function.new_reg(hint)
+        inst = Phi(dst, [(b, as_value(v)) for b, v in incoming])
+        self.block.insert_at_front(inst)
+        return dst
+
+    # -- memory --------------------------------------------------------------
+
+    def load(self, var: MemoryVar, hint: str = "t") -> VReg:
+        dst = self.function.new_reg(hint)
+        self._emit(Load(dst, var))
+        return dst
+
+    def store(self, var: MemoryVar, value: ValueLike) -> Store:
+        return self._emit(Store(var, as_value(value)))
+
+    def addr_of(self, var: MemoryVar) -> VReg:
+        dst = self.function.new_reg("p")
+        self._emit(AddrOf(dst, var))
+        return dst
+
+    def elem(self, array: MemoryVar, index: ValueLike) -> VReg:
+        dst = self.function.new_reg("p")
+        self._emit(Elem(dst, array, as_value(index)))
+        return dst
+
+    def ptr_load(self, ptr: ValueLike, hint: str = "t") -> VReg:
+        dst = self.function.new_reg(hint)
+        self._emit(PtrLoad(dst, as_value(ptr)))
+        return dst
+
+    def ptr_store(self, ptr: ValueLike, value: ValueLike) -> PtrStore:
+        return self._emit(PtrStore(as_value(ptr), as_value(value)))
+
+    def array_load(self, array: MemoryVar, index: ValueLike, hint: str = "t") -> VReg:
+        dst = self.function.new_reg(hint)
+        self._emit(ArrayLoad(dst, array, as_value(index)))
+        return dst
+
+    def array_store(self, array: MemoryVar, index: ValueLike, value: ValueLike) -> ArrayStore:
+        return self._emit(ArrayStore(array, as_value(index), as_value(value)))
+
+    def call(
+        self, callee: str, args: Sequence[ValueLike] = (), want_value: bool = True
+    ) -> Optional[VReg]:
+        dst = self.function.new_reg("r") if want_value else None
+        self._emit(Call(dst, callee, [as_value(a) for a in args]))
+        return dst
+
+    def print_(self, *values: ValueLike) -> Print:
+        return self._emit(Print([as_value(v) for v in values]))
+
+    # -- control flow ---------------------------------------------------------
+
+    def jump(self, target: BasicBlock) -> Jump:
+        assert self.block is not None
+        return self.block.set_terminator(Jump(target))
+
+    def cond_br(self, cond: ValueLike, if_true: BasicBlock, if_false: BasicBlock) -> CondBr:
+        assert self.block is not None
+        return self.block.set_terminator(CondBr(as_value(cond), if_true, if_false))
+
+    def ret(self, value: Optional[ValueLike] = None) -> Ret:
+        assert self.block is not None
+        v = None if value is None else as_value(value)
+        return self.block.set_terminator(Ret(v))

@@ -1,0 +1,109 @@
+"""Graphviz (DOT) export of functions and their analyses.
+
+Debugging aid: render the CFG with instruction bodies, optionally
+overlaying loop nesting (cluster per interval) and block frequencies.
+
+::
+
+    from repro.ir.dot import function_to_dot
+    print(function_to_dot(func, profile=profile))
+    # dot -Tpdf out.dot -o out.pdf
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.printer import format_instruction
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("<", "\\<")
+        .replace(">", "\\>")
+        .replace("{", "\\{")
+        .replace("}", "\\}")
+        .replace("|", "\\|")
+    )
+
+
+def _block_label(block: BasicBlock, freq: Optional[int]) -> str:
+    header = block.name if freq is None else f"{block.name}  (freq {freq})"
+    lines = [header] + [
+        _escape(format_instruction(inst, with_mem=True))
+        for inst in block.instructions
+    ]
+    return "\\l".join(lines) + "\\l"
+
+
+def function_to_dot(
+    function: Function,
+    profile=None,
+    intervals=None,
+) -> str:
+    """DOT source for ``function``'s CFG.
+
+    ``profile`` (a :class:`repro.profile.profiles.ProfileData`) annotates
+    blocks with frequencies; ``intervals`` (an
+    :class:`repro.analysis.intervals.IntervalTree`) draws one cluster per
+    loop.
+    """
+    lines: List[str] = [
+        f'digraph "{function.name}" {{',
+        '  node [shape=record, fontname="monospace", fontsize=9];',
+    ]
+
+    emitted: set = set()
+
+    def emit_block(block: BasicBlock, indent: str) -> None:
+        freq = profile.freq(block) if profile is not None else None
+        lines.append(
+            f'{indent}"{block.name}" [label="{_block_label(block, freq)}"];'
+        )
+        emitted.add(id(block))
+
+    if intervals is not None:
+        def emit_interval(interval, depth: int) -> None:
+            indent = "  " * (depth + 1)
+            lines.append(f'{indent}subgraph "cluster_{interval.header.name}" {{')
+            lines.append(
+                f'{indent}  label="interval @{interval.header.name} '
+                f'(depth {interval.depth})";'
+            )
+            own = {id(b) for b in interval.blocks}
+            for child in interval.children:
+                own -= {id(b) for b in child.blocks}
+                emit_interval(child, depth + 1)
+            for block in interval.blocks:
+                if id(block) in own and id(block) not in emitted:
+                    emit_block(block, indent + "  ")
+            lines.append(f"{indent}}}")
+
+        for top in intervals.root.children:
+            emit_interval(top, 0)
+
+    for block in function.blocks:
+        if id(block) not in emitted:
+            emit_block(block, "  ")
+
+    for block in function.blocks:
+        for succ in block.succs:
+            style = ""
+            if intervals is not None:
+                inner = intervals.innermost(succ)
+                if not inner.is_root and succ in inner.entries and inner.contains(block):
+                    style = ' [style=dashed, label="back"]'
+            lines.append(f'  "{block.name}" -> "{succ.name}"{style};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def module_to_dot(module) -> str:
+    """One DOT digraph per function, concatenated."""
+    return "\n".join(
+        function_to_dot(function) for function in module.functions.values()
+    )

@@ -1,0 +1,105 @@
+"""Functions: ordered CFGs of basic blocks plus naming state."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.instructions import Instruction, MemPhi, Phi
+from repro.ir.values import VReg
+from repro.memory.resources import MemName, MemoryVar, VarKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.module import Module
+
+
+class Function:
+    """A function: parameter registers, blocks, and local memory variables.
+
+    ``blocks[0]`` is the entry block.  Block order is the textual order and
+    is deterministic; analyses that need a traversal order compute their
+    own (e.g. reverse postorder).
+    """
+
+    def __init__(self, name: str, param_names: Optional[List[str]] = None) -> None:
+        self.name = name
+        self.module: Optional["Module"] = None
+        self.blocks: List[BasicBlock] = []
+        self.params: List[VReg] = []
+        #: Local memory variables (address-exposed locals, local arrays),
+        #: keyed by name.  Storage is per activation.
+        self.frame_vars: Dict[str, MemoryVar] = {}
+        self._next_reg = 0
+        self._next_block = 0
+        self._mem_versions: Dict[MemoryVar, int] = {}
+        for pname in param_names or []:
+            self.params.append(VReg(pname))
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    # -- naming -----------------------------------------------------------
+
+    def new_reg(self, hint: str = "t") -> VReg:
+        """Create a fresh, uniquely named virtual register."""
+        self._next_reg += 1
+        return VReg(f"{hint}{self._next_reg}")
+
+    def new_block(self, hint: str = "b") -> BasicBlock:
+        """Create and append a fresh basic block."""
+        self._next_block += 1
+        block = BasicBlock(f"{hint}{self._next_block}", self)
+        self.blocks.append(block)
+        return block
+
+    def add_block(self, name: str) -> BasicBlock:
+        """Create and append a block with an exact (unique) name."""
+        if any(b.name == name for b in self.blocks):
+            raise ValueError(f"duplicate block name {name}")
+        block = BasicBlock(name, self)
+        self.blocks.append(block)
+        return block
+
+    def new_mem_name(self, var: MemoryVar, def_inst: Optional[Instruction] = None) -> MemName:
+        """Create a fresh SSA name (next version) for ``var``."""
+        version = self._mem_versions.get(var, 0) + 1
+        self._mem_versions[var] = version
+        return MemName(var, version, def_inst)
+
+    def add_frame_var(
+        self, name: str, kind: VarKind = VarKind.LOCAL, initial: int = 0, size: int = 1
+    ) -> MemoryVar:
+        if name in self.frame_vars:
+            raise ValueError(f"duplicate frame variable {name}")
+        var = MemoryVar(name, kind, initial=initial, size=size)
+        self.frame_vars[name] = var
+        return var
+
+    # -- traversal ----------------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def remove_block(self, block: BasicBlock) -> None:
+        """Remove an unreachable block, cleaning up edges and phi inputs."""
+        for succ in block.succs:
+            if block in succ.preds:
+                succ.preds.remove(block)
+            for phi in succ.all_phis():
+                if isinstance(phi, (Phi, MemPhi)):
+                    phi.remove_incoming(block)
+        self.blocks.remove(block)
+        block.function = None
+
+    def find_block(self, name: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.name == name:
+                return block
+        raise KeyError(f"no block named {name} in {self.name}")
+
+    def __repr__(self) -> str:
+        return f"Function({self.name}, {len(self.blocks)} blocks)"

@@ -1,0 +1,74 @@
+"""Modules: global memory variables plus a set of functions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.function import Function
+from repro.memory.resources import MemoryVar, VarKind
+
+
+class Module:
+    """A whole program: global variables and functions.
+
+    Global scalars and scalar struct fields are the paper's primary
+    promotion candidates.  Struct fields are modelled as independent
+    ``MemoryVar``s named ``struct.field`` (the paper promotes "scalar
+    components of structure variables" individually).
+    """
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.globals: Dict[str, MemoryVar] = {}
+        self.functions: Dict[str, Function] = {}
+
+    def add_global(self, name: str, initial: int = 0) -> MemoryVar:
+        return self._add(MemoryVar(name, VarKind.GLOBAL, initial=initial))
+
+    def add_global_array(
+        self, name: str, size: int, initial: int = 0, initial_values=None
+    ) -> MemoryVar:
+        return self._add(
+            MemoryVar(
+                name,
+                VarKind.ARRAY,
+                initial=initial,
+                size=size,
+                initial_values=initial_values,
+            )
+        )
+
+    def add_field(self, struct: str, field: str, initial: int = 0) -> MemoryVar:
+        return self._add(MemoryVar(f"{struct}.{field}", VarKind.FIELD, initial=initial))
+
+    def _add(self, var: MemoryVar) -> MemoryVar:
+        if var.name in self.globals:
+            raise ValueError(f"duplicate global {var.name}")
+        self.globals[var.name] = var
+        return var
+
+    def get_global(self, name: str) -> MemoryVar:
+        return self.globals[name]
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function {function.name}")
+        self.functions[function.name] = function
+        function.module = self
+        return function
+
+    def new_function(self, name: str, param_names: Optional[List[str]] = None) -> Function:
+        return self.add_function(Function(name, param_names))
+
+    def get_function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def scalar_globals(self) -> List[MemoryVar]:
+        """All promotable module-level variables, in declaration order."""
+        return [v for v in self.globals.values() if v.is_scalar]
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name}, {len(self.globals)} globals, "
+            f"{len(self.functions)} functions)"
+        )

@@ -1,0 +1,119 @@
+"""Textual IR printing.
+
+The pre-memory-SSA textual form round-trips through
+:mod:`repro.ir.parser`; memory-SSA annotations are printed as trailing
+``; use …, def …`` comments which the parser ignores.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir import instructions as I
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import Value
+from repro.memory.resources import VarKind
+
+
+def _val(v: Value) -> str:
+    return str(v)
+
+
+def _init_text(var) -> str:
+    if var.initial_values is not None:
+        return "{" + ", ".join(str(v) for v in var.initial_values) + "}"
+    return str(var.initial)
+
+
+def format_instruction(inst: I.Instruction, with_mem: bool = True) -> str:
+    text = _format_core(inst)
+    if with_mem:
+        notes: List[str] = []
+        if inst.mem_uses and not isinstance(inst, (I.Load, I.MemPhi, I.DummyAliasedLoad)):
+            notes.append("use " + ", ".join(str(n) for n in inst.mem_uses))
+        if inst.mem_defs and not isinstance(inst, (I.Store, I.MemPhi)):
+            notes.append("def " + ", ".join(str(n) for n in inst.mem_defs))
+        if notes:
+            text += "  ; " + " | ".join(notes)
+    return text
+
+
+def _format_core(inst: I.Instruction) -> str:
+    if isinstance(inst, I.Copy):
+        return f"{inst.dst} = copy {_val(inst.src)}"
+    if isinstance(inst, I.BinOp):
+        return f"{inst.dst} = {inst.op} {_val(inst.lhs)}, {_val(inst.rhs)}"
+    if isinstance(inst, I.UnOp):
+        return f"{inst.dst} = {inst.op} {_val(inst.src)}"
+    if isinstance(inst, I.Phi):
+        inc = ", ".join(f"{b.name}: {_val(v)}" for b, v in inst.incoming)
+        return f"{inst.dst} = phi [{inc}]"
+    if isinstance(inst, I.MemPhi):
+        inc = ", ".join(f"{b.name}: {n}" for b, n in inst.incoming)
+        return f"{inst.dst_name} = memphi @{inst.var.name} [{inc}]"
+    if isinstance(inst, I.Load):
+        name = f"[{inst.mem_uses[0]}]" if inst.mem_uses else ""
+        return f"{inst.dst} = ld @{inst.var.name}{name}"
+    if isinstance(inst, I.Store):
+        name = f"[{inst.mem_defs[0]}]" if inst.mem_defs else ""
+        return f"st @{inst.var.name}{name}, {_val(inst.value)}"
+    if isinstance(inst, I.AddrOf):
+        return f"{inst.dst} = addr @{inst.var.name}"
+    if isinstance(inst, I.Elem):
+        return f"{inst.dst} = elem @{inst.array.name}, {_val(inst.index)}"
+    if isinstance(inst, I.PtrLoad):
+        return f"{inst.dst} = ldp {_val(inst.ptr)}"
+    if isinstance(inst, I.PtrStore):
+        return f"stp {_val(inst.ptr)}, {_val(inst.value)}"
+    if isinstance(inst, I.ArrayLoad):
+        return f"{inst.dst} = lda @{inst.array.name}, {_val(inst.index)}"
+    if isinstance(inst, I.ArrayStore):
+        return f"sta @{inst.array.name}, {_val(inst.index)}, {_val(inst.value)}"
+    if isinstance(inst, I.Call):
+        args = ", ".join(_val(a) for a in inst.operands)
+        head = f"{inst.dst} = " if inst.dst is not None else ""
+        return f"{head}call @{inst.callee}({args})"
+    if isinstance(inst, I.DummyAliasedLoad):
+        return f"dummyload [{inst.mem_uses[0]}]"
+    if isinstance(inst, I.Print):
+        return "print " + ", ".join(_val(v) for v in inst.operands)
+    if isinstance(inst, I.Jump):
+        return f"jmp {inst.target.name}"
+    if isinstance(inst, I.CondBr):
+        return f"br {_val(inst.cond)}, {inst.if_true.name}, {inst.if_false.name}"
+    if isinstance(inst, I.Ret):
+        return "ret" if inst.value is None else f"ret {_val(inst.value)}"
+    raise TypeError(f"unknown instruction {type(inst).__name__}")
+
+
+def print_function(function: Function, with_mem: bool = True) -> str:
+    lines: List[str] = []
+    params = ", ".join(str(p) for p in function.params)
+    lines.append(f"func @{function.name}({params}) {{")
+    for var in function.frame_vars.values():
+        if var.kind is VarKind.ARRAY:
+            lines.append(f"  local @{var.name}[{var.size}] = {_init_text(var)}")
+        else:
+            lines.append(f"  local @{var.name} = {var.initial}")
+    for block in function.blocks:
+        preds = ", ".join(p.name for p in block.preds)
+        suffix = f"    ; preds: {preds}" if preds and with_mem else ""
+        lines.append(f"{block.name}:{suffix}")
+        for inst in block.instructions:
+            lines.append("  " + format_instruction(inst, with_mem))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module, with_mem: bool = True) -> str:
+    lines: List[str] = [f"module {module.name}"]
+    for var in module.globals.values():
+        if var.kind is VarKind.ARRAY:
+            lines.append(f"array @{var.name}[{var.size}] = {_init_text(var)}")
+        else:
+            lines.append(f"global @{var.name} = {var.initial}")
+    for function in module.functions.values():
+        lines.append("")
+        lines.append(print_function(function, with_mem))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,91 @@
+"""IR values: virtual registers, constants, and undef.
+
+Values are what register operands of instructions refer to.  Memory is not
+a value; memory locations are :class:`repro.memory.resources.MemoryVar` and
+their SSA names are :class:`repro.memory.resources.MemName`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ir.instructions import Instruction
+
+
+class Value:
+    """Base class of everything a register operand may name."""
+
+    __slots__ = ()
+
+
+class Const(Value):
+    """An integer constant.
+
+    The IR is untyped beyond "machine integer"; pointers are runtime values
+    produced by ``addr``/``elem`` instructions and cannot be written as
+    literals.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = int(value)
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.value))
+
+
+class Undef(Value):
+    """An undefined value (used for uninitialized locals).
+
+    Reading undef in the interpreter yields 0, so programs stay
+    deterministic, but the verifier still treats it as a distinct value.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Undef()"
+
+    def __str__(self) -> str:
+        return "undef"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Undef)
+
+    def __hash__(self) -> int:
+        return hash("Undef")
+
+
+UNDEF = Undef()
+
+
+class VReg(Value):
+    """A virtual register.
+
+    Under SSA form each ``VReg`` has exactly one defining instruction,
+    recorded in :attr:`def_inst`.  Names are unique within a function
+    (enforced by :class:`repro.ir.function.Function`, which hands them out).
+    """
+
+    __slots__ = ("name", "def_inst")
+
+    def __init__(self, name: str, def_inst: Optional["Instruction"] = None) -> None:
+        self.name = name
+        self.def_inst = def_inst
+
+    def __repr__(self) -> str:
+        return f"VReg(%{self.name})"
+
+    def __str__(self) -> str:
+        return f"%{self.name}"

@@ -1,0 +1,34 @@
+"""Memory-resource model: base memory variables, SSA memory names, aliasing.
+
+This package implements the paper's notion of *memory resources*
+(Section 3): every scalar memory location carries a unique identifier,
+loads/stores are tagged with singleton resources, and aliased operations
+(function calls, pointer references) use and define sets of resources.
+
+``AliasModel``/``MemorySSA`` are re-exported lazily (PEP 562) because they
+depend on :mod:`repro.ir`, which itself depends on
+:mod:`repro.memory.resources`.
+"""
+
+from repro.memory.resources import MemName, MemoryVar, VarKind
+
+__all__ = [
+    "AliasModel",
+    "MemName",
+    "MemoryVar",
+    "MemorySSA",
+    "VarKind",
+    "build_memory_ssa",
+]
+
+
+def __getattr__(name):
+    if name == "AliasModel":
+        from repro.memory.aliasing import AliasModel
+
+        return AliasModel
+    if name in ("MemorySSA", "build_memory_ssa"):
+        from repro.memory import memssa
+
+        return getattr(memssa, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,178 @@
+"""The alias model: which scalar memory locations may an instruction touch.
+
+The paper's baseline assumption (Section 3): "a function call may modify
+and use all memory singleton resources from global variables", and pointer
+references use/define *aggregate* resources whose alias sets share common
+singletons.  We realize this with a policy object that maps each
+instruction to the sets of scalar :class:`MemoryVar`s it may use and may
+define, at variable granularity:
+
+* ``Load``/``Store`` — exactly their variable (singleton references);
+* ``Call`` — every scalar global plus every address-taken scalar local of
+  the calling function (unknown callees could have stashed the pointer),
+  or a precise mod/ref summary when :meth:`AliasModel.with_modref_summaries`
+  is used;
+* ``PtrLoad``/``PtrStore`` — the pointer's points-to set, which under the
+  default flow-insensitive policy is every address-taken scalar in scope;
+* ``Ret`` — every scalar global (a function's final stores to globals are
+  observable by its caller).
+
+Aggregates (arrays) are never versioned; array references are invisible to
+memory SSA except through pointers that may point at scalars.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir import instructions as I
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.memory.resources import MemoryVar
+
+
+class AliasModel:
+    """Maps instructions to may-use / may-def sets of scalar variables.
+
+    ``modref`` optionally holds per-callee (use, def) summaries computed by
+    :meth:`with_modref_summaries`; without it every call conservatively
+    touches everything in scope.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        modref: Optional[Dict[str, Tuple[Set[str], Set[str]]]] = None,
+    ) -> None:
+        self.module = module
+        self.modref = modref
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def conservative(cls, module: Module) -> "AliasModel":
+        """The paper's model: calls mod/ref all globals (and exposed
+        locals); pointers may touch any address-taken scalar."""
+        return cls(module)
+
+    @classmethod
+    def with_modref_summaries(cls, module: Module) -> "AliasModel":
+        """Bottom-up transitive mod/ref summaries per function.
+
+        A function's summary is the set of global scalars it (or anything
+        it calls) may load/store, widened to *all* address-taken globals
+        as soon as it performs any pointer reference.  This is the
+        "pointer analysis" knob the ablation benchmarks turn (Lu & Cooper
+        report that better aliasing barely moves register promotion
+        results; we reproduce that comparison).
+        """
+        summaries: Dict[str, Tuple[Set[str], Set[str]]] = {}
+        globals_by_name = {v.name: v for v in module.scalar_globals()}
+        taken = {v.name for v in module.scalar_globals() if v.address_taken}
+
+        # Iterate to a fixed point over the (possibly cyclic) call graph.
+        for name in module.functions:
+            summaries[name] = (set(), set())
+        changed = True
+        while changed:
+            changed = False
+            for name, function in module.functions.items():
+                use, deff = set(summaries[name][0]), set(summaries[name][1])
+                for inst in function.instructions():
+                    if isinstance(inst, I.Load) and inst.var.name in globals_by_name:
+                        use.add(inst.var.name)
+                    elif isinstance(inst, I.Store) and inst.var.name in globals_by_name:
+                        deff.add(inst.var.name)
+                    elif isinstance(inst, I.PtrLoad):
+                        use |= taken
+                    elif isinstance(inst, I.PtrStore):
+                        use |= taken
+                        deff |= taken
+                    elif isinstance(inst, I.Call):
+                        callee = summaries.get(inst.callee)
+                        if callee is None:
+                            use |= set(globals_by_name)
+                            deff |= set(globals_by_name)
+                        else:
+                            use |= callee[0]
+                            deff |= callee[1]
+                if (use, deff) != summaries[name]:
+                    summaries[name] = (use, deff)
+                    changed = True
+        return cls(module, modref=summaries)
+
+    # -- queries ---------------------------------------------------------
+
+    def scalar_globals(self) -> List[MemoryVar]:
+        return self.module.scalar_globals()
+
+    def tracked_vars(self, function: Function) -> List[MemoryVar]:
+        """Scalar variables memory SSA versions for this function: module
+        scalars plus the function's scalar frame variables, sorted by name
+        for determinism."""
+        in_scope = list(self.module.scalar_globals())
+        in_scope += [v for v in function.frame_vars.values() if v.is_scalar]
+        return sorted(in_scope, key=lambda v: v.name)
+
+    def _taken_scalars(self, function: Function) -> List[MemoryVar]:
+        return [v for v in self.tracked_vars(function) if v.address_taken]
+
+    def points_to(self, function: Function, ptr) -> List[MemoryVar]:
+        """Points-to set of a pointer value (flow-insensitive: every
+        address-taken scalar in scope)."""
+        return self._taken_scalars(function)
+
+    def call_effects(self, function: Function, callee: str) -> Tuple[List[MemoryVar], List[MemoryVar]]:
+        """(may-use, may-def) scalar variables of a call."""
+        exposed_locals = [
+            v for v in function.frame_vars.values() if v.is_scalar and v.address_taken
+        ]
+        if self.modref is not None and callee in self.modref:
+            use_names, def_names = self.modref[callee]
+            # Chi semantics: a MAY-definition must also use the incoming
+            # value — the callee might leave the location untouched, so
+            # the caller-side store feeding it is still observable.
+            use_names = use_names | def_names
+            use = [v for v in self.module.scalar_globals() if v.name in use_names]
+            deff = [v for v in self.module.scalar_globals() if v.name in def_names]
+            return (
+                _sorted(use + exposed_locals),
+                _sorted(deff + exposed_locals),
+            )
+        everything = _sorted(list(self.module.scalar_globals()) + exposed_locals)
+        return everything, everything
+
+    def may_use_vars(self, function: Function, inst: I.Instruction) -> List[MemoryVar]:
+        """Scalar variables whose current memory value ``inst`` may
+        observe (including the old value of every may-def; see the chi
+        discussion in :mod:`repro.ir.instructions`)."""
+        if isinstance(inst, I.Load):
+            return [inst.var] if inst.var.is_scalar else []
+        if isinstance(inst, I.Call):
+            return self.call_effects(function, inst.callee)[0]
+        if isinstance(inst, I.PtrLoad):
+            return self.points_to(function, inst.ptr)
+        if isinstance(inst, I.PtrStore):
+            return self.points_to(function, inst.ptr)
+        if isinstance(inst, I.Ret):
+            return _sorted(self.module.scalar_globals())
+        if isinstance(inst, I.DummyAliasedLoad):
+            return [inst.var]
+        return []
+
+    def may_def_vars(self, function: Function, inst: I.Instruction) -> List[MemoryVar]:
+        """Scalar variables ``inst`` may overwrite."""
+        if isinstance(inst, I.Store):
+            return [inst.var] if inst.var.is_scalar else []
+        if isinstance(inst, I.Call):
+            return self.call_effects(function, inst.callee)[1]
+        if isinstance(inst, I.PtrStore):
+            return self.points_to(function, inst.ptr)
+        return []
+
+
+def _sorted(vars_: List[MemoryVar]) -> List[MemoryVar]:
+    unique: Dict[str, MemoryVar] = {}
+    for v in vars_:
+        unique.setdefault(v.name, v)
+    return [unique[name] for name in sorted(unique)]

@@ -1,0 +1,118 @@
+"""Memory resources: base memory variables and their SSA names.
+
+The paper (Section 3) tags memory locations with unique identifiers called
+*memory resources*.  A **singleton** resource represents a single scalar
+memory location; after SSA renaming a singleton gets multiple SSA *names*,
+each with a unique definition.  We model this with two classes:
+
+``MemoryVar``
+    The underlying memory location (the "original name"): a global scalar,
+    an address-exposed local, a scalar struct field, or an aggregate such
+    as an array.  Aggregates are never promoted; they exist so pointer and
+    array references have something to alias.
+
+``MemName``
+    One SSA name (version) of a ``MemoryVar``.  Version 0 is the value the
+    location holds on function entry (it has no defining instruction).
+    Every other version is defined by exactly one instruction: a store, a
+    memory phi, or an instruction with a may-def (call / pointer store).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.ir.instructions import Instruction
+
+
+class VarKind(enum.Enum):
+    """What sort of program object a :class:`MemoryVar` stands for."""
+
+    GLOBAL = "global"
+    LOCAL = "local"  # address-exposed local scalar
+    FIELD = "field"  # scalar component of a structure variable
+    ARRAY = "array"  # aggregate; never promotable
+
+
+class MemoryVar:
+    """A single memory location (the paper's singleton resource).
+
+    Promotion candidates are scalar ``MemoryVar``s: globals, address-exposed
+    locals, and scalar struct fields.  Arrays are aggregates and are never
+    candidates, but they participate in aliasing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: VarKind = VarKind.GLOBAL,
+        initial: int = 0,
+        size: int = 1,
+        initial_values: Optional[list] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        #: Initial memory contents (scalars: the value; arrays: fill value).
+        self.initial = initial
+        #: Number of cells (1 for scalars, element count for arrays).
+        self.size = size
+        #: Optional per-cell initializer list for arrays (padded with the
+        #: fill value); ``int A[4] = {1, 2};`` sets the first two cells.
+        self.initial_values = initial_values
+        #: Set by semantic analysis / alias modelling: address was taken.
+        self.address_taken = False
+
+    def initial_cells(self) -> list:
+        """The memory contents a fresh activation/program starts with."""
+        cells = [self.initial] * self.size
+        if self.initial_values is not None:
+            for i, value in enumerate(self.initial_values[: self.size]):
+                cells[i] = value
+        return cells
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.kind is not VarKind.ARRAY
+
+    @property
+    def promotable(self) -> bool:
+        """Whether register promotion may consider this location at all."""
+        return self.is_scalar
+
+    def __repr__(self) -> str:
+        return f"MemoryVar({self.name!r}, {self.kind.value})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class MemName:
+    """One SSA name (version) of a :class:`MemoryVar`.
+
+    ``def_inst`` is ``None`` exactly for the live-on-entry version 0; every
+    other name records the instruction that defines it.  Names are compared
+    by identity; the (var, version) pair is unique within a function after
+    memory-SSA construction.
+    """
+
+    __slots__ = ("var", "version", "def_inst")
+
+    def __init__(
+        self, var: MemoryVar, version: int, def_inst: Optional["Instruction"] = None
+    ) -> None:
+        self.var = var
+        self.version = version
+        self.def_inst = def_inst
+
+    @property
+    def is_entry(self) -> bool:
+        """True for the version that is live on function entry."""
+        return self.version == 0
+
+    def __repr__(self) -> str:
+        return f"{self.var.name}_{self.version}"
+
+    def __str__(self) -> str:
+        return f"{self.var.name}_{self.version}"

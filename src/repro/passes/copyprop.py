@@ -1,0 +1,48 @@
+"""Copy propagation (SSA form only).
+
+Replaces every use of a copy's target with its (transitively resolved)
+source and lets DCE collect the copies.  Sound under SSA because the
+source's definition dominates the copy, which dominates every use of the
+target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir import instructions as I
+from repro.ir.function import Function
+from repro.ir.values import VReg, Value
+
+
+def propagate_copies(function: Function) -> int:
+    """Rewrite uses of copy targets; returns the number of copies folded."""
+    forward: Dict[VReg, Value] = {}
+    for inst in function.instructions():
+        if isinstance(inst, I.Copy):
+            forward[inst.dst] = inst.src
+
+    if not forward:
+        return 0
+
+    def resolve(value: Value) -> Value:
+        seen = set()
+        while isinstance(value, VReg) and value in forward and id(value) not in seen:
+            seen.add(id(value))
+            value = forward[value]
+        return value
+
+    for inst in function.instructions():
+        if isinstance(inst, I.Phi):
+            inst.incoming = [(b, resolve(v)) for b, v in inst.incoming]
+            inst._sync_operands()
+        else:
+            for i, op in enumerate(inst.operands):
+                inst.operands[i] = resolve(op)
+
+    folded = 0
+    for inst in list(function.instructions()):
+        if isinstance(inst, I.Copy):
+            inst.remove_from_block()
+            folded += 1
+    return folded

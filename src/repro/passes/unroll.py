@@ -1,0 +1,230 @@
+"""Loop unrolling via the paper's incremental SSA update.
+
+Section 4.4: "The incremental update algorithm is quite general and it
+can be used in other algorithms such as loop unrolling where multiple
+definitions are generated for a resource, and for incrementally
+converting resources to SSA form."  This pass demonstrates exactly that
+use: it duplicates the body of an innermost proper loop (factor-2
+unrolling that needs no trip-count analysis — the cloned header keeps
+its exit test), clones every memory definition in the body under fresh
+SSA names, and then calls
+:func:`repro.ssa.incremental.update_ssa_for_cloned_resources` once per
+variable to re-establish memory SSA: the update re-places phis on the
+modified CFG's iterated dominance frontier (including brand-new join
+points at the loop exits, which gain a second predecessor), renames
+every use — including the uses *inside* the cloned blocks, which still
+reference original names — and sweeps any definition the unroll made
+dead.
+
+The pass runs on post-lowering, pre-mem2reg IR, where every virtual
+register is block-local by construction (loop state lives in frame
+variables); cloning therefore only needs per-block register renaming.
+Loops violating that assumption, improper loops, and non-innermost
+loops are skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.intervals import Interval, normalize_for_promotion
+from repro.ir import instructions as I
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import VReg, Value
+from repro.memory.aliasing import AliasModel
+from repro.memory.memssa import MemorySSA, build_memory_ssa
+from repro.memory.resources import MemName, MemoryVar
+from repro.ssa.incremental import names_of_var, update_ssa_for_cloned_resources
+
+
+def unroll_module(module: Module, max_loop_blocks: int = 12) -> int:
+    """Unroll (by 2) every eligible innermost loop of every function;
+    returns the number of loops unrolled.  Leaves functions in valid
+    memory SSA form."""
+    model = AliasModel.conservative(module)
+    total = 0
+    for function in module.functions.values():
+        total += unroll_function(function, model, max_loop_blocks)
+    return total
+
+
+def unroll_function(
+    function: Function, alias_model: AliasModel, max_loop_blocks: int = 12
+) -> int:
+    tree = normalize_for_promotion(function)
+    mssa = build_memory_ssa(function, alias_model)
+    unrolled = 0
+    for interval in tree.bottom_up():
+        if interval.is_root or interval.children or not interval.is_proper:
+            continue
+        if len(interval.blocks) > max_loop_blocks:
+            continue
+        if _unroll_loop(function, mssa, interval):
+            unrolled += 1
+    return unrolled
+
+
+def _unroll_loop(function: Function, mssa: MemorySSA, loop: Interval) -> bool:
+    header = loop.header
+    if not _registers_are_block_local(loop):
+        return False
+    latches = [p for p in header.preds if loop.contains(p)]
+    if not latches:
+        return False
+
+    # ---- clone every loop block -----------------------------------------
+    block_map: Dict[int, BasicBlock] = {}
+    for block in loop.blocks:
+        block_map[id(block)] = function.new_block(f"u{block.name}")
+
+    #: Original memory name -> its clone (for names defined in the loop).
+    name_map: Dict[int, MemName] = {}
+    cloned_by_var: Dict[int, Tuple[MemoryVar, List[MemName]]] = {}
+
+    def clone_name(name: MemName, inst: I.Instruction) -> MemName:
+        fresh = function.new_mem_name(name.var, inst)
+        name_map[id(name)] = fresh
+        var_entry = cloned_by_var.setdefault(id(name.var), (name.var, []))
+        var_entry[1].append(fresh)
+        return fresh
+
+    # Pass 1: clone instructions (registers renamed per block; internal
+    # branch targets mapped, except the back edge, which returns to the
+    # ORIGINAL header so each traversal of the clone is one more
+    # iteration).
+    def target_map(block: BasicBlock) -> BasicBlock:
+        if block is header:
+            return header
+        return block_map.get(id(block), block)
+
+    cloned_phis: List[Tuple[I.MemPhi, I.MemPhi, BasicBlock]] = []
+    for block in loop.blocks:
+        clone_block = block_map[id(block)]
+        reg_map: Dict[VReg, VReg] = {}
+
+        def map_value(value: Value) -> Value:
+            if isinstance(value, VReg) and value in reg_map:
+                return reg_map[value]
+            return value
+
+        for inst in block.instructions:
+            if isinstance(inst, I.MemPhi):
+                target = function.new_mem_name(inst.var)
+                clone = I.MemPhi(inst.var, target, [])
+                name_map[id(inst.dst_name)] = target
+                var_entry = cloned_by_var.setdefault(
+                    id(inst.var), (inst.var, [])
+                )
+                var_entry[1].append(target)
+                clone_block.insert_at_front(clone)
+                cloned_phis.append((inst, clone, block))
+                continue
+            clone = _clone_instruction(function, inst, map_value, target_map)
+            if inst.dst is not None:
+                reg_map[inst.dst] = clone.dst
+            for name in inst.mem_defs:
+                clone.mem_defs.append(clone_name(name, clone))
+            clone.mem_uses = list(inst.mem_uses)  # renamed by the update
+            if clone.is_terminator:
+                clone_block.set_terminator(clone)
+            else:
+                clone_block.append(clone)
+
+    # Pass 2: fill the cloned memphis' incoming lists.
+    for original, clone, block in cloned_phis:
+        if block is header:
+            # The cloned header is entered only from the original latches;
+            # the values arriving there are the original latch operands.
+            for latch in latches:
+                clone.set_incoming(latch, original.name_for(latch))
+        else:
+            for pred, name in original.incoming:
+                mapped_pred = block_map[id(pred)]
+                mapped_name = name_map.get(id(name), name)
+                clone.set_incoming(mapped_pred, mapped_name)
+
+    # ---- rewire the back edges ------------------------------------------
+    cloned_header = block_map[id(header)]
+    for latch in latches:
+        latch.retarget(header, cloned_header)
+    # The original header's phis now receive the cloned latch values.
+    for phi in list(header.all_phis()):
+        if isinstance(phi, I.MemPhi):
+            for latch in latches:
+                name = phi.name_for(latch)
+                phi.remove_incoming(latch)
+                cloned_latch = block_map[id(latch)]
+                phi.set_incoming(cloned_latch, name_map.get(id(name), name))
+
+    # ---- one batched SSA update per variable ------------------------------
+    for var, clones in sorted(
+        cloned_by_var.values(), key=lambda pair: pair[0].name
+    ):
+        seed = [mssa.entry_names[var]] if var in mssa.entry_names else []
+        clone_ids = {id(n) for n in clones}
+        old = [
+            n for n in names_of_var(function, var, seed) if id(n) not in clone_ids
+        ]
+        update_ssa_for_cloned_resources(function, old, clones)
+    return True
+
+
+def _registers_are_block_local(loop: Interval) -> bool:
+    """True when every register defined in the loop is only used inside
+    its defining block (the post-lowering invariant unrolling relies on)."""
+    def_block: Dict[VReg, BasicBlock] = {}
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if inst.dst is not None:
+                def_block[inst.dst] = block
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, I.Phi):
+                return False  # register phis mean mem2reg already ran
+            for op in inst.operands:
+                if isinstance(op, VReg) and op in def_block:
+                    if def_block[op] is not block:
+                        return False
+    return True
+
+
+def _clone_instruction(function: Function, inst: I.Instruction, map_value, target_map):
+    """Structural clone with register operands mapped and a fresh dst."""
+    fresh_dst = function.new_reg("u") if inst.dst is not None else None
+    if isinstance(inst, I.Copy):
+        return I.Copy(fresh_dst, map_value(inst.src))
+    if isinstance(inst, I.BinOp):
+        return I.BinOp(fresh_dst, inst.op, map_value(inst.lhs), map_value(inst.rhs))
+    if isinstance(inst, I.UnOp):
+        return I.UnOp(fresh_dst, inst.op, map_value(inst.src))
+    if isinstance(inst, I.Load):
+        return I.Load(fresh_dst, inst.var)
+    if isinstance(inst, I.Store):
+        return I.Store(inst.var, map_value(inst.value))
+    if isinstance(inst, I.AddrOf):
+        return I.AddrOf(fresh_dst, inst.var)
+    if isinstance(inst, I.Elem):
+        return I.Elem(fresh_dst, inst.array, map_value(inst.index))
+    if isinstance(inst, I.PtrLoad):
+        return I.PtrLoad(fresh_dst, map_value(inst.ptr))
+    if isinstance(inst, I.PtrStore):
+        return I.PtrStore(map_value(inst.ptr), map_value(inst.value))
+    if isinstance(inst, I.ArrayLoad):
+        return I.ArrayLoad(fresh_dst, inst.array, map_value(inst.index))
+    if isinstance(inst, I.ArrayStore):
+        return I.ArrayStore(inst.array, map_value(inst.index), map_value(inst.value))
+    if isinstance(inst, I.Call):
+        return I.Call(fresh_dst, inst.callee, [map_value(a) for a in inst.operands])
+    if isinstance(inst, I.Print):
+        return I.Print([map_value(v) for v in inst.operands])
+    if isinstance(inst, I.Jump):
+        return I.Jump(target_map(inst.target))
+    if isinstance(inst, I.CondBr):
+        return I.CondBr(
+            map_value(inst.cond), target_map(inst.if_true), target_map(inst.if_false)
+        )
+    if isinstance(inst, I.Ret):
+        return I.Ret(map_value(inst.value) if inst.value is not None else None)
+    raise NotImplementedError(f"cannot clone {type(inst).__name__}")

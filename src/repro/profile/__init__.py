@@ -1,0 +1,21 @@
+"""Execution, profiling, and dynamic-cost measurement.
+
+The interpreter is this reproduction's stand-in for the paper's hardware
+runs: it executes IR deterministically, collects basic-block execution
+frequencies (the profile that drives promotion), counts executed memory
+operations (Table 2's "dynamic cost"), and serves as the semantics oracle
+for differential testing of every transformation.
+"""
+
+from repro.profile.estimator import estimate_profile
+from repro.profile.interp import ExecutionResult, Interpreter, InterpreterError, run_module
+from repro.profile.profiles import ProfileData
+
+__all__ = [
+    "ExecutionResult",
+    "Interpreter",
+    "InterpreterError",
+    "ProfileData",
+    "estimate_profile",
+    "run_module",
+]

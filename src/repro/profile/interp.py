@@ -1,0 +1,333 @@
+"""A deterministic IR interpreter.
+
+Semantics:
+
+* integers are unbounded Python ints; ``div``/``rem`` truncate toward
+  zero and yield 0 for a zero divisor (total semantics keep random
+  programs well-defined for property-based testing);
+* shift amounts are masked to 0..63;
+* comparison results are 0/1; branch conditions treat nonzero as true;
+* ``undef`` reads as 0 (the front end zero-initializes locals anyway);
+* pointers are (cells, index) views onto one-cell scalar boxes or array
+  cell lists; arithmetic on pointers is not representable in the IR;
+* phis in a block are evaluated simultaneously from the edge just taken.
+
+The interpreter works on any IR the verifier accepts — pre-SSA, SSA,
+memory-SSA-annotated, or post-phi-elimination — because memory
+annotations carry no runtime meaning.  It counts executed singleton
+loads/stores and per-block frequencies, which is everything Tables 1 and
+2 need.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ir import instructions as I
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import Const, Undef, Value, VReg
+
+
+class InterpreterError(RuntimeError):
+    """Raised on runtime errors: unknown callee, step/recursion budget
+    exhaustion, out-of-bounds array access."""
+
+
+class Pointer:
+    """A runtime pointer: a view onto a cell list."""
+
+    __slots__ = ("cells", "index")
+
+    def __init__(self, cells: List[int], index: int = 0) -> None:
+        self.cells = cells
+        self.index = index
+
+    def read(self) -> int:
+        return self.cells[self.index]
+
+    def write(self, value: int) -> None:
+        self.cells[self.index] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pointer({self.cells!r}[{self.index}])"
+
+
+class ExecutionResult:
+    """Everything one program run produced and cost."""
+
+    def __init__(self) -> None:
+        #: Printed tuples, in order — the observable behaviour.
+        self.output: List[Tuple[int, ...]] = []
+        self.return_value: int = 0
+        #: Executions per basic block (the profile), keyed by block object.
+        self.block_counts: Dict[BasicBlock, int] = {}
+        #: Dynamic counts of executed operations.
+        self.loads = 0          # singleton loads
+        self.stores = 0         # singleton stores
+        self.ptr_loads = 0
+        self.ptr_stores = 0
+        self.array_loads = 0
+        self.array_stores = 0
+        self.calls = 0
+        self.copies = 0
+        self.steps = 0
+
+    @property
+    def memory_ops(self) -> int:
+        """Singleton memory operations — the paper's reported metric."""
+        return self.loads + self.stores
+
+    def globals_snapshot(self) -> Dict[str, int]:
+        return dict(self._globals_final)
+
+    _globals_final: Dict[str, int] = {}
+
+
+class Interpreter:
+    def __init__(
+        self,
+        module: Module,
+        max_steps: int = 10_000_000,
+        max_depth: int = 200,
+        externals: Optional[Dict[str, Callable[..., int]]] = None,
+    ) -> None:
+        self.module = module
+        self.max_steps = max_steps
+        self.max_depth = max_depth
+        self.externals = externals or {}
+
+    def run(self, entry: str = "main", args: Sequence[int] = ()) -> ExecutionResult:
+        result = ExecutionResult()
+        globals_store: Dict[int, List[int]] = {}
+        for var in self.module.globals.values():
+            globals_store[id(var)] = var.initial_cells()
+
+        function = self.module.functions.get(entry)
+        if function is None:
+            raise InterpreterError(f"no entry function {entry!r}")
+        result.return_value = self._call(function, list(args), globals_store, result, 0)
+        result._globals_final = {
+            var.name: globals_store[id(var)][0]
+            for var in self.module.globals.values()
+            if var.is_scalar
+        }
+        return result
+
+    # -- execution -------------------------------------------------------
+
+    def _call(
+        self,
+        function: Function,
+        args: List[int],
+        globals_store: Dict[int, List[int]],
+        result: ExecutionResult,
+        depth: int,
+    ) -> int:
+        if depth > self.max_depth:
+            raise InterpreterError(f"recursion deeper than {self.max_depth}")
+
+        frame_store: Dict[int, List[int]] = {}
+        for var in function.frame_vars.values():
+            frame_store[id(var)] = var.initial_cells()
+
+        def cells_of(var) -> List[int]:
+            if id(var) in frame_store:
+                return frame_store[id(var)]
+            if id(var) in globals_store:
+                return globals_store[id(var)]
+            raise InterpreterError(f"variable @{var.name} has no storage")
+
+        env: Dict[VReg, object] = {}
+        for i, param in enumerate(function.params):
+            env[param] = args[i] if i < len(args) else 0
+
+        def value(v: Value) -> object:
+            if isinstance(v, Const):
+                return v.value
+            if isinstance(v, Undef):
+                return 0
+            if isinstance(v, VReg):
+                if v not in env:
+                    raise InterpreterError(f"read of unassigned register {v}")
+                return env[v]
+            raise InterpreterError(f"cannot evaluate {v!r}")
+
+        def as_int(v: Value) -> int:
+            raw = value(v)
+            if not isinstance(raw, int):
+                raise InterpreterError(f"expected integer, got {raw!r}")
+            return raw
+
+        def as_ptr(v: Value) -> Pointer:
+            raw = value(v)
+            if not isinstance(raw, Pointer):
+                raise InterpreterError(f"expected pointer, got {raw!r}")
+            return raw
+
+        block = function.entry
+        prev_block: Optional[BasicBlock] = None
+        while True:
+            result.block_counts[block] = result.block_counts.get(block, 0) + 1
+
+            # Phis first, evaluated in parallel against the incoming edge.
+            phi_updates: List[Tuple[VReg, object]] = []
+            index = 0
+            for inst in block.instructions:
+                if isinstance(inst, I.Phi):
+                    assert prev_block is not None, "phi in entry block"
+                    phi_updates.append((inst.dst, value(inst.value_for(prev_block))))
+                elif not isinstance(inst, I.MemPhi):
+                    break
+                index += 1
+            for reg, val in phi_updates:
+                env[reg] = val
+
+            jumped = False
+            for inst in block.instructions[index:]:
+                result.steps += 1
+                if result.steps > self.max_steps:
+                    raise InterpreterError(f"exceeded {self.max_steps} steps")
+
+                if isinstance(inst, I.Copy):
+                    env[inst.dst] = value(inst.src)
+                    result.copies += 1
+                elif isinstance(inst, I.BinOp):
+                    env[inst.dst] = _binop(inst.op, as_int(inst.lhs), as_int(inst.rhs))
+                elif isinstance(inst, I.UnOp):
+                    env[inst.dst] = _unop(inst.op, as_int(inst.src))
+                elif isinstance(inst, I.Load):
+                    env[inst.dst] = cells_of(inst.var)[0]
+                    result.loads += 1
+                elif isinstance(inst, I.Store):
+                    # Pointer-typed locals may hold Pointer values until
+                    # mem2reg promotes them to registers.
+                    cells_of(inst.var)[0] = value(inst.value)
+                    result.stores += 1
+                elif isinstance(inst, I.AddrOf):
+                    env[inst.dst] = Pointer(cells_of(inst.var))
+                elif isinstance(inst, I.Elem):
+                    idx = as_int(inst.index)
+                    cells = cells_of(inst.array)
+                    _bounds_check(inst.array, idx, cells)
+                    env[inst.dst] = Pointer(cells, idx)
+                elif isinstance(inst, I.PtrLoad):
+                    env[inst.dst] = as_ptr(inst.ptr).read()
+                    result.ptr_loads += 1
+                elif isinstance(inst, I.PtrStore):
+                    as_ptr(inst.ptr).write(as_int(inst.value))
+                    result.ptr_stores += 1
+                elif isinstance(inst, I.ArrayLoad):
+                    idx = as_int(inst.index)
+                    cells = cells_of(inst.array)
+                    _bounds_check(inst.array, idx, cells)
+                    env[inst.dst] = cells[idx]
+                    result.array_loads += 1
+                elif isinstance(inst, I.ArrayStore):
+                    idx = as_int(inst.index)
+                    cells = cells_of(inst.array)
+                    _bounds_check(inst.array, idx, cells)
+                    cells[idx] = as_int(inst.value)
+                    result.array_stores += 1
+                elif isinstance(inst, I.Call):
+                    result.calls += 1
+                    ret = self._dispatch_call(
+                        inst, [value(a) for a in inst.operands],
+                        globals_store, result, depth,
+                    )
+                    if inst.dst is not None:
+                        env[inst.dst] = ret
+                elif isinstance(inst, I.DummyAliasedLoad):
+                    pass  # no runtime effect by construction
+                elif isinstance(inst, I.Print):
+                    result.output.append(tuple(as_int(v) for v in inst.operands))
+                elif isinstance(inst, I.Jump):
+                    prev_block, block = block, inst.target
+                    jumped = True
+                elif isinstance(inst, I.CondBr):
+                    taken = inst.if_true if as_int(inst.cond) != 0 else inst.if_false
+                    prev_block, block = block, taken
+                    jumped = True
+                elif isinstance(inst, I.Ret):
+                    return as_int(inst.value) if inst.value is not None else 0
+                else:
+                    raise InterpreterError(f"cannot execute {type(inst).__name__}")
+                if jumped:
+                    break
+            if not jumped:
+                raise InterpreterError(f"block {block.name} fell through")
+
+    def _dispatch_call(self, inst, args, globals_store, result, depth):
+        callee = self.module.functions.get(inst.callee)
+        if callee is not None:
+            return self._call(callee, args, globals_store, result, depth + 1)
+        if inst.callee in self.externals:
+            value = self.externals[inst.callee](*args)
+            return int(value) if value is not None else 0
+        raise InterpreterError(f"unknown callee @{inst.callee}")
+
+
+def run_module(
+    module: Module, entry: str = "main", args: Sequence[int] = (), **kwargs
+) -> ExecutionResult:
+    """Convenience wrapper: run ``module`` from ``entry``."""
+    return Interpreter(module, **kwargs).run(entry, args)
+
+
+def _bounds_check(array, idx: int, cells: List[int]) -> None:
+    if not 0 <= idx < len(cells):
+        raise InterpreterError(
+            f"index {idx} out of bounds for @{array.name}[{len(cells)}]"
+        )
+
+
+def _binop(op: str, a: int, b: int) -> int:
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        if b == 0:
+            return 0
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    if op == "rem":
+        if b == 0:
+            return 0
+        return a - b * _binop("div", a, b)
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return a << (b & 63)
+    if op == "shr":
+        return a >> (b & 63)
+    if op == "lt":
+        return int(a < b)
+    if op == "le":
+        return int(a <= b)
+    if op == "gt":
+        return int(a > b)
+    if op == "ge":
+        return int(a >= b)
+    if op == "eq":
+        return int(a == b)
+    if op == "ne":
+        return int(a != b)
+    raise InterpreterError(f"unknown binary op {op}")
+
+
+def _unop(op: str, a: int) -> int:
+    if op == "neg":
+        return -a
+    if op == "not":
+        return int(a == 0)
+    if op == "bnot":
+        return ~a
+    raise InterpreterError(f"unknown unary op {op}")

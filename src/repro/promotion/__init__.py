@@ -1,0 +1,28 @@
+"""The paper's register promotion algorithm.
+
+Modules map one-to-one onto the paper's Section 4:
+
+* :mod:`repro.promotion.webs` — memory SSA web construction (Fig. 3) and
+  the per-web reference sets (§4.2);
+* :mod:`repro.promotion.profitability` — loads-added / stores-added and
+  the profile-weighted profit (§4.3);
+* :mod:`repro.promotion.webpromote` — ``promoteInWeb`` (Figs. 4-6):
+  vrMap, leaf loads, load-to-copy replacement, store materialization and
+  sinking, tail stores, dummy aliased loads;
+* :mod:`repro.promotion.driver` — the bottom-up interval driver (Fig. 2);
+* :mod:`repro.promotion.pipeline` — the end-to-end pass (normalize →
+  mem2reg → profile → memory SSA → promote → cleanup) with metrics.
+"""
+
+from repro.promotion.driver import PromotionOptions, promote_function
+from repro.promotion.pipeline import PipelineResult, PromotionPipeline
+from repro.promotion.webs import Web, construct_ssa_webs
+
+__all__ = [
+    "PipelineResult",
+    "PromotionOptions",
+    "PromotionPipeline",
+    "Web",
+    "construct_ssa_webs",
+    "promote_function",
+]

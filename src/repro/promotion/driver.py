@@ -1,0 +1,305 @@
+"""The interval-tree promotion driver (Fig. 2).
+
+``promote_function`` walks the interval tree bottom-up; in each interval
+it builds the memory SSA webs and considers each web independently for
+promotion ("promotion in an interval results in the insertion of loads
+and stores in the parent interval, and these loads and stores are
+considered for elimination when the parent interval is processed").  The
+whole function body is the final scope (the root region), so top-level
+code is promoted too, with stores sinking to the returns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.dominance import DominatorTree
+from repro.analysis.intervals import Interval, IntervalTree
+from repro.ir import instructions as I
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.memory.memssa import MemorySSA
+from repro.profile.profiles import ProfileData
+from repro.promotion.profitability import plan_no_defs_web, plan_web
+from repro.promotion.webpromote import WebPromotion
+from repro.promotion.webs import Web, construct_ssa_webs
+
+
+class PromotionOptions:
+    """Tunables (each is an ablation arm in the benchmarks)."""
+
+    def __init__(
+        self,
+        promote_root: bool = True,
+        remove_stores: bool = True,
+        per_web: bool = True,
+        require_profit: bool = True,
+        pressure_limit: Optional[int] = None,
+        count_tail_stores: bool = False,
+    ) -> None:
+        #: Promote in the whole-function root region as well as loops.
+        self.promote_root = promote_root
+        #: Allow the store-removal half (else values are kept in memory
+        #: and a register simultaneously; only loads are removed).
+        self.remove_stores = remove_stores
+        #: Web granularity: when False, all webs of a variable in an
+        #: interval are merged first (whole-variable promotion — the
+        #: coarse alternative §4.2 argues against).
+        self.per_web = per_web
+        #: When False, promote regardless of the profile-weighted profit
+        #: (the profile-blind ablation).
+        self.require_profit = require_profit
+        #: Register-pressure-aware gating (an extension addressing the
+        #: paper's Table 3 observation that promotion "requires more
+        #: registers to color the graph"): stop promoting in a function
+        #: once its interference graph needs this many colors.
+        self.pressure_limit = pressure_limit
+        #: Refinement over the paper: charge interval-tail stores to the
+        #: store profit, making zero-profit ties idempotent (see
+        #: repro.promotion.profitability.plan_web).
+        self.count_tail_stores = count_tail_stores
+
+
+class FunctionPromotionStats:
+    """Aggregated transformation counts for one function."""
+
+    FIELDS = (
+        "webs_seen",
+        "webs_promoted",
+        "webs_skipped",
+        "loads_replaced",
+        "loads_inserted",
+        "stores_inserted",
+        "tail_stores_inserted",
+        "stores_deleted",
+        "dummies_inserted",
+        "reg_phis_created",
+    )
+
+    def __init__(self) -> None:
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def absorb(self, counts: Dict[str, int]) -> None:
+        for key, value in counts.items():
+            setattr(self, key, getattr(self, key) + value)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"FunctionPromotionStats({parts})"
+
+
+def promote_function(
+    function: Function,
+    mssa: MemorySSA,
+    profile: ProfileData,
+    interval_tree: IntervalTree,
+    options: Optional[PromotionOptions] = None,
+) -> FunctionPromotionStats:
+    """Run register promotion over one function (already in memory SSA,
+    with a normalized CFG).  The CFG is never modified — only
+    instructions are inserted and deleted — so the interval tree and
+    dominator tree stay valid throughout."""
+    options = options or PromotionOptions()
+    domtree = DominatorTree.compute(function)
+    stats = FunctionPromotionStats()
+
+    for interval in interval_tree.bottom_up():
+        if interval.is_root and not options.promote_root:
+            continue
+        webs = construct_ssa_webs(function, interval)
+        if not options.per_web:
+            webs = _merge_webs_per_variable(function, interval, webs)
+        for web in webs:
+            if _pressure_exceeded(function, options):
+                stats.webs_seen += 1
+                stats.webs_skipped += 1
+                _insert_dummy(function, web, _preheader_block(interval), stats)
+                continue
+            _promote_in_web(function, mssa, web, interval, profile, domtree, options, stats)
+    return stats
+
+
+def _pressure_exceeded(function: Function, options: PromotionOptions) -> bool:
+    """Pressure-aware gating: measure the current chromatic requirement
+    and stop promoting once it reaches the configured limit."""
+    if options.pressure_limit is None:
+        return False
+    from repro.regalloc.coloring import colors_needed
+    from repro.regalloc.interference import build_interference_graph
+
+    return colors_needed(build_interference_graph(function)) >= options.pressure_limit
+
+
+def _promote_in_web(
+    function: Function,
+    mssa: MemorySSA,
+    web: Web,
+    interval: Interval,
+    profile: ProfileData,
+    domtree: DominatorTree,
+    options: PromotionOptions,
+    stats: FunctionPromotionStats,
+) -> None:
+    """Fig. 4's ``promoteInWeb``."""
+    stats.webs_seen += 1
+    preheader = _preheader_block(interval)
+    entry_name = mssa.entry_names.get(web.var) or _entry_name_for(mssa, web)
+
+    if not web.has_defs:
+        # The entry load's cost is paid where it is inserted: the
+        # preheader for a loop, the entry block for the root region.
+        cost_block = preheader if not interval.is_root else function.entry
+        plan = plan_no_defs_web(web, profile, cost_block)
+        promoted = (plan.worthwhile or not options.require_profit) and bool(web.load_refs)
+        if promoted:
+            _promote_no_defs_web(function, web, interval, stats)
+        need_dummy = (
+            web.aliased_load_refs
+            if promoted
+            else (web.load_refs or web.aliased_load_refs)
+        )
+        if need_dummy:
+            _insert_dummy(function, web, preheader, stats)
+        if promoted:
+            stats.webs_promoted += 1
+        else:
+            stats.webs_skipped += 1
+        return
+
+    plan = plan_web(
+        web, profile, domtree, count_tail_stores=options.count_tail_stores
+    )
+    if not options.remove_stores:
+        plan.remove_stores = False
+    if not options.require_profit:
+        plan.remove_stores = bool(web.store_refs) and options.remove_stores
+    worthwhile = plan.worthwhile or (
+        not options.require_profit
+        and (plan.replaceable_loads or (plan.remove_stores and web.store_refs))
+    )
+    if not worthwhile:
+        stats.webs_skipped += 1
+        if web.load_refs or web.store_refs or web.aliased_load_refs:
+            _insert_dummy(function, web, preheader, stats)
+        return
+
+    promo = WebPromotion(function, plan, domtree, entry_name)
+    promo.init_vr_map()
+    promo.insert_loads_at_phi_leaves()
+    promo.replace_loads_by_copies()
+    if plan.remove_stores:
+        promo.insert_stores_for_aliased_loads()
+        promo.insert_stores_at_interval_tails()
+        # The update's old set is exactly this web's names (plus the
+        # live-on-entry name): single-threaded memory guarantees a clone
+        # can only supersede uses of names from its own web, and keeping
+        # sibling webs out of the old set keeps their references alive
+        # for their own promotion later in this interval.
+        promo.run_ssa_update(list(web.names))
+    if web.aliased_load_refs or (web.store_refs and not plan.remove_stores):
+        promo.insert_dummy_aliased_load(preheader)
+    stats.webs_promoted += 1
+    stats.absorb(promo.stats)
+
+
+def _promote_no_defs_web(
+    function: Function, web: Web, interval: Interval, stats: FunctionPromotionStats
+) -> None:
+    """No definitions in the interval: one load in the preheader replaces
+    every load of the web."""
+    live_in = web.live_in
+    assert live_in is not None, "no-defs web must be fed from outside"
+    target = function.new_reg("pr")
+    load = I.Load(target, live_in.var)
+    load.mem_uses = [live_in]
+    block, anchor = _insertion_point(function, interval)
+    if anchor is None:
+        block.insert_at_front(load)
+    else:
+        block.insert_before(load, anchor)
+    stats.loads_inserted += 1
+    for old in web.load_refs:
+        assert old.mem_uses[0] is live_in
+        copy = I.Copy(old.dst, target)
+        old.block.insert_before(copy, old)
+        old.remove_from_block()
+        stats.loads_replaced += 1
+
+
+def _insert_dummy(
+    function: Function,
+    web: Web,
+    preheader: Optional[BasicBlock],
+    stats: FunctionPromotionStats,
+) -> None:
+    if preheader is None or web.live_in is None:
+        return
+    dummy = I.DummyAliasedLoad(web.live_in)
+    term = preheader.terminator
+    assert term is not None
+    preheader.insert_before(dummy, term)
+    stats.dummies_inserted += 1
+
+
+def _preheader_block(interval: Interval) -> Optional[BasicBlock]:
+    """The block whose end summarizes "just before the interval" — None
+    for the root region (it has no enclosing interval)."""
+    if interval.is_root:
+        return None
+    assert interval.preheader is not None, (
+        f"interval at {interval.header.name} lacks a preheader; run "
+        "normalize_for_promotion first"
+    )
+    return interval.preheader
+
+
+def _insertion_point(function: Function, interval: Interval):
+    """(block, anchor) for the interval's entry load: before the
+    preheader's terminator, or the top of the entry block for the root."""
+    if interval.is_root:
+        entry = function.entry
+        idx = entry.first_non_phi_index()
+        anchor = entry.instructions[idx] if idx < len(entry.instructions) else None
+        return entry, anchor
+    pre = interval.preheader
+    assert pre is not None
+    return pre, pre.terminator
+
+
+def _entry_name_for(mssa: MemorySSA, web: Web):
+    """Fallback entry name when the variable was not tracked at memory
+    SSA construction time (hand-annotated tests)."""
+    from repro.memory.resources import MemName
+
+    name = MemName(web.var, 0, None)
+    mssa.entry_names[web.var] = name
+    return name
+
+
+def _merge_webs_per_variable(
+    function: Function, interval: Interval, webs: List[Web]
+) -> List[Web]:
+    """Whole-variable granularity (the ablation arm): merge all webs of
+    one variable in the interval into a single web."""
+    by_var: Dict[int, Web] = {}
+    order: List[Web] = []
+    for web in webs:
+        existing = by_var.get(id(web.var))
+        if existing is None:
+            by_var[id(web.var)] = web
+            order.append(web)
+            continue
+        existing.names += web.names
+        existing.load_refs += web.load_refs
+        existing.store_refs += web.store_refs
+        existing.aliased_load_refs += web.aliased_load_refs
+        existing.aliased_store_refs += web.aliased_store_refs
+        existing.phis += web.phis
+        existing.defs_in_interval += web.defs_in_interval
+        if existing.live_in is None:
+            existing.live_in = web.live_in
+    return order

@@ -1,0 +1,212 @@
+"""The end-to-end register promotion pipeline.
+
+Order of operations per function:
+
+1. remove unreachable blocks, run classic SSA construction (mem2reg) for
+   unexposed locals, and normalize the CFG for promotion (split critical
+   edges, dedicated preheaders and exit tails);
+2. profile: execute the program once with the interpreter (or fall back
+   to the static estimator), collecting block frequencies and the
+   "before" dynamic costs;
+3. build memory SSA and run interval-scoped web promotion;
+4. clean up: delete dummy loads, propagate copies, sweep dead code and
+   dead memory phis; verify SSA and memory SSA;
+5. re-execute to collect the "after" dynamic costs and check that the
+   observable behaviour (printed output, return value, final global
+   values) is unchanged.
+
+The result object carries everything Tables 1 and 2 need.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.analysis.intervals import IntervalTree, normalize_for_promotion
+from repro.ir import instructions as I
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.verify import verify_module
+from repro.memory.aliasing import AliasModel
+from repro.memory.memssa import build_memory_ssa
+from repro.passes.copyprop import propagate_copies
+from repro.passes.dce import (
+    dead_code_elimination,
+    dead_memory_elimination,
+    remove_dummy_loads,
+)
+from repro.profile.estimator import estimate_profile
+from repro.profile.interp import ExecutionResult, Interpreter
+from repro.profile.profiles import ProfileData
+from repro.promotion.driver import (
+    FunctionPromotionStats,
+    PromotionOptions,
+    promote_function,
+)
+from repro.ssa.construct import construct_ssa
+
+
+class StaticCounts:
+    """Static (textual) operation counts — Table 1's metric."""
+
+    def __init__(self, loads: int = 0, stores: int = 0) -> None:
+        self.loads = loads
+        self.stores = stores
+
+    @property
+    def total(self) -> int:
+        return self.loads + self.stores
+
+    @classmethod
+    def of_module(cls, module: Module) -> "StaticCounts":
+        counts = cls()
+        for function in module.functions.values():
+            for inst in function.instructions():
+                if isinstance(inst, I.Load):
+                    counts.loads += 1
+                elif isinstance(inst, I.Store):
+                    counts.stores += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StaticCounts(loads={self.loads}, stores={self.stores})"
+
+
+class DynamicCounts:
+    """Executed operation counts — Table 2's metric."""
+
+    def __init__(self, loads: int = 0, stores: int = 0) -> None:
+        self.loads = loads
+        self.stores = stores
+
+    @property
+    def total(self) -> int:
+        return self.loads + self.stores
+
+    @classmethod
+    def of_execution(cls, result: ExecutionResult) -> "DynamicCounts":
+        return cls(result.loads, result.stores)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"DynamicCounts(loads={self.loads}, stores={self.stores})"
+
+
+def improvement(before: int, after: int) -> float:
+    """Percentage improvement as the paper reports it (negative when the
+    count increased)."""
+    if before == 0:
+        return 0.0
+    return 100.0 * (before - after) / before
+
+
+class PipelineResult:
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.static_before = StaticCounts()
+        self.static_after = StaticCounts()
+        self.dynamic_before = DynamicCounts()
+        self.dynamic_after = DynamicCounts()
+        self.stats: Dict[str, FunctionPromotionStats] = {}
+        self.output_matches = True
+        self.profile: Optional[ProfileData] = None
+
+    def totals(self) -> FunctionPromotionStats:
+        total = FunctionPromotionStats()
+        for stats in self.stats.values():
+            total.absorb(stats.as_dict())
+        return total
+
+    def report(self) -> str:
+        lines = [
+            f"static  loads {self.static_before.loads:>8} -> {self.static_after.loads:<8}"
+            f" ({improvement(self.static_before.loads, self.static_after.loads):+.1f}%)",
+            f"static  stores {self.static_before.stores:>7} -> {self.static_after.stores:<8}"
+            f" ({improvement(self.static_before.stores, self.static_after.stores):+.1f}%)",
+            f"dynamic loads {self.dynamic_before.loads:>8} -> {self.dynamic_after.loads:<8}"
+            f" ({improvement(self.dynamic_before.loads, self.dynamic_after.loads):+.1f}%)",
+            f"dynamic stores {self.dynamic_before.stores:>7} -> {self.dynamic_after.stores:<8}"
+            f" ({improvement(self.dynamic_before.stores, self.dynamic_after.stores):+.1f}%)",
+            f"behaviour preserved: {self.output_matches}",
+        ]
+        return "\n".join(lines)
+
+
+class PromotionPipeline:
+    """The user-facing pass manager around :func:`promote_function`."""
+
+    def __init__(
+        self,
+        options: Optional[PromotionOptions] = None,
+        alias_model: Optional[Callable[[Module], AliasModel]] = None,
+        entry: str = "main",
+        args: Sequence[int] = (),
+        use_interpreter_profile: bool = True,
+        run_mem2reg: bool = True,
+        verify: bool = True,
+        max_steps: int = 50_000_000,
+    ) -> None:
+        self.options = options or PromotionOptions()
+        self.alias_model_factory = alias_model or AliasModel.conservative
+        self.entry = entry
+        self.args = list(args)
+        self.use_interpreter_profile = use_interpreter_profile
+        self.run_mem2reg = run_mem2reg
+        self.verify = verify
+        self.max_steps = max_steps
+
+    def run(self, module: Module) -> PipelineResult:
+        result = PipelineResult(module)
+
+        # Phase 1: prepare every function.
+        trees: Dict[str, IntervalTree] = {}
+        for function in module.functions.values():
+            if self.run_mem2reg:
+                construct_ssa(function)
+            trees[function.name] = normalize_for_promotion(function)
+        if self.verify:
+            verify_module(module, check_ssa=True)
+
+        result.static_before = StaticCounts.of_module(module)
+
+        # Phase 2: profile.
+        before_run: Optional[ExecutionResult] = None
+        if self.use_interpreter_profile and self.entry in module.functions:
+            before_run = Interpreter(module, max_steps=self.max_steps).run(
+                self.entry, self.args
+            )
+            result.profile = ProfileData.from_execution(before_run)
+            result.dynamic_before = DynamicCounts.of_execution(before_run)
+        else:
+            result.profile = estimate_profile(module)
+
+        # Phase 3: memory SSA + promotion.
+        model = self.alias_model_factory(module)
+        for function in module.functions.values():
+            mssa = build_memory_ssa(function, model)
+            result.stats[function.name] = promote_function(
+                function, mssa, result.profile, trees[function.name], self.options
+            )
+
+        # Phase 4: cleanup.
+        for function in module.functions.values():
+            remove_dummy_loads(function)
+            propagate_copies(function)
+            dead_code_elimination(function)
+            dead_memory_elimination(function)
+        if self.verify:
+            verify_module(module, check_ssa=True, check_memssa=True)
+
+        result.static_after = StaticCounts.of_module(module)
+
+        # Phase 5: re-execute and compare behaviour.
+        if before_run is not None:
+            after_run = Interpreter(module, max_steps=self.max_steps).run(
+                self.entry, self.args
+            )
+            result.dynamic_after = DynamicCounts.of_execution(after_run)
+            result.output_matches = (
+                after_run.output == before_run.output
+                and after_run.return_value == before_run.return_value
+                and after_run.globals_snapshot() == before_run.globals_snapshot()
+            )
+        return result

@@ -1,0 +1,18 @@
+"""Register-allocation substrate for the register-pressure study.
+
+Table 3 measures "the number of colors needed to color the register
+interference graph" of selected routines before and after promotion.
+This package provides exactly that: liveness-based interference graph
+construction and Chaitin-Briggs-style coloring.
+"""
+
+from repro.regalloc.coloring import ColoringResult, color_graph, colors_needed
+from repro.regalloc.interference import InterferenceGraph, build_interference_graph
+
+__all__ = [
+    "ColoringResult",
+    "InterferenceGraph",
+    "build_interference_graph",
+    "color_graph",
+    "colors_needed",
+]

@@ -1,0 +1,19 @@
+"""SSA construction, destruction, and incremental update.
+
+* :mod:`repro.ssa.construct` — classic SSA construction (a "mem2reg"
+  pass) that promotes unexposed scalar locals from memory to registers.
+  This is a *substrate*, not the paper's contribution: the paper's
+  candidates (globals, exposed locals, fields) stay in memory.
+* :mod:`repro.ssa.destruct` — out-of-SSA translation (phi elimination
+  with parallel-copy sequentialization; memory-SSA annotations dropped).
+* :mod:`repro.ssa.incremental` — the paper's batched incremental SSA
+  update for cloned definitions (Section 4.5, Figure 11).
+* :mod:`repro.ssa.css96` — the Choi-Sarkar-Schonberg one-definition-at-
+  a-time comparator the paper argues against.
+* :mod:`repro.ssa.unionfind` — the union-find structure behind SSA web
+  construction (Figure 3).
+"""
+
+from repro.ssa.unionfind import UnionFind
+
+__all__ = ["UnionFind"]

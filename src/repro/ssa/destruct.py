@@ -1,0 +1,90 @@
+"""Out-of-SSA translation.
+
+Register phis are eliminated by inserting copies at the end of each
+predecessor.  All phis of a block form one *parallel* copy per incoming
+edge; sequentialization breaks dependency cycles (the "swap problem")
+with a temporary and relies on prior critical-edge splitting to avoid the
+"lost copy" problem.
+
+Memory SSA is left by simply dropping names: every load/store already
+carries its base variable ("all of the singleton memory resources that
+refer to the same memory location must be replaced by one unique name" —
+Section 3; our unique name is the ``MemoryVar`` itself), and memory phis
+are deleted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.cfgutils import split_critical_edges
+from repro.ir import instructions as I
+from repro.ir.function import Function
+from repro.ir.values import Value, VReg
+
+
+def destruct_ssa(function: Function) -> None:
+    """Convert out of SSA form (registers and memory)."""
+    drop_memory_ssa(function)
+    eliminate_phis(function)
+
+
+def drop_memory_ssa(function: Function) -> None:
+    """Delete memory phis and clear all memory-SSA annotations."""
+    for block in function.blocks:
+        block.instructions = [
+            inst for inst in block.instructions if not isinstance(inst, I.MemPhi)
+        ]
+        for inst in block.instructions:
+            inst.mem_uses = []
+            inst.mem_defs = []
+
+
+def eliminate_phis(function: Function) -> None:
+    """Replace register phis with copies in predecessors."""
+    split_critical_edges(function)
+    for block in list(function.blocks):
+        phis = list(block.phis())
+        if not phis:
+            continue
+        for pred in list(block.preds):
+            parallel: List[Tuple[VReg, Value]] = []
+            for phi in phis:
+                src = phi.value_for(pred)
+                if src is not phi.dst:
+                    parallel.append((phi.dst, src))
+            for dst, src in _sequentialize(function, parallel):
+                pred.insert_before_terminator(I.Copy(dst, src))
+        for phi in phis:
+            phi.remove_from_block()
+
+
+def _sequentialize(
+    function: Function, copies: List[Tuple[VReg, Value]]
+) -> List[Tuple[VReg, Value]]:
+    """Order a parallel copy set, breaking cycles with a temporary.
+
+    A copy ``d = s`` is safe to emit when no *pending* copy still reads
+    ``d``.  When only cycles remain (e.g. ``a = b; b = a``), save one
+    destination into a fresh temporary and redirect its readers.
+    """
+    pending = list(copies)
+    ordered: List[Tuple[VReg, Value]] = []
+    while pending:
+        emitted = None
+        for i, (dst, src) in enumerate(pending):
+            still_read = any(
+                s is dst for j, (d, s) in enumerate(pending) if j != i
+            )
+            if not still_read:
+                emitted = i
+                break
+        if emitted is not None:
+            ordered.append(pending.pop(emitted))
+            continue
+        # Every pending destination is still read: a cycle.  Break it.
+        dst, src = pending[0]
+        temp = function.new_reg("swap")
+        ordered.append((temp, dst))
+        pending = [(d, temp if s is dst else s) for d, s in pending]
+    return ordered

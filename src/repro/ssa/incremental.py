@@ -1,0 +1,341 @@
+"""Incremental SSA update for cloned definitions (Section 4.5, Fig. 11).
+
+Given a set of *existing* SSA names of one memory variable (``old_names``)
+and a set of *cloned* names whose defining instructions have just been
+inserted (``cloned_names``), re-establish SSA form:
+
+1. collect the definition blocks of all old and cloned names; place a
+   memory phi at every block of their iterated dominance frontier (batched
+   — one IDF computation for all definitions, which is the efficiency
+   claim against [CSS96]'s one-definition-at-a-time updates);
+2. rename every use of an old name to its reaching definition, found by
+   walking the dominator tree bottom-up (``computeReachingDef``);
+3. fill in the sources of the phis that step 2 made live, propagating
+   liveness through newly referenced phis;
+4. delete every deletable definition whose target has no remaining use —
+   dead old stores, dead memory phis (old or just-inserted), and dead
+   cloned stores — iterating to a fixed point so that "no dead code is
+   caused by the transformation which clones definitions".
+
+Notes beyond the paper's pseudocode:
+
+* An IDF block may already hold a memory phi for the variable (the
+  original SSA phis sit on the IDF of the old definitions).  We reuse it:
+  its incoming names are use references and get renamed by step 2, which
+  is exactly the refill the new phi would have received.
+* Only stores and memory phis are deletable; a call or pointer store that
+  defines a dead name stays (it has effects beyond this variable) — its
+  dead name is simply left without readers.
+* The live-on-entry name (version 0) participates as a definition "above"
+  the entry block, so renaming is total on every path on which the
+  variable is defined at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.dominance import DominatorTree
+from repro.analysis.idf import iterated_dominance_frontier
+from repro.ir import instructions as I
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.memory.resources import MemName, MemoryVar
+
+
+def names_of_var(
+    function: Function, var: MemoryVar, seed: Sequence[MemName] = ()
+) -> List[MemName]:
+    """Every name of ``var`` referenced in ``function``, plus any seed
+    names (e.g. the live-on-entry name) whose definitions still exist."""
+    names: List[MemName] = []
+    seen: Set[int] = set()
+
+    def add(name: Optional[MemName]) -> None:
+        if name is not None and name.var is var and id(name) not in seen:
+            seen.add(id(name))
+            names.append(name)
+
+    for name in seed:
+        if name.def_inst is not None and name.def_inst.block is None:
+            continue  # definition was deleted
+        add(name)
+    for inst in function.instructions():
+        for name in inst.mem_uses:
+            add(name)
+        for name in inst.mem_defs:
+            add(name)
+    return names
+
+
+class UpdateStats:
+    """What one incremental update did (used by tests and benchmarks)."""
+
+    def __init__(self) -> None:
+        self.phis_placed = 0
+        self.phis_reused = 0
+        self.uses_renamed = 0
+        self.defs_deleted = 0
+        self.phis_deleted = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"UpdateStats(placed={self.phis_placed}, reused={self.phis_reused}, "
+            f"renamed={self.uses_renamed}, defs_deleted={self.defs_deleted}, "
+            f"phis_deleted={self.phis_deleted})"
+        )
+
+
+def update_ssa_for_cloned_resources(
+    function: Function,
+    old_names: Sequence[MemName],
+    cloned_names: Sequence[MemName],
+    domtree: Optional[DominatorTree] = None,
+) -> UpdateStats:
+    """The paper's ``updateSSAForClonedResources`` (Figure 11).
+
+    ``old_names`` must contain every existing name of the variable that
+    may reach an affected use (passing *all* names of the variable is
+    always safe); ``cloned_names`` are the freshly inserted definitions.
+    All names must belong to one variable.
+    """
+    stats = UpdateStats()
+    if not cloned_names:
+        return stats
+    var = cloned_names[0].var
+    for name in list(old_names) + list(cloned_names):
+        if name.var is not var:
+            raise ValueError(
+                f"mixed variables in SSA update: {name} is not a name of {var.name}"
+            )
+    domtree = domtree or DominatorTree.compute(function)
+    positions = _positions(function)
+
+    # ---- Step 1: batched phi placement -------------------------------
+    init_def_blocks: List[BasicBlock] = []
+    seen_blocks: Set[int] = set()
+    for name in list(old_names) + list(cloned_names):
+        block = _def_block(function, name, positions)
+        if id(block) not in seen_blocks:
+            seen_blocks.add(id(block))
+            init_def_blocks.append(block)
+
+    phi_targets: List[MemName] = []
+    new_phis: Set[int] = set()
+    for block in iterated_dominance_frontier(domtree, init_def_blocks):
+        existing = _phi_for_var(block, var)
+        if existing is not None:
+            stats.phis_reused += 1
+            continue
+        target = function.new_mem_name(var)
+        phi = I.MemPhi(var, target, [])
+        block.insert_at_front(phi)
+        new_phis.add(id(phi))
+        phi_targets.append(target)
+        stats.phis_placed += 1
+    positions = _positions(function)  # phi insertion shifted indices
+
+    all_defs: List[MemName] = list(old_names) + list(cloned_names) + phi_targets
+    all_def_ids = {id(n) for n in all_defs}
+    block_defs = _block_def_index(function, all_def_ids, positions)
+
+    def reaching_def(block: BasicBlock, position: int) -> MemName:
+        found = _compute_reaching_def(
+            domtree, block_defs, old_names, block, position
+        )
+        if found is None:
+            raise ValueError(
+                f"no reaching definition of {var.name} at {block.name}:{position}"
+            )
+        return found
+
+    # ---- Step 2: rename the uses of old names ----------------------------
+    old_ids = {id(n) for n in old_names}
+    phi_worklist: List[I.MemPhi] = []
+    enqueued: Set[int] = set()
+
+    def note_reaching_phi(name: MemName) -> None:
+        inst = name.def_inst
+        if inst is not None and id(inst) in new_phis and id(inst) not in enqueued:
+            enqueued.add(id(inst))
+            phi_worklist.append(inst)  # type: ignore[arg-type]
+
+    for block in function.blocks:
+        for index, inst in enumerate(block.instructions):
+            if isinstance(inst, I.MemPhi):
+                if inst.var is not var or id(inst) in new_phis:
+                    continue
+                for pred, name in list(inst.incoming):
+                    if id(name) not in old_ids:
+                        continue
+                    new_name = reaching_def(pred, len(pred.instructions))
+                    if new_name is not name:
+                        inst.set_incoming(pred, new_name)
+                        stats.uses_renamed += 1
+                    note_reaching_phi(new_name)
+            else:
+                for slot, name in enumerate(inst.mem_uses):
+                    if id(name) not in old_ids:
+                        continue
+                    new_name = reaching_def(block, index)
+                    if new_name is not name:
+                        inst.mem_uses[slot] = new_name
+                        stats.uses_renamed += 1
+                    note_reaching_phi(new_name)
+
+    # ---- Step 3: fill live phis, propagating liveness --------------------
+    while phi_worklist:
+        phi = phi_worklist.pop()
+        block = phi.block
+        assert block is not None
+        for pred in block.preds:
+            # A "virtual use instruction at the end of predBB".
+            name = reaching_def(pred, len(pred.instructions))
+            phi.set_incoming(pred, name)
+            note_reaching_phi(name)
+
+    # ---- Step 4: delete dead definitions ---------------------------------
+    stats.defs_deleted, stats.phis_deleted = _delete_dead_defs(function, all_defs)
+    return stats
+
+
+def convert_var_to_ssa(function, var, alias_model) -> MemName:
+    """Incrementally convert one memory variable into SSA form.
+
+    The paper's third application of the update (§4.4): "When a compiler
+    phase adds a new resource with multiple definitions and uses to the
+    code stream, the resource can be converted into SSA form by using the
+    incremental update algorithm."
+
+    Every use of ``var`` is seeded with the live-on-entry name and every
+    definition gets a fresh name; one batched update then renames the
+    uses to their true reaching definitions and places the necessary
+    phis.  Returns the entry name.  Any existing annotations for ``var``
+    are discarded first.
+    """
+    # Clear prior annotations of this variable.
+    for block in function.blocks:
+        for inst in list(block.instructions):
+            if isinstance(inst, I.MemPhi) and inst.var is var:
+                inst.remove_from_block()
+                continue
+            inst.mem_uses = [n for n in inst.mem_uses if n.var is not var]
+            inst.mem_defs = [n for n in inst.mem_defs if n.var is not var]
+
+    entry = MemName(var, 0, None)
+    cloned: List[MemName] = []
+    for inst in function.instructions():
+        if any(v is var for v in alias_model.may_use_vars(function, inst)):
+            inst.mem_uses.append(entry)
+        if any(v is var for v in alias_model.may_def_vars(function, inst)):
+            name = function.new_mem_name(var, inst)
+            inst.mem_defs.append(name)
+            cloned.append(name)
+    update_ssa_for_cloned_resources(function, [entry], cloned)
+    return entry
+
+
+def _delete_dead_defs(
+    function: Function, candidates: Sequence[MemName]
+) -> Tuple[int, int]:
+    """Delete stores/memphis among ``candidates`` whose names are unused,
+    cascading to a fixed point.  Returns (defs deleted, of which phis)."""
+    deleted = phis = 0
+    remaining = list(candidates)
+    while True:
+        used: Set[int] = set()
+        for inst in function.instructions():
+            for name in inst.mem_uses:
+                used.add(id(name))
+        victims = []
+        for name in remaining:
+            inst = name.def_inst
+            if inst is None or inst.block is None:
+                continue
+            if id(name) in used:
+                continue
+            if isinstance(inst, (I.Store, I.MemPhi)):
+                victims.append(name)
+        if not victims:
+            return deleted, phis
+        for name in victims:
+            inst = name.def_inst
+            if isinstance(inst, I.MemPhi):
+                phis += 1
+            deleted += 1
+            inst.remove_from_block()
+        remaining = [n for n in remaining if n not in victims]
+
+
+def _positions(function: Function) -> Dict[int, Tuple[BasicBlock, int]]:
+    positions: Dict[int, Tuple[BasicBlock, int]] = {}
+    for block in function.blocks:
+        for index, inst in enumerate(block.instructions):
+            positions[id(inst)] = (block, index)
+    return positions
+
+
+def _def_block(
+    function: Function,
+    name: MemName,
+    positions: Dict[int, Tuple[BasicBlock, int]],
+) -> BasicBlock:
+    if name.def_inst is None:
+        return function.entry  # live-on-entry: defined "above" the entry
+    block = name.def_inst.block
+    if block is None:
+        raise ValueError(f"{name} is defined by a detached instruction")
+    return block
+
+
+def _phi_for_var(block: BasicBlock, var: MemoryVar) -> Optional[I.MemPhi]:
+    for phi in block.mem_phis():
+        if phi.var is var:
+            return phi
+    return None
+
+
+def _block_def_index(
+    function: Function,
+    def_ids: Set[int],
+    positions: Dict[int, Tuple[BasicBlock, int]],
+) -> Dict[int, List[Tuple[int, MemName]]]:
+    """Per-block ordered (index, name) lists of the tracked definitions."""
+    index: Dict[int, List[Tuple[int, MemName]]] = {}
+    for block in function.blocks:
+        entries: List[Tuple[int, MemName]] = []
+        for pos, inst in enumerate(block.instructions):
+            for name in inst.mem_defs:
+                if id(name) in def_ids:
+                    entries.append((pos, name))
+        if entries:
+            index[id(block)] = entries
+    return index
+
+
+def _compute_reaching_def(
+    domtree: DominatorTree,
+    block_defs: Dict[int, List[Tuple[int, MemName]]],
+    old_names: Sequence[MemName],
+    block: BasicBlock,
+    position: int,
+) -> Optional[MemName]:
+    """The paper's ``computeReachingDef``: walk the dominator tree
+    bottom-up; within a block the latest definition preceding the use
+    wins."""
+    current: Optional[BasicBlock] = block
+    limit = position
+    while current is not None:
+        best: Optional[Tuple[int, MemName]] = None
+        for pos, name in block_defs.get(id(current), ()):
+            if pos < limit and (best is None or pos > best[0]):
+                best = (pos, name)
+        if best is not None:
+            return best[1]
+        current = domtree.idom.get(current)
+        limit = 1 << 60  # whole block once above the use's block
+    # Above the entry block: the live-on-entry name, if tracked.
+    for name in old_names:
+        if name.def_inst is None:
+            return name
+    return None

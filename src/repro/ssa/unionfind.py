@@ -1,0 +1,64 @@
+"""Union-find (disjoint sets) with path compression and union by size.
+
+The paper builds memory SSA webs with "a simple union-find algorithm
+[AHU74]" (Figure 3); this is that structure, keyed by object identity so
+it works directly on :class:`MemName` instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, List, TypeVar
+
+T = TypeVar("T")
+
+
+class UnionFind(Generic[T]):
+    def __init__(self) -> None:
+        self._parent: Dict[int, T] = {}
+        self._size: Dict[int, int] = {}
+        self._items: List[T] = []
+
+    def add(self, item: T) -> T:
+        """Register ``item`` as a singleton set (idempotent)."""
+        if id(item) not in self._parent:
+            self._parent[id(item)] = item
+            self._size[id(item)] = 1
+            self._items.append(item)
+        return item
+
+    def find(self, item: T) -> T:
+        """Representative of ``item``'s set (with path compression)."""
+        self.add(item)
+        root = item
+        while self._parent[id(root)] is not root:
+            root = self._parent[id(root)]
+        while self._parent[id(item)] is not item:
+            parent = self._parent[id(item)]
+            self._parent[id(item)] = root
+            item = parent
+        return root
+
+    def union(self, a: T, b: T) -> T:
+        """Merge the sets of ``a`` and ``b``; returns the representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra is rb:
+            return ra
+        if self._size[id(ra)] < self._size[id(rb)]:
+            ra, rb = rb, ra
+        self._parent[id(rb)] = ra
+        self._size[id(ra)] += self._size[id(rb)]
+        return ra
+
+    def connected(self, a: T, b: T) -> bool:
+        return self.find(a) is self.find(b)
+
+    def groups(self) -> List[List[T]]:
+        """All sets, each in insertion order; groups ordered by their
+        first-inserted member (deterministic)."""
+        by_root: Dict[int, List[T]] = {}
+        for item in self._items:
+            by_root.setdefault(id(self.find(item)), []).append(item)
+        return list(by_root.values())
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,91 @@
+"""Edge cases across the analysis package not covered elsewhere."""
+
+import pytest
+
+from repro.analysis.cfgutils import edges, postorder, reverse_postorder
+from repro.analysis.dominance import DominatorTree
+from repro.analysis.intervals import IntervalTree
+from repro.ir.parser import parse_module
+
+from tests.support import irreducible, nested_loops, simple_loop
+
+
+def test_single_block_function():
+    module = parse_module(
+        """
+        func @f() {
+        entry:
+          ret
+        }
+        """
+    )
+    func = module.get_function("f")
+    tree = DominatorTree.compute(func)
+    assert tree.idom[func.entry] is None
+    assert tree.depth[func.entry] == 0
+    assert tree.dominance_frontier()[func.entry] == []
+    itree = IntervalTree.compute(func)
+    assert itree.intervals == []
+    assert postorder(func) == [func.entry]
+
+
+def test_lcd_of_single_block():
+    module, func = simple_loop()
+    tree = DominatorTree.compute(func)
+    body = func.find_block("body")
+    assert tree.least_common_dominator([body]) is body
+    with pytest.raises(ValueError):
+        tree.least_common_dominator([])
+
+
+def test_back_edge_preds():
+    module, func = simple_loop()
+    itree = IntervalTree.compute(func)
+    loop = itree.intervals[0]
+    assert [b.name for b in loop.back_edge_preds()] == ["body"]
+
+
+def test_back_edge_preds_improper():
+    module, func = irreducible()
+    itree = IntervalTree.compute(func)
+    loop = itree.intervals[0]
+    names = sorted(b.name for b in loop.back_edge_preds())
+    assert names == ["a", "b"]  # each entry's in-SCC predecessor
+
+
+def test_edges_deterministic_order():
+    module, func = nested_loops()
+    first = [(a.name, b.name) for a, b in edges(func)]
+    second = [(a.name, b.name) for a, b in edges(func)]
+    assert first == second
+    assert len(first) == sum(len(b.succs) for b in func.blocks)
+
+
+def test_rpo_and_postorder_are_reverses():
+    module, func = nested_loops()
+    assert list(reversed(postorder(func))) == reverse_postorder(func)
+
+
+def test_interval_repr_readable():
+    module, func = simple_loop()
+    itree = IntervalTree.compute(func)
+    assert "interval @header" in repr(itree.intervals[0])
+    assert "root" in repr(itree.root)
+
+
+def test_dominance_frontier_cached():
+    module, func = nested_loops()
+    tree = DominatorTree.compute(func)
+    assert tree.dominance_frontier() is tree.dominance_frontier()
+
+
+def test_estimator_loop_multiplier_knob():
+    from repro.profile.estimator import estimate_profile
+
+    module, func = nested_loops()
+    gentle = estimate_profile(module, loop_multiplier=2)
+    steep = estimate_profile(module, loop_multiplier=100)
+    ibody = func.find_block("ibody")
+    assert steep.freq(ibody) > gentle.freq(ibody)
+    entry = func.find_block("entry")
+    assert steep.freq(entry) == gentle.freq(entry) == 1

@@ -1,0 +1,149 @@
+from repro.analysis.cfgutils import (
+    edges,
+    is_critical_edge,
+    postorder,
+    remove_unreachable_blocks,
+    reverse_postorder,
+    split_critical_edges,
+    split_edge,
+)
+from repro.ir.parser import parse_module
+from repro.ir.verify import verify_function
+
+from tests.support import diamond, simple_loop
+
+
+def test_postorder_visits_all_reachable():
+    _, func = diamond()
+    po = postorder(func)
+    assert sorted(b.name for b in po) == ["entry", "join", "left", "right"]
+    assert po[-1].name == "entry"  # entry last in postorder
+
+
+def test_rpo_entry_first():
+    _, func = simple_loop()
+    rpo = reverse_postorder(func)
+    assert rpo[0].name == "entry"
+    index = {b.name: i for i, b in enumerate(rpo)}
+    assert index["header"] < index["body"]
+
+
+def test_remove_unreachable():
+    module = parse_module(
+        """
+        func @f() {
+        entry:
+          ret
+        dead1:
+          jmp dead2
+        dead2:
+          jmp dead1
+        }
+        """
+    )
+    func = module.get_function("f")
+    removed = remove_unreachable_blocks(func)
+    assert sorted(b.name for b in removed) == ["dead1", "dead2"]
+    assert [b.name for b in func.blocks] == ["entry"]
+    verify_function(func)
+
+
+def test_is_critical_edge():
+    module = parse_module(
+        """
+        func @f() {
+        entry:
+          %c = copy 1
+          br %c, a, join
+        a:
+          jmp join
+        join:
+          ret
+        }
+        """
+    )
+    func = module.get_function("f")
+    entry, a, join = func.blocks
+    assert is_critical_edge(entry, join)
+    assert not is_critical_edge(entry, a)
+    assert not is_critical_edge(a, join)
+
+
+def test_split_edge_fixes_phis():
+    module = parse_module(
+        """
+        func @f() {
+        entry:
+          %c = copy 1
+          br %c, a, join
+        a:
+          jmp join
+        join:
+          %v = phi [entry: 1, a: 2]
+          ret %v
+        }
+        """
+    )
+    func = module.get_function("f")
+    entry = func.find_block("entry")
+    join = func.find_block("join")
+    mid = split_edge(entry, join)
+    verify_function(func, check_ssa=True)
+    phi = next(join.phis())
+    incoming_blocks = sorted(b.name for b, _ in phi.incoming)
+    assert mid.name in incoming_blocks
+    assert "entry" not in incoming_blocks
+
+
+def test_split_critical_edges_removes_all():
+    module = parse_module(
+        """
+        func @f() {
+        entry:
+          %c = copy 1
+          br %c, a, join
+        a:
+          %d = copy 2
+          br %d, join, other
+        join:
+          ret
+        other:
+          ret
+        }
+        """
+    )
+    func = module.get_function("f")
+    inserted = split_critical_edges(func)
+    assert len(inserted) == 2  # entry->join and a->join
+    verify_function(func)
+    for src, dst in edges(func):
+        assert not is_critical_edge(src, dst), (src.name, dst.name)
+
+
+def test_split_critical_edges_idempotent():
+    _, func = simple_loop()
+    split_critical_edges(func)
+    n = len(func.blocks)
+    assert split_critical_edges(func) == []
+    assert len(func.blocks) == n
+
+
+def test_condbr_both_arms_same_target():
+    module = parse_module(
+        """
+        func @f() {
+        entry:
+          %c = copy 1
+          br %c, join, join
+        join:
+          jmp out
+        out:
+          ret
+        }
+        """
+    )
+    func = module.get_function("f")
+    entry, join = func.find_block("entry"), func.find_block("join")
+    mid = split_edge(entry, join)
+    verify_function(func)
+    assert entry.succs == [mid]

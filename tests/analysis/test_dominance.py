@@ -1,0 +1,128 @@
+import pytest
+
+from repro.analysis.dominance import DominatorTree
+from repro.ir.parser import parse_module
+
+from tests.support import diamond, irreducible, nested_loops, simple_loop
+
+
+def blocks(func, *names):
+    return [func.find_block(n) for n in names]
+
+
+def test_diamond_idoms():
+    _, func = diamond()
+    tree = DominatorTree.compute(func)
+    entry, left, right, join = blocks(func, "entry", "left", "right", "join")
+    assert tree.idom[entry] is None
+    assert tree.idom[left] is entry
+    assert tree.idom[right] is entry
+    assert tree.idom[join] is entry
+
+
+def test_diamond_dominates():
+    _, func = diamond()
+    tree = DominatorTree.compute(func)
+    entry, left, right, join = blocks(func, "entry", "left", "right", "join")
+    assert tree.dominates(entry, join)
+    assert tree.dominates(entry, entry)
+    assert not tree.dominates(left, join)
+    assert not tree.dominates(left, right)
+    assert tree.strictly_dominates(entry, left)
+    assert not tree.strictly_dominates(entry, entry)
+
+
+def test_loop_idoms_and_depth():
+    _, func = simple_loop()
+    tree = DominatorTree.compute(func)
+    entry, header, body, exitb = blocks(func, "entry", "header", "body", "exitb")
+    assert tree.idom[header] is entry
+    assert tree.idom[body] is header
+    assert tree.idom[exitb] is header
+    assert tree.depth[entry] == 0
+    assert tree.depth[body] == 2
+
+
+def test_dominance_frontier_diamond():
+    _, func = diamond()
+    tree = DominatorTree.compute(func)
+    df = tree.dominance_frontier()
+    entry, left, right, join = blocks(func, "entry", "left", "right", "join")
+    assert df[left] == [join]
+    assert df[right] == [join]
+    assert df[entry] == []
+    assert df[join] == []
+
+
+def test_dominance_frontier_loop_header_in_own_frontier():
+    _, func = simple_loop()
+    tree = DominatorTree.compute(func)
+    df = tree.dominance_frontier()
+    header, body = blocks(func, "header", "body")
+    assert header in df[header]
+    assert header in df[body]
+
+
+def test_least_common_dominator():
+    _, func = nested_loops()
+    tree = DominatorTree.compute(func)
+    ih, ibody, olatch, oh = blocks(func, "ih", "ibody", "olatch", "oh")
+    assert tree.least_common_dominator([ibody, olatch]) is ih
+    assert tree.least_common_dominator([ih, oh]) is oh
+    assert tree.least_common_dominator([ibody]) is ibody
+
+
+def test_irreducible_dominators():
+    _, func = irreducible()
+    tree = DominatorTree.compute(func)
+    entry, a, b = blocks(func, "entry", "a", "b")
+    # Neither a nor b dominates the other; entry dominates both.
+    assert tree.idom[a] is entry
+    assert tree.idom[b] is entry
+    assert not tree.dominates(a, b)
+    assert not tree.dominates(b, a)
+
+
+def test_unreachable_block_excluded():
+    module = parse_module(
+        """
+        func @f() {
+        entry:
+          ret
+        dead:
+          jmp dead
+        }
+        """
+    )
+    func = module.get_function("f")
+    tree = DominatorTree.compute(func)
+    dead = func.find_block("dead")
+    assert dead not in tree.idom
+    with pytest.raises(KeyError):
+        tree.dominates(func.entry, dead)
+
+
+def test_dominates_agrees_with_definition():
+    # Cross-check the O(1) query against the naive "remove a, is b still
+    # reachable" definition on a non-trivial CFG.
+    _, func = nested_loops()
+    tree = DominatorTree.compute(func)
+
+    def reachable_avoiding(avoid, target):
+        seen, stack = set(), [func.entry]
+        while stack:
+            blk = stack.pop()
+            if blk is avoid or id(blk) in seen:
+                continue
+            seen.add(id(blk))
+            if blk is target:
+                return True
+            stack.extend(blk.succs)
+        return False
+
+    for a in func.blocks:
+        for b in func.blocks:
+            if a is b:
+                continue
+            expected = not reachable_avoiding(a, b)
+            assert tree.strictly_dominates(a, b) == expected, (a.name, b.name)

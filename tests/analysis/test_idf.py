@@ -1,0 +1,66 @@
+from repro.analysis.dominance import DominatorTree
+from repro.analysis.idf import idf_cytron, idf_sreedhar_gao, iterated_dominance_frontier
+
+from tests.support import diamond, irreducible, nested_loops, simple_loop
+
+
+def _names(blocks):
+    return sorted(b.name for b in blocks)
+
+
+def test_diamond_idf_of_arms_is_join():
+    _, func = diamond()
+    tree = DominatorTree.compute(func)
+    arms = [func.find_block("left"), func.find_block("right")]
+    assert _names(idf_cytron(tree, arms)) == ["join"]
+    assert _names(idf_sreedhar_gao(tree, arms)) == ["join"]
+
+
+def test_loop_idf_contains_header():
+    _, func = simple_loop()
+    tree = DominatorTree.compute(func)
+    body = [func.find_block("body")]
+    result = iterated_dominance_frontier(tree, body)
+    assert _names(result) == ["header"]
+
+
+def test_idf_is_iterated_not_single_step():
+    # In the nested loop, a def in the inner body must produce phis at
+    # both the inner and the outer headers (the outer one only via
+    # iteration).
+    _, func = nested_loops()
+    tree = DominatorTree.compute(func)
+    result = iterated_dominance_frontier(tree, [func.find_block("ibody")])
+    assert "ih" in _names(result)
+    assert "oh" in _names(result)
+
+
+def test_empty_defs():
+    _, func = diamond()
+    tree = DominatorTree.compute(func)
+    assert idf_cytron(tree, []) == []
+    assert idf_sreedhar_gao(tree, []) == []
+
+
+def test_both_algorithms_agree_on_fixtures():
+    for factory in (diamond, simple_loop, nested_loops, irreducible):
+        _, func = factory()
+        tree = DominatorTree.compute(func)
+        blocks = tree.reachable
+        # Every subset of size <= 2 plus the full set.
+        subsets = [[b] for b in blocks]
+        subsets += [[a, b] for i, a in enumerate(blocks) for b in blocks[i + 1:]]
+        subsets.append(list(blocks))
+        for defs in subsets:
+            got_c = _names(idf_cytron(tree, defs))
+            got_s = _names(idf_sreedhar_gao(tree, defs))
+            assert got_c == got_s, (factory.__name__, _names(defs))
+
+
+def test_deterministic_order():
+    _, func = nested_loops()
+    tree = DominatorTree.compute(func)
+    defs = [func.find_block("ibody"), func.find_block("olatch")]
+    r1 = iterated_dominance_frontier(tree, defs)
+    r2 = iterated_dominance_frontier(tree, defs)
+    assert [b.name for b in r1] == [b.name for b in r2]

@@ -1,0 +1,181 @@
+from repro.analysis.cfgutils import edges, is_critical_edge
+from repro.analysis.intervals import IntervalTree, normalize_for_promotion
+from repro.ir.parser import parse_module
+from repro.ir.verify import verify_function
+
+from tests.support import diamond, irreducible, nested_loops, simple_loop
+
+
+def test_diamond_has_no_intervals():
+    _, func = diamond()
+    tree = IntervalTree.compute(func)
+    assert tree.intervals == []
+    assert tree.root.is_root
+    assert len(tree.root.blocks) == 4
+
+
+def test_simple_loop_single_interval():
+    _, func = simple_loop()
+    tree = IntervalTree.compute(func)
+    assert len(tree.intervals) == 1
+    loop = tree.intervals[0]
+    assert loop.header.name == "header"
+    assert sorted(b.name for b in loop.blocks) == ["body", "header"]
+    assert loop.is_proper
+    assert loop.depth == 1
+    assert loop.preheader is not None and loop.preheader.name == "entry"
+
+
+def test_nested_loops_tree_shape():
+    _, func = nested_loops()
+    tree = IntervalTree.compute(func)
+    assert len(tree.intervals) == 2
+    outer = tree.root.children[0]
+    assert outer.header.name == "oh"
+    assert len(outer.children) == 1
+    inner = outer.children[0]
+    assert inner.header.name == "ih"
+    assert inner.depth == 2
+    assert sorted(b.name for b in inner.blocks) == ["ibody", "ih"]
+    assert {b.name for b in outer.blocks} >= {"oh", "ih", "ibody", "olatch", "ih0"}
+
+
+def test_bottom_up_children_first():
+    _, func = nested_loops()
+    tree = IntervalTree.compute(func)
+    order = [iv.header.name for iv in tree.bottom_up()]
+    assert order.index("ih") < order.index("oh")
+    assert order[-1] == "entry"  # root region last
+
+
+def test_innermost_and_loop_depth():
+    _, func = nested_loops()
+    tree = IntervalTree.compute(func)
+    assert tree.loop_depth(func.find_block("ibody")) == 2
+    assert tree.loop_depth(func.find_block("olatch")) == 1
+    assert tree.loop_depth(func.find_block("entry")) == 0
+    assert tree.innermost(func.find_block("ih")).header.name == "ih"
+
+
+def test_exit_edges():
+    _, func = simple_loop()
+    tree = IntervalTree.compute(func)
+    exits = tree.intervals[0].exit_edges()
+    assert [(s.name, d.name) for s, d in exits] == [("header", "exitb")]
+
+
+def test_improper_interval_detected():
+    _, func = irreducible()
+    tree = IntervalTree.compute(func)
+    assert len(tree.intervals) == 1
+    loop = tree.intervals[0]
+    assert not loop.is_proper
+    assert sorted(b.name for b in loop.entries) == ["a", "b"]
+    # Preheader = least common dominator of the entries, outside the SCC.
+    assert loop.preheader.name == "entry"
+
+
+def test_self_loop_is_interval():
+    module = parse_module(
+        """
+        func @f() {
+        entry:
+          jmp spin
+        spin:
+          %c = copy 1
+          br %c, spin, out
+        out:
+          ret
+        }
+        """
+    )
+    func = module.get_function("f")
+    tree = IntervalTree.compute(func)
+    assert len(tree.intervals) == 1
+    assert tree.intervals[0].header.name == "spin"
+    assert len(tree.intervals[0].blocks) == 1
+
+
+def test_normalize_creates_dedicated_preheader():
+    # Loop header with two outside predecessors needs a fresh preheader.
+    module = parse_module(
+        """
+        func @f() {
+        entry:
+          %c = copy 1
+          br %c, pre1, pre2
+        pre1:
+          jmp header
+        pre2:
+          jmp header
+        header:
+          %i = phi [pre1: 1, pre2: 2, body: %inext]
+          %cc = lt %i, 10
+          br %cc, body, out
+        body:
+          %inext = add %i, 1
+          jmp header
+        out:
+          ret
+        }
+        """
+    )
+    func = module.get_function("f")
+    tree = normalize_for_promotion(func)
+    verify_function(func, check_ssa=True)
+    loop = tree.intervals[0]
+    pre = loop.preheader
+    assert pre is not None
+    assert not loop.contains(pre)
+    assert pre.succs == [loop.header]
+    assert len(loop.header.preds) == 2  # preheader + latch
+    # The two outside phi inputs were merged into a phi in the preheader.
+    header_phi = next(loop.header.phis())
+    assert len(header_phi.incoming) == 2
+
+
+def test_normalize_gives_exits_dedicated_tails():
+    module = parse_module(
+        """
+        func @f() {
+        entry:
+          jmp h1
+        h1:
+          %i = phi [entry: 0, b1: %i2]
+          %c = lt %i, 3
+          br %c, b1, merge
+        b1:
+          %i2 = add %i, 1
+          %c2 = lt %i2, 2
+          br %c2, h1, merge
+        merge:
+          ret
+        }
+        """
+    )
+    func = module.get_function("f")
+    tree = normalize_for_promotion(func)
+    verify_function(func, check_ssa=True)
+    loop = tree.intervals[0]
+    for _, tail in loop.exit_edges():
+        assert len(tail.preds) == 1
+    for src, dst in edges(func):
+        assert not is_critical_edge(src, dst)
+
+
+def test_normalize_idempotent():
+    for factory in (diamond, simple_loop, nested_loops, irreducible):
+        _, func = factory()
+        normalize_for_promotion(func)
+        n_blocks = len(func.blocks)
+        tree2 = normalize_for_promotion(func)
+        assert len(func.blocks) == n_blocks, factory.__name__
+        verify_function(func, check_ssa=True)
+
+
+def test_normalized_loop_preheader_assigned():
+    _, func = nested_loops()
+    tree = normalize_for_promotion(func)
+    for interval in tree.intervals:
+        assert interval.preheader is not None
+        assert not interval.contains(interval.preheader)

@@ -1,0 +1,117 @@
+from repro.analysis.liveness import Liveness
+from repro.ir.parser import parse_module
+
+from tests.support import simple_loop
+
+
+def regs(func, *names):
+    found = {}
+    for inst in func.instructions():
+        if inst.dst is not None:
+            found[inst.dst.name] = inst.dst
+    for p in func.params:
+        found[p.name] = p
+    return [found[n] for n in names]
+
+
+def test_straightline_liveness():
+    module = parse_module(
+        """
+        func @f(%a) {
+        entry:
+          %t = add %a, 1
+          %u = add %t, %t
+          ret %u
+        }
+        """
+    )
+    func = module.get_function("f")
+    live = Liveness.compute(func)
+    entry = func.entry
+    assert live.live_in[entry] == {func.params[0]}
+    assert live.live_out[entry] == set()
+
+
+def test_value_live_across_branch():
+    module = parse_module(
+        """
+        func @f(%a) {
+        entry:
+          %t = add %a, 1
+          br %a, use, skip
+        use:
+          %u = add %t, 1
+          jmp join
+        skip:
+          jmp join
+        join:
+          ret %t
+        }
+        """
+    )
+    func = module.get_function("f")
+    live = Liveness.compute(func)
+    (t,) = regs(func, "t")
+    assert t in live.live_out[func.entry]
+    assert t in live.live_in[func.find_block("skip")]
+    assert t in live.live_in[func.find_block("use")]
+    assert t in live.live_in[func.find_block("join")]
+
+
+def test_loop_carried_value_live_around_backedge():
+    _, func = simple_loop()
+    live = Liveness.compute(func)
+    (i, inext) = regs(func, "i", "inext")
+    body = func.find_block("body")
+    header = func.find_block("header")
+    # inext feeds the header phi: live out of body, not live into header.
+    assert inext in live.live_out[body]
+    assert inext not in live.live_in[header]
+    # i is used in body.
+    assert i in live.live_in[body]
+
+
+def test_phi_inputs_live_out_of_preds_only():
+    module = parse_module(
+        """
+        func @f(%a) {
+        entry:
+          %x = add %a, 1
+          %y = add %a, 2
+          br %a, l, r
+        l:
+          jmp join
+        r:
+          jmp join
+        join:
+          %v = phi [l: %x, r: %y]
+          ret %v
+        }
+        """
+    )
+    func = module.get_function("f")
+    live = Liveness.compute(func)
+    x, y, v = regs(func, "x", "y", "v")
+    l, r, join = func.find_block("l"), func.find_block("r"), func.find_block("join")
+    assert x in live.live_out[l] and x not in live.live_out[r]
+    assert y in live.live_out[r] and y not in live.live_out[l]
+    assert x not in live.live_in[join]
+    assert v not in live.live_in[join]
+
+
+def test_dead_value_not_live():
+    module = parse_module(
+        """
+        func @f(%a) {
+        entry:
+          %dead = add %a, 1
+          jmp next
+        next:
+          ret %a
+        }
+        """
+    )
+    func = module.get_function("f")
+    live = Liveness.compute(func)
+    (dead,) = regs(func, "dead")
+    assert dead not in live.live_out[func.entry]

@@ -1,0 +1,46 @@
+"""Determinism: every pass must produce byte-identical IR run-to-run.
+
+The implementation promises deterministic iteration everywhere (ordered
+containers, no id()-ordered sets leaking into output); this is what the
+benchmark numbers' reproducibility rests on.
+"""
+
+import pytest
+
+from repro.bench.workloads import ORDER, WORKLOADS
+from repro.frontend.lower import compile_source
+from repro.ir.printer import print_module
+from repro.passes.unroll import unroll_module
+from repro.promotion.pipeline import PromotionPipeline
+
+from tests.property.genprog import random_program
+
+
+def promoted_text(source):
+    module = compile_source(source)
+    PromotionPipeline().run(module)
+    return print_module(module)
+
+
+@pytest.mark.parametrize("name", ORDER)
+def test_workload_promotion_deterministic(name):
+    source = WORKLOADS[name].source
+    assert promoted_text(source) == promoted_text(source)
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42, 1234, 99999])
+def test_random_program_promotion_deterministic(seed):
+    source = random_program(seed)
+    assert promoted_text(source) == promoted_text(source)
+
+
+@pytest.mark.parametrize("seed", [3, 17, 2024])
+def test_unroll_deterministic(seed):
+    source = random_program(seed)
+
+    def text():
+        module = compile_source(source)
+        unroll_module(module)
+        return print_module(module)
+
+    assert text() == text()

@@ -1,0 +1,40 @@
+"""Convergence: running promotion again finds (almost) nothing more and
+never undoes its own work."""
+
+import pytest
+
+from repro.bench.workloads import WORKLOADS
+from repro.frontend.lower import compile_source
+from repro.profile.interp import run_module
+from repro.promotion.pipeline import PromotionPipeline
+
+from tests.property.genprog import random_program
+
+
+@pytest.mark.parametrize("name", ["go", "compress", "vortex"])
+def test_second_pass_converges_on_workloads(name):
+    module = compile_source(WORKLOADS[name].source)
+    first = PromotionPipeline().run(module)
+    assert first.output_matches
+    second = PromotionPipeline().run(module)
+    assert second.output_matches
+    # The second pass must not regress the first's dynamic result...
+    assert second.dynamic_after.total <= first.dynamic_after.total
+    # ...and cannot find much: promotion converged.
+    gain = first.dynamic_after.total - second.dynamic_after.total
+    assert gain <= max(4, first.dynamic_after.total // 20), (
+        name, first.dynamic_after.total, second.dynamic_after.total
+    )
+
+
+@pytest.mark.parametrize("seed", [5, 77, 31337])
+def test_second_pass_preserves_semantics_random(seed):
+    source = random_program(seed)
+    baseline = run_module(compile_source(source), max_steps=4_000_000)
+    module = compile_source(source)
+    PromotionPipeline().run(module)
+    result = PromotionPipeline().run(module)
+    assert result.output_matches
+    after = run_module(module, max_steps=4_000_000)
+    assert after.output == baseline.output
+    assert after.globals_snapshot() == baseline.globals_snapshot()

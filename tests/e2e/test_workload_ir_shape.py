@@ -1,0 +1,79 @@
+"""Post-promotion IR shape guards on the proxy workloads: structural
+facts the headline numbers depend on, pinned so refactors can't silently
+erode them."""
+
+import pytest
+
+from repro.bench.workloads import ORDER, WORKLOADS
+from repro.frontend.lower import compile_source
+from repro.ir import instructions as I
+from repro.ir.verify import verify_module
+from repro.promotion.pipeline import PromotionPipeline
+
+
+@pytest.fixture(scope="module")
+def promoted():
+    modules = {}
+    for name in ORDER:
+        module = compile_source(WORKLOADS[name].source)
+        result = PromotionPipeline().run(module)
+        assert result.output_matches, name
+        modules[name] = module
+    return modules
+
+
+def test_all_workloads_verify_after_promotion(promoted):
+    for name, module in promoted.items():
+        verify_module(module, check_ssa=True, check_memssa=True)
+
+
+def test_no_dummy_loads_survive(promoted):
+    for name, module in promoted.items():
+        for function in module.functions.values():
+            assert not any(
+                isinstance(i, I.DummyAliasedLoad) for i in function.instructions()
+            ), (name, function.name)
+
+
+def test_no_copies_survive_cleanup(promoted):
+    # Copy propagation runs in the pipeline cleanup; promotion's copies
+    # must all be folded away.
+    for name, module in promoted.items():
+        for function in module.functions.values():
+            assert not any(
+                isinstance(i, I.Copy) for i in function.instructions()
+            ), (name, function.name)
+
+
+def test_go_scan_loop_body_is_memory_free(promoted):
+    scan = promoted["go"].get_function("scan_board")
+    # The position loop's body blocks carry no singleton memory ops for
+    # the promoted counters (the cold record_* branches may).
+    loop_body = scan.find_block("fbody2")
+    assert not any(
+        isinstance(i, (I.Load, I.Store)) for i in loop_body.instructions
+    )
+
+
+def test_ijpeg_quantize_inner_loop_memory_free(promoted):
+    quantize = promoted["ijpeg"].get_function("quantize_block")
+    # The per-pixel loop reads qfactor/bias/clip_limit from registers now.
+    for block in quantize.blocks:
+        if block.name.startswith("fbody"):
+            loads = [i for i in block.instructions if isinstance(i, I.Load)]
+            assert loads == [], block.name
+
+
+def test_vortex_untouched(promoted):
+    original = compile_source(WORKLOADS["vortex"].source)
+    from repro.ssa.construct import construct_ssa
+
+    for f in original.functions.values():
+        construct_ssa(f)
+    count = lambda m: sum(
+        1
+        for f in m.functions.values()
+        for i in f.instructions()
+        if isinstance(i, (I.Load, I.Store))
+    )
+    assert count(promoted["vortex"]) == count(original)

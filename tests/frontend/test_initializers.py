@@ -1,0 +1,84 @@
+"""Array initializer lists: parsing, semantics, round-trip, promotion."""
+
+import pytest
+
+from repro.frontend.errors import CompileError
+from repro.frontend.lower import compile_source
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.profile.interp import run_module
+from repro.promotion.pipeline import PromotionPipeline
+
+
+def test_global_array_initializer():
+    src = """
+    int A[5] = {10, 20, 30};
+    int main() { print(A[0], A[2], A[4]); return 0; }
+    """
+    assert run_module(compile_source(src)).output == [(10, 30, 0)]
+
+
+def test_local_array_initializer_fresh_per_activation():
+    src = """
+    int f(int set) {
+        int buf[3] = {5, 6, 7};
+        if (set) buf[0] = 100;
+        return buf[0];
+    }
+    int main() { print(f(1), f(0)); return 0; }
+    """
+    assert run_module(compile_source(src)).output == [(100, 5)]
+
+
+def test_empty_and_full_lists():
+    src = """
+    int A[2] = {};
+    int B[2] = {8, 9};
+    int main() { print(A[0], B[0], B[1]); return 0; }
+    """
+    assert run_module(compile_source(src)).output == [(0, 8, 9)]
+
+
+def test_too_many_initializers_rejected():
+    with pytest.raises(CompileError, match="initializers for an array"):
+        compile_source("int A[2] = {1, 2, 3}; int main() { return 0; }")
+
+
+def test_list_on_scalar_rejected():
+    with pytest.raises(CompileError, match="requires an array"):
+        compile_source("int x = {1}; int main() { return 0; }")
+
+
+def test_ir_round_trip_with_lists():
+    src = """
+    int A[4] = {1, -2, 3};
+    int main() {
+        int buf[2] = {9};
+        return A[1] + buf[0];
+    }
+    """
+    module = compile_source(src)
+    text1 = print_module(module, with_mem=False)
+    assert "array @A[4] = {1, -2, 3}" in text1
+    module2 = parse_module(text1)
+    assert print_module(module2, with_mem=False) == text1
+    assert run_module(module2).return_value == 7
+
+
+def test_promotion_with_initialized_arrays():
+    src = """
+    int table[4] = {2, 4, 6, 8};
+    int sum = 0;
+    int main() {
+        for (int i = 0; i < 100; i++) {
+            sum += table[i % 4];
+        }
+        print(sum);
+        return 0;
+    }
+    """
+    baseline = run_module(compile_source(src))
+    module = compile_source(src)
+    result = PromotionPipeline().run(module)
+    assert result.output_matches
+    assert run_module(module).output == baseline.output == [(500,)]

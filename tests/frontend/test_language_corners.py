@@ -1,0 +1,193 @@
+"""Language corners: pointer parameters, dangling else, do-while with
+continue, nested short-circuits, operator precedence torture."""
+
+from repro.frontend.lower import compile_source
+from repro.profile.interp import run_module
+from repro.promotion.pipeline import PromotionPipeline
+
+
+def run(src, entry="main", args=()):
+    module = compile_source(src)
+    return run_module(module, entry=entry, args=list(args))
+
+
+def both(src):
+    baseline = run(src)
+    module = compile_source(src)
+    result = PromotionPipeline().run(module)
+    assert result.output_matches
+    return baseline
+
+
+def test_pointer_parameters_across_calls():
+    src = """
+    int a = 1;
+    int b = 2;
+    void swap(int *p, int *q) {
+        int t = *p;
+        *p = *q;
+        *q = t;
+    }
+    int main() {
+        swap(&a, &b);
+        print(a, b);
+        return 0;
+    }
+    """
+    assert both(src).output == [(2, 1)]
+
+
+def test_array_element_pointer_passed_to_callee():
+    src = """
+    int A[4];
+    void bump(int *p, int by) { *p = *p + by; }
+    int main() {
+        A[2] = 10;
+        bump(&A[2], 5);
+        print(A[2]);
+        return 0;
+    }
+    """
+    assert both(src).output == [(15,)]
+
+
+def test_pointer_returned_through_global_effects():
+    src = """
+    int x = 100;
+    int read_through(int *p) { return *p; }
+    int main() {
+        int v = read_through(&x);
+        x = 1;
+        int w = read_through(&x);
+        print(v, w);
+        return 0;
+    }
+    """
+    assert both(src).output == [(100, 1)]
+
+
+def test_dangling_else_binds_to_nearest_if():
+    src = """
+    int main() {
+        int r = 0;
+        for (int a = 0; a < 2; a++) {
+            for (int b = 0; b < 2; b++) {
+                if (a)
+                    if (b) r += 100;
+                    else r += 10;
+                else
+                    r += 1;
+            }
+        }
+        return r;  // a=0: 1+1; a=1: 10+100 => 112
+    }
+    """
+    assert run(src).return_value == 112
+
+
+def test_do_while_with_continue():
+    src = """
+    int main() {
+        int i = 0;
+        int taken = 0;
+        do {
+            i++;
+            if (i % 2) continue;   // jumps to the condition
+            taken++;
+        } while (i < 7);
+        print(i, taken);
+        return 0;
+    }
+    """
+    assert run(src).output == [(7, 3)]
+
+
+def test_nested_short_circuit_evaluation_order():
+    src = """
+    int trace = 0;
+    int probe(int id, int result) {
+        trace = trace * 10 + id;
+        return result;
+    }
+    int main() {
+        int r = (probe(1, 1) && probe(2, 0)) || probe(3, 1);
+        print(r, trace);
+        return 0;
+    }
+    """
+    assert both(src).output == [(1, 123)]
+
+
+def test_short_circuit_skips_side_effects():
+    src = """
+    int calls = 0;
+    int bump() { calls++; return 1; }
+    int main() {
+        int a = (0 && bump()) || (0 && bump());
+        print(a, calls);
+        return 0;
+    }
+    """
+    assert run(src).output == [(0, 0)]
+
+
+def test_precedence_torture():
+    src = """
+    int main() {
+        // C precedence: shifts bind looser than +, & looser than ==,
+        // ^ looser than &, | looser than ^.
+        int a = 1 << 2 + 1;        // 1 << 3 = 8
+        int b = 7 & 3 == 3;        // 7 & (3==3) = 1
+        int c = 4 | 2 ^ 2;         // 4 | (2^2) = 4
+        int d = -3 % 2;            // -1 (trunc toward zero)
+        print(a, b, c, d);
+        return 0;
+    }
+    """
+    assert run(src).output == [(8, 1, 4, -1)]
+
+
+def test_compound_shift_assignments():
+    src = """
+    int x = 1;
+    int main() {
+        x <<= 4;
+        x >>= 1;
+        x |= 1;
+        x &= 6;
+        x ^= 15;
+        return x;   // 1<<4=16 >>1=8 |1=9 &6=0 ^15=15... wait: 9&6=0? 9=1001,6=0110 -> 0; 0^15=15
+    }
+    """
+    assert run(src).return_value == 15
+
+
+def test_unary_on_lvalue_loads_once():
+    src = """
+    int x = 5;
+    int main() {
+        int a = -x + ~x + !x;  // -5 + -6 + 0
+        return a;
+    }
+    """
+    assert run(src).return_value == -11
+
+
+def test_return_inside_loop_flushes_global():
+    src = """
+    int steps = 0;
+    int main() {
+        for (int i = 0; i < 100; i++) {
+            steps++;
+            if (steps == 13) return steps;
+        }
+        return -1;
+    }
+    """
+    baseline = run(src)
+    module = compile_source(src)
+    result = PromotionPipeline().run(module)
+    assert result.output_matches
+    after = run_module(module)
+    assert after.return_value == baseline.return_value == 13
+    assert after.globals_snapshot()["steps"] == 13

@@ -1,0 +1,54 @@
+import pytest
+
+from repro.frontend.errors import CompileError
+from repro.frontend.lexer import tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "eof"]
+
+
+def test_numbers_and_identifiers():
+    assert kinds("x1 42 _y") == [("ident", "x1"), ("num", "42"), ("ident", "_y")]
+
+
+def test_keywords_recognized():
+    assert kinds("int while foo") == [
+        ("kw", "int"),
+        ("kw", "while"),
+        ("ident", "foo"),
+    ]
+
+
+def test_maximal_munch_operators():
+    assert [t for _, t in kinds("a<<=b")] == ["a", "<<=", "b"]
+    assert [t for _, t in kinds("a<=b")] == ["a", "<=", "b"]
+    assert [t for _, t in kinds("a<b")] == ["a", "<", "b"]
+    assert [t for _, t in kinds("a&&b&c")] == ["a", "&&", "b", "&", "c"]
+    assert [t for _, t in kinds("i++ +2")] == ["i", "++", "+", "2"]
+
+
+def test_comments_stripped():
+    src = """
+    int x; // line comment
+    /* block
+       comment */ int y;
+    """
+    assert ("ident", "y") in kinds(src)
+    assert all(t != "comment" for _, t in kinds(src))
+
+
+def test_line_numbers_tracked():
+    toks = tokenize("a\nb\n\nc")
+    lines = {t.text: t.line for t in toks if t.kind == "ident"}
+    assert lines == {"a": 1, "b": 2, "c": 4}
+
+
+def test_unterminated_comment_rejected():
+    with pytest.raises(CompileError, match="unterminated"):
+        tokenize("/* oops")
+
+
+def test_bad_character_rejected():
+    with pytest.raises(CompileError, match="unexpected character"):
+        tokenize("int $x;")

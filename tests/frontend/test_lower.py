@@ -1,0 +1,192 @@
+"""Lowering tests: compile mini-C, execute, and check behaviour."""
+
+from repro.frontend.lower import compile_source
+from repro.ir.verify import verify_module
+from repro.profile.interp import run_module
+
+
+def run(src, entry="main", args=()):
+    module = compile_source(src)
+    verify_module(module)
+    return run_module(module, entry=entry, args=list(args))
+
+
+def test_arithmetic_and_return():
+    result = run("int main() { return (2 + 3) * 4 - 6 / 2; }")
+    assert result.return_value == 17
+
+
+def test_globals_and_locals():
+    result = run(
+        """
+        int g = 10;
+        int main() {
+            int x = 5;
+            g = g + x;
+            return g;
+        }
+        """
+    )
+    assert result.return_value == 15
+    assert result.globals_snapshot()["g"] == 15
+
+
+def test_params_are_assignable():
+    result = run(
+        """
+        int f(int a) { a = a * 2; return a; }
+        int main() { return f(21); }
+        """
+    )
+    assert result.return_value == 42
+
+
+def test_if_else_chain():
+    src = """
+    int classify(int n) {
+        if (n < 0) return -1;
+        else if (n == 0) return 0;
+        else return 1;
+    }
+    int main() { print(classify(-5), classify(0), classify(7)); return 0; }
+    """
+    assert run(src).output == [(-1, 0, 1)]
+
+
+def test_while_and_for_loops():
+    result = run(
+        """
+        int main() {
+            int total = 0;
+            for (int i = 1; i <= 10; i++) total += i;
+            int n = 0;
+            while (total > 0) { total -= 10; n++; }
+            return n;
+        }
+        """
+    )
+    assert result.return_value == 6
+
+
+def test_do_while_runs_once():
+    result = run("int main() { int i = 100; do { i++; } while (i < 0); return i; }")
+    assert result.return_value == 101
+
+
+def test_break_and_continue():
+    result = run(
+        """
+        int main() {
+            int evens = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i >= 10) break;
+                if (i % 2) continue;
+                evens++;
+            }
+            return evens;
+        }
+        """
+    )
+    assert result.return_value == 5
+
+
+def test_short_circuit_semantics():
+    src = """
+    int calls = 0;
+    int bump() { calls++; return 1; }
+    int main() {
+        int a = 0 && bump();
+        int b = 1 || bump();
+        int c = 1 && bump();
+        print(a, b, c, calls);
+        return 0;
+    }
+    """
+    assert run(src).output == [(0, 1, 1, 1)]
+
+
+def test_pointers_and_arrays():
+    src = """
+    int x = 3;
+    int A[5];
+    int main() {
+        int *p = &x;
+        *p = 7;
+        int i;
+        for (i = 0; i < 5; i++) A[i] = i * i;
+        int *q = &A[3];
+        print(x, *q, A[4]);
+        return 0;
+    }
+    """
+    assert run(src).output == [(7, 9, 16)]
+
+
+def test_struct_fields():
+    src = """
+    struct counter { int hits; int misses = 2; };
+    int main() {
+        counter.hits = 5;
+        counter.hits += counter.misses;
+        print(counter.hits, counter.misses);
+        return 0;
+    }
+    """
+    assert run(src).output == [(7, 2)]
+
+
+def test_local_arrays():
+    src = """
+    int sum3(int a, int b, int c) {
+        int buf[3];
+        buf[0] = a; buf[1] = b; buf[2] = c;
+        int s = 0;
+        for (int i = 0; i < 3; i++) s += buf[i];
+        return s;
+    }
+    int main() { return sum3(1, 2, 3); }
+    """
+    assert run(src).return_value == 6
+
+
+def test_recursion():
+    src = """
+    int fib(int n) {
+        if (n < 2) return n;
+        return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(10); }
+    """
+    assert run(src).return_value == 55
+
+
+def test_code_after_return_unreachable():
+    result = run("int main() { return 1; print(99); }")
+    assert result.return_value == 1
+    assert result.output == []
+
+
+def test_compound_assignment_through_pointer():
+    src = """
+    int x = 10;
+    int main() {
+        int *p = &x;
+        *p = *p + 5;
+        x <<= 1;
+        return x;
+    }
+    """
+    assert run(src).return_value == 30
+
+
+def test_missing_return_defaults_zero():
+    assert run("int main() { int x = 1; }").return_value == 0
+
+
+def test_void_function():
+    src = """
+    int g = 0;
+    void bump() { g++; }
+    int main() { bump(); bump(); return g; }
+    """
+    assert run(src).return_value == 2

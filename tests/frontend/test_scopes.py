@@ -1,0 +1,132 @@
+"""Direct unit tests for the block-scope resolver (alpha renaming)."""
+
+import pytest
+
+from repro.frontend import cast as A
+from repro.frontend.errors import CompileError
+from repro.frontend.parser import parse_program
+from repro.frontend.scopes import resolve_scopes
+
+
+def _main_body(src):
+    program = parse_program(src)
+    resolve_scopes(program)
+    return program.functions[-1].body
+
+
+def _decl_names(body, acc=None):
+    acc = acc if acc is not None else []
+    for stmt in body:
+        if isinstance(stmt, A.LocalDecl):
+            acc.append(stmt.name)
+        elif isinstance(stmt, A.If):
+            _decl_names(stmt.then_body, acc)
+            _decl_names(stmt.else_body, acc)
+        elif isinstance(stmt, (A.While, A.DoWhile)):
+            _decl_names(stmt.body, acc)
+        elif isinstance(stmt, A.For):
+            if stmt.init is not None:
+                _decl_names([stmt.init], acc)
+            _decl_names(stmt.body, acc)
+    return acc
+
+
+def test_sibling_for_loops_renamed_apart():
+    body = _main_body(
+        """
+        int main() {
+            for (int i = 0; i < 2; i++) { }
+            for (int i = 0; i < 2; i++) { }
+            return 0;
+        }
+        """
+    )
+    names = _decl_names(body)
+    assert len(names) == 2
+    assert len(set(names)) == 2
+    assert names[0] == "i"
+    assert names[1].startswith("i.")
+
+
+def test_shadowing_renamed_and_references_bound():
+    program = parse_program(
+        """
+        int main() {
+            int x = 1;
+            if (x) {
+                int x = 2;
+                x++;
+            }
+            return x;
+        }
+        """
+    )
+    resolve_scopes(program)
+    body = program.functions[0].body
+    outer = body[0]
+    inner = body[1].then_body[0]
+    assert outer.name == "x"
+    assert inner.name != "x"
+    incdec = body[1].then_body[1]
+    assert incdec.target.ident == inner.name  # inner ++ binds to inner x
+    ret = body[2]
+    assert ret.value.ident == "x"  # return binds to outer x
+
+
+def test_global_shadow_renames_local_not_global():
+    program = parse_program("int g = 1; int main() { int g = 2; return g; }")
+    resolve_scopes(program)
+    decl = program.functions[0].body[0]
+    assert decl.name.startswith("g.")
+    ret = program.functions[0].body[1]
+    assert ret.value.ident == decl.name
+
+
+def test_same_scope_duplicate_rejected():
+    program = parse_program("int main() { int a; int a; return 0; }")
+    with pytest.raises(CompileError, match="duplicate local"):
+        resolve_scopes(program)
+
+
+def test_param_redeclaration_rejected():
+    program = parse_program("int f(int a) { int a; return 0; }")
+    with pytest.raises(CompileError, match="duplicate local"):
+        resolve_scopes(program)
+
+
+def test_local_array_subscripts_rebound():
+    program = parse_program(
+        """
+        int buf[4];
+        int main() {
+            int buf[2];
+            buf[0] = 9;
+            return buf[0];
+        }
+        """
+    )
+    resolve_scopes(program)
+    body = program.functions[0].body
+    local_name = body[0].name
+    assert local_name.startswith("buf")
+    assert body[1].target.array == local_name
+    assert body[2].value.array == local_name
+
+
+def test_for_init_scopes_over_cond_and_step():
+    program = parse_program(
+        """
+        int main() {
+            int i = 100;
+            for (int i = 0; i < 3; i++) { }
+            return i;
+        }
+        """
+    )
+    resolve_scopes(program)
+    loop = program.functions[0].body[1]
+    inner = loop.init.name
+    assert inner != "i"
+    assert loop.cond.lhs.ident == inner
+    assert loop.step.target.ident == inner
+    assert program.functions[0].body[2].value.ident == "i"

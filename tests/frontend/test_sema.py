@@ -1,0 +1,163 @@
+import pytest
+
+from repro.frontend.errors import CompileError
+from repro.frontend.parser import parse_program
+from repro.frontend.sema import analyze
+
+
+def check(src):
+    return analyze(parse_program(src))
+
+
+def test_valid_program():
+    info = check(
+        """
+        int x; int A[4];
+        struct s { int f; };
+        int helper(int a) { return a + x; }
+        int main() {
+            int y = helper(2);
+            A[0] = y;
+            s.f = A[0];
+            return s.f;
+        }
+        """
+    )
+    assert set(info.functions) == {"helper", "main"}
+    assert info.is_global_array("A")
+    assert not info.is_global_array("x")
+
+
+def test_duplicate_global():
+    with pytest.raises(CompileError, match="duplicate global"):
+        check("int x; int x;")
+
+
+def test_duplicate_function():
+    with pytest.raises(CompileError, match="duplicate function"):
+        check("int f() { return 0; } int f() { return 1; }")
+
+
+def test_duplicate_local_and_param():
+    with pytest.raises(CompileError, match="duplicate local"):
+        check("int f() { int a; int a; return 0; }")
+    with pytest.raises(CompileError, match="duplicate local"):
+        check("int f(int a) { int a; return 0; }")
+    with pytest.raises(CompileError, match="duplicate parameter"):
+        check("int f(int a, int a) { return 0; }")
+
+
+def test_undeclared_variable():
+    with pytest.raises(CompileError, match="undeclared variable"):
+        check("int main() { return nope; }")
+
+
+def test_array_used_without_subscript():
+    with pytest.raises(CompileError, match="without subscript"):
+        check("int A[3]; int main() { return A; }")
+
+
+def test_subscript_on_non_array():
+    with pytest.raises(CompileError, match="is not an array"):
+        check("int x; int main() { return x[0]; }")
+
+
+def test_unknown_struct_or_field():
+    with pytest.raises(CompileError, match="unknown struct"):
+        check("int main() { return s.f; }")
+    with pytest.raises(CompileError, match="has no field"):
+        check("struct s { int a; }; int main() { return s.b; }")
+
+
+def test_call_checks():
+    with pytest.raises(CompileError, match="undeclared function"):
+        check("int main() { return missing(); }")
+    with pytest.raises(CompileError, match="expects 2 arguments"):
+        check("int f(int a, int b) { return a; } int main() { return f(1); }")
+
+
+def test_break_outside_loop():
+    with pytest.raises(CompileError, match="break outside"):
+        check("int main() { break; return 0; }")
+    with pytest.raises(CompileError, match="continue outside"):
+        check("int main() { continue; return 0; }")
+
+
+def test_address_of_pointer_rejected():
+    with pytest.raises(CompileError, match="address of a pointer"):
+        check("int main() { int *p; int x; p = &x; return *(&p); }")
+
+
+def test_locals_shadow_globals():
+    # The scope resolver renames the shadowing local; the global keeps
+    # its name and the local reference binds to the renamed slot.
+    info = check("int x = 9; int main() { int x = 1; return x; }")
+    locals_ = info.functions["main"].locals
+    assert any(name == "x" or name.startswith("x.") for name in locals_)
+
+    from repro.frontend.lower import compile_source
+    from repro.profile.interp import run_module
+
+    module = compile_source("int x = 9; int main() { int x = 1; return x; }")
+    result = run_module(module)
+    assert result.return_value == 1
+    assert result.globals_snapshot()["x"] == 9
+
+
+def test_sibling_scopes_reuse_names():
+    from repro.frontend.lower import compile_source
+    from repro.profile.interp import run_module
+
+    module = compile_source(
+        """
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 3; i++) total += i;
+            for (int i = 0; i < 4; i++) total += i * 10;
+            if (total > 0) { int t = total * 2; total = t; }
+            return total;
+        }
+        """
+    )
+    assert run_module(module).return_value == (0 + 1 + 2 + 60) * 2
+
+
+def test_inner_scope_shadows_outer_local():
+    from repro.frontend.lower import compile_source
+    from repro.profile.interp import run_module
+
+    module = compile_source(
+        """
+        int main() {
+            int x = 5;
+            if (x > 0) {
+                int x = 100;
+                x++;
+                print(x);
+            }
+            return x;
+        }
+        """
+    )
+    result = run_module(module)
+    assert result.output == [(101,)]
+    assert result.return_value == 5
+
+
+def test_initializer_sees_outer_binding():
+    from repro.frontend.lower import compile_source
+    from repro.profile.interp import run_module
+
+    module = compile_source(
+        """
+        int main() {
+            int x = 7;
+            if (x) {
+                int x = x + 1;  // outer x, as in "int x = x" reading outer
+                return x;
+            }
+            return 0;
+        }
+        """
+    )
+    assert run_module(module).return_value == 8

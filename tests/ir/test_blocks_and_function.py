@@ -1,0 +1,154 @@
+import pytest
+
+from repro.ir import instructions as I
+from repro.ir.values import Const, VReg
+from repro.memory.resources import VarKind
+
+from tests.support import diamond, empty_function
+
+
+def test_append_terminator_updates_preds():
+    _, func, b = empty_function()
+    b1 = func.add_block("b1")
+    b2 = func.add_block("b2")
+    b.at(b1).jump(b2)
+    assert b2.preds == [b1]
+    assert b1.succs == [b2]
+
+
+def test_append_after_terminator_fails():
+    _, func, b = empty_function()
+    b1 = func.add_block("b1")
+    b.at(b1).ret(0)
+    with pytest.raises(ValueError):
+        b1.append(I.Copy(func.new_reg(), Const(1)))
+
+
+def test_set_terminator_replaces_and_rewires():
+    _, func, b = empty_function()
+    b1, b2, b3 = func.add_block("b1"), func.add_block("b2"), func.add_block("b3")
+    b.at(b1).jump(b2)
+    b1.set_terminator(I.Jump(b3))
+    assert b2.preds == []
+    assert b3.preds == [b1]
+
+
+def test_condbr_same_target_dedups_pred():
+    _, func, b = empty_function()
+    b1, b2 = func.add_block("b1"), func.add_block("b2")
+    b.at(b1).cond_br(1, b2, b2)
+    assert b2.preds == [b1]
+    assert b1.succs == [b2]
+
+
+def test_retarget_updates_edges():
+    _, func, b = empty_function()
+    b1, b2, b3 = func.add_block("b1"), func.add_block("b2"), func.add_block("b3")
+    b.at(b1).cond_br(1, b2, b3)
+    b1.retarget(b2, b3)
+    assert b2.preds == []
+    assert b3.preds == [b1]
+    assert b1.succs == [b3]
+
+
+def test_insert_helpers_preserve_order():
+    _, func, b = empty_function()
+    b1 = func.add_block("b1")
+    c1 = b1.append(I.Copy(func.new_reg(), Const(1)))
+    c3 = b1.append(I.Copy(func.new_reg(), Const(3)))
+    c2 = I.Copy(func.new_reg(), Const(2))
+    b1.insert_before(c2, c3)
+    c0 = I.Copy(func.new_reg(), Const(0))
+    b1.insert_after(c0, c1)
+    values = [inst.src.value for inst in b1.instructions]
+    assert values == [1, 0, 2, 3]
+
+
+def test_insert_at_front_respects_phis():
+    _, func, b = empty_function()
+    b0, b1 = func.add_block("b0"), func.add_block("b1")
+    b.at(b0).jump(b1)
+    phi = I.Phi(func.new_reg(), [(b0, Const(1))])
+    b1.insert_at_front(phi)
+    copy = I.Copy(func.new_reg(), Const(2))
+    b1.insert_at_front(copy)
+    assert b1.instructions[0] is phi
+    assert b1.instructions[1] is copy
+
+
+def test_insert_before_terminator():
+    _, func, b = empty_function()
+    b1 = func.add_block("b1")
+    b.at(b1).ret()
+    copy = I.Copy(func.new_reg(), Const(1))
+    b1.insert_before_terminator(copy)
+    assert b1.instructions[0] is copy
+    assert b1.terminator is not copy
+
+
+def test_phis_and_memphis_iterators():
+    module, func = diamond()
+    join = func.find_block("join")
+    assert list(join.phis()) == []
+    left = func.find_block("left")
+    phi = I.Phi(func.new_reg(), [(func.find_block("entry"), Const(1))])
+    # Insert into join to exercise the iterator.
+    join.insert_at_front(phi)
+    assert list(join.phis()) == [phi]
+
+
+def test_function_naming_is_unique():
+    _, func, _ = empty_function()
+    regs = {func.new_reg().name for _ in range(100)}
+    assert len(regs) == 100
+    blocks = {func.new_block().name for _ in range(10)}
+    assert len(blocks) == 10
+
+
+def test_duplicate_block_name_rejected():
+    _, func, _ = empty_function()
+    func.add_block("b1")
+    with pytest.raises(ValueError):
+        func.add_block("b1")
+
+
+def test_frame_vars():
+    _, func, _ = empty_function()
+    v = func.add_frame_var("y", VarKind.LOCAL, initial=5)
+    assert func.frame_vars["y"] is v
+    with pytest.raises(ValueError):
+        func.add_frame_var("y")
+
+
+def test_new_mem_name_versions_monotonic():
+    module, func = diamond()
+    x = module.get_global("x")
+    n1 = func.new_mem_name(x)
+    n2 = func.new_mem_name(x)
+    assert (n1.version, n2.version) == (1, 2)
+    assert not n1.is_entry
+
+
+def test_remove_block_cleans_edges_and_phis():
+    _, func, b = empty_function()
+    b1, b2, b3 = func.add_block("b1"), func.add_block("b2"), func.add_block("b3")
+    b.at(b1).cond_br(1, b2, b3)
+    b.at(b2).jump(b3)
+    phi = I.Phi(func.new_reg(), [(b1, Const(1)), (b2, Const(2))])
+    b3.insert_at_front(phi)
+    b.at(b3).ret()
+    func.remove_block(b2)
+    assert b2 not in b3.preds
+    assert [blk.name for blk, _ in phi.incoming] == ["b1"]
+
+
+def test_module_globals_and_fields():
+    module, _ = diamond()
+    module.add_field("s", "count", initial=3)
+    assert module.get_global("s.count").kind is VarKind.FIELD
+    assert [v.name for v in module.scalar_globals()] == ["x", "s.count"]
+    module.add_global_array("A", 8)
+    assert module.get_global("A").size == 8
+    assert "A" not in [v.name for v in module.scalar_globals()]
+    with pytest.raises(ValueError):
+        module.add_global("x")

@@ -1,0 +1,108 @@
+"""Direct IRBuilder unit tests (beyond its pervasive indirect use)."""
+
+import pytest
+
+from repro.ir import instructions as I
+from repro.ir.builder import IRBuilder, as_value
+from repro.ir.values import Const, VReg
+from repro.profile.interp import run_module
+from repro.ir.verify import verify_function
+
+from tests.support import empty_function
+
+
+def test_as_value_coercion():
+    assert as_value(5) == Const(5)
+    reg = VReg("t")
+    assert as_value(reg) is reg
+
+
+def test_binop_wrappers():
+    module, func, b = empty_function()
+    block = func.add_block("entry")
+    b.at(block)
+    ops = [
+        b.add(1, 2), b.sub(5, 3), b.mul(2, 2), b.div(9, 3),
+        b.lt(1, 2), b.le(2, 2), b.eq(3, 3), b.ne(3, 4),
+    ]
+    b.ret(ops[-1])
+    kinds = [i.op for i in block.instructions if isinstance(i, I.BinOp)]
+    assert kinds == ["add", "sub", "mul", "div", "lt", "le", "eq", "ne"]
+    verify_function(func, check_ssa=True)
+
+
+def test_unop_and_copy():
+    module, func, b = empty_function()
+    block = func.add_block("entry")
+    b.at(block)
+    n = b.unop("neg", 7)
+    c = b.copy(n)
+    b.ret(c)
+    assert run_module(module, entry="f").return_value == -7
+
+
+def test_memory_helpers():
+    module, func, b = empty_function()
+    x = module.add_global("x", initial=3)
+    arr = module.add_global_array("A", 4)
+    block = func.add_block("entry")
+    b.at(block)
+    t = b.load(x)
+    b.store(x, b.add(t, 1))
+    p = b.addr_of(x)
+    b.ptr_store(p, 10)
+    v = b.ptr_load(p)
+    q = b.elem(arr, 2)
+    b.array_store(arr, 0, v)
+    u = b.array_load(arr, 0)
+    b.print_(u)
+    b.ret(u)
+    result = run_module(module, entry="f")
+    assert result.return_value == 10
+    assert result.globals_snapshot()["x"] == 10
+
+
+def test_call_with_and_without_value():
+    module, func, b = empty_function("main")
+    block = func.add_block("entry")
+    b.at(block)
+    helper = module.new_function("helper", ["a"])
+    hb = IRBuilder(helper)
+    hblock = helper.add_block("entry")
+    hb.at(hblock)
+    hb.ret(hb.mul(helper.params[0], 3))
+
+    r = b.call("helper", [7])
+    none = b.call("helper", [0], want_value=False)
+    assert none is None
+    b.ret(r)
+    assert run_module(module).return_value == 21
+
+
+def test_phi_builder_places_at_front():
+    module, func, b = empty_function()
+    e = func.add_block("entry")
+    l = func.add_block("l")
+    r = func.add_block("r")
+    j = func.add_block("j")
+    b.at(e).cond_br(1, l, r)
+    b.at(l).jump(j)
+    b.at(r).jump(j)
+    b.at(j)
+    marker = b.copy(0)
+    v = b.phi([(l, 1), (r, 2)])
+    b.ret(v)
+    assert isinstance(j.instructions[0], I.Phi)
+    verify_function(func, check_ssa=True)
+    assert run_module(module, entry="f").return_value == 1
+
+
+def test_terminators_via_builder():
+    module, func, b = empty_function()
+    e = func.add_block("entry")
+    out = func.add_block("out")
+    b.at(e).jump(out)
+    b.at(out).ret()
+    assert isinstance(e.terminator, I.Jump)
+    assert isinstance(out.terminator, I.Ret)
+    assert run_module(module, entry="f").return_value == 0

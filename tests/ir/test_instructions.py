@@ -1,0 +1,107 @@
+import pytest
+
+from repro.ir import instructions as I
+from repro.ir.basicblock import BasicBlock
+from repro.ir.values import Const, VReg
+from repro.memory.resources import MemName, MemoryVar, VarKind
+
+
+def test_binop_rejects_unknown_op():
+    with pytest.raises(ValueError):
+        I.BinOp(VReg("t"), "pow", Const(1), Const(2))
+
+
+def test_unop_rejects_unknown_op():
+    with pytest.raises(ValueError):
+        I.UnOp(VReg("t"), "sqrt", Const(1))
+
+
+def test_replace_operand_counts_and_replaces():
+    a, b = VReg("a"), VReg("b")
+    inst = I.BinOp(VReg("t"), "add", a, a)
+    assert inst.replace_operand(a, b) == 2
+    assert inst.lhs is b and inst.rhs is b
+
+
+def test_phi_incoming_manipulation():
+    b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+    v1, v2 = Const(1), Const(2)
+    phi = I.Phi(VReg("t"), [(b1, v1), (b2, v2)])
+    assert phi.value_for(b1) is v1
+    phi.set_incoming(b1, v2)
+    assert phi.value_for(b1) is v2
+    phi.remove_incoming(b2)
+    assert len(phi.incoming) == 1
+    assert phi.operands == [v2]
+    with pytest.raises(KeyError):
+        phi.value_for(b2)
+
+
+def test_phi_replace_operand_syncs_incoming():
+    b1 = BasicBlock("b1")
+    a, b = VReg("a"), VReg("b")
+    phi = I.Phi(VReg("t"), [(b1, a)])
+    assert phi.replace_operand(a, b) == 1
+    assert phi.value_for(b1) is b
+    assert phi.operands == [b]
+
+
+def test_memphi_tracks_names_and_uses():
+    x = MemoryVar("x")
+    b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+    n0, n1, n2 = MemName(x, 0), MemName(x, 1), MemName(x, 2)
+    phi = I.MemPhi(x, n2, [(b1, n0), (b2, n1)])
+    assert phi.dst_name is n2
+    assert n2.def_inst is phi
+    assert phi.mem_uses == [n0, n1]
+    assert phi.name_for(b2) is n1
+    n3 = MemName(x, 3)
+    assert phi.replace_mem_use(n1, n3) == 1
+    assert phi.mem_uses == [n0, n3]
+
+
+def test_singleton_ops_reject_aggregates():
+    arr = MemoryVar("A", VarKind.ARRAY, size=4)
+    with pytest.raises(ValueError):
+        I.Load(VReg("t"), arr)
+    with pytest.raises(ValueError):
+        I.Store(arr, Const(0))
+
+
+def test_addrof_marks_address_taken():
+    x = MemoryVar("x")
+    assert not x.address_taken
+    I.AddrOf(VReg("p"), x)
+    assert x.address_taken
+
+
+def test_aliased_classification():
+    x = MemoryVar("x")
+    assert I.Call(None, "f", []).is_aliased_mem_op
+    assert I.PtrLoad(VReg("t"), VReg("p")).is_aliased_mem_op
+    assert I.PtrStore(VReg("p"), Const(0)).is_aliased_mem_op
+    assert I.DummyAliasedLoad(MemName(x, 0)).is_aliased_mem_op
+    assert not I.Load(VReg("t"), x).is_aliased_mem_op
+    assert not I.Store(x, Const(0)).is_aliased_mem_op
+
+
+def test_side_effects_classification():
+    x = MemoryVar("x")
+    assert I.Store(x, Const(1)).has_side_effects
+    assert I.Call(None, "f", []).has_side_effects
+    assert I.Print([Const(1)]).has_side_effects
+    assert not I.BinOp(VReg("t"), "add", Const(1), Const(2)).has_side_effects
+    assert not I.Load(VReg("t"), x).has_side_effects
+
+
+def test_terminator_classification():
+    b = BasicBlock("b")
+    assert I.Jump(b).is_terminator
+    assert I.CondBr(Const(1), b, b).is_terminator
+    assert I.Ret().is_terminator
+    assert not I.Copy(VReg("t"), Const(1)).is_terminator
+
+
+def test_ret_value_accessor():
+    assert I.Ret().value is None
+    assert I.Ret(Const(3)).value == Const(3)

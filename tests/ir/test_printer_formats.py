@@ -1,0 +1,90 @@
+"""format_instruction coverage for every instruction class."""
+
+import pytest
+
+from repro.ir import instructions as I
+from repro.ir.basicblock import BasicBlock
+from repro.ir.printer import format_instruction
+from repro.ir.values import Const, VReg
+from repro.memory.resources import MemName, MemoryVar, VarKind
+
+
+@pytest.fixture
+def env():
+    x = MemoryVar("x")
+    arr = MemoryVar("A", VarKind.ARRAY, size=4)
+    b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+    return x, arr, b1, b2
+
+
+def test_arith_formats(env):
+    t, a = VReg("t"), VReg("a")
+    assert format_instruction(I.Copy(t, a)) == "%t = copy %a"
+    assert format_instruction(I.BinOp(t, "add", a, Const(2))) == "%t = add %a, 2"
+    assert format_instruction(I.UnOp(t, "neg", a)) == "%t = neg %a"
+
+
+def test_phi_formats(env):
+    x, arr, b1, b2 = env
+    t = VReg("t")
+    phi = I.Phi(t, [(b1, Const(1)), (b2, VReg("v"))])
+    assert format_instruction(phi) == "%t = phi [b1: 1, b2: %v]"
+    n0, n1, n2 = MemName(x, 0), MemName(x, 1), MemName(x, 2)
+    mphi = I.MemPhi(x, n2, [(b1, n0), (b2, n1)])
+    assert format_instruction(mphi) == "x_2 = memphi @x [b1: x_0, b2: x_1]"
+
+
+def test_memory_formats(env):
+    x, arr, b1, b2 = env
+    t = VReg("t")
+    load = I.Load(t, x)
+    assert format_instruction(load) == "%t = ld @x"
+    load.mem_uses = [MemName(x, 3)]
+    assert format_instruction(load) == "%t = ld @x[x_3]"
+    store = I.Store(x, Const(5))
+    assert format_instruction(store) == "st @x, 5"
+    store.mem_defs = [MemName(x, 4)]
+    assert format_instruction(store) == "st @x[x_4], 5"
+
+
+def test_pointer_and_array_formats(env):
+    x, arr, b1, b2 = env
+    t, p = VReg("t"), VReg("p")
+    assert format_instruction(I.AddrOf(p, x)) == "%p = addr @x"
+    assert format_instruction(I.Elem(p, arr, Const(2))) == "%p = elem @A, 2"
+    assert format_instruction(I.PtrLoad(t, p)) == "%t = ldp %p"
+    assert format_instruction(I.PtrStore(p, Const(1))) == "stp %p, 1"
+    assert format_instruction(I.ArrayLoad(t, arr, Const(0))) == "%t = lda @A, 0"
+    assert format_instruction(I.ArrayStore(arr, Const(0), t)) == "sta @A, 0, %t"
+
+
+def test_call_formats_with_mem_annotations(env):
+    x, arr, b1, b2 = env
+    r = VReg("r")
+    call = I.Call(r, "f", [Const(1), VReg("a")])
+    assert format_instruction(call) == "%r = call @f(1, %a)"
+    call.mem_uses = [MemName(x, 1)]
+    call.mem_defs = [MemName(x, 2)]
+    assert format_instruction(call) == "%r = call @f(1, %a)  ; use x_1 | def x_2"
+    assert format_instruction(call, with_mem=False) == "%r = call @f(1, %a)"
+    void_call = I.Call(None, "g", [])
+    assert format_instruction(void_call) == "call @g()"
+
+
+def test_dummy_and_print_formats(env):
+    x, arr, b1, b2 = env
+    dummy = I.DummyAliasedLoad(MemName(x, 5))
+    assert format_instruction(dummy) == "dummyload [x_5]"
+    pr = I.Print([Const(1), VReg("v")])
+    assert format_instruction(pr) == "print 1, %v"
+
+
+def test_terminator_formats(env):
+    x, arr, b1, b2 = env
+    assert format_instruction(I.Jump(b1)) == "jmp b1"
+    assert format_instruction(I.CondBr(VReg("c"), b1, b2)) == "br %c, b1, b2"
+    assert format_instruction(I.Ret()) == "ret"
+    assert format_instruction(I.Ret(Const(3))) == "ret 3"
+    ret = I.Ret()
+    ret.mem_uses = [MemName(x, 1)]
+    assert format_instruction(ret) == "ret  ; use x_1"

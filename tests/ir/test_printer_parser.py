@@ -1,0 +1,124 @@
+import pytest
+
+from repro.ir.parser import IRParseError, parse_module
+from repro.ir.printer import print_function, print_module
+from repro.ir.verify import verify_module
+
+from tests.support import diamond, nested_loops, simple_loop
+
+FULL_PROGRAM = """\
+module demo
+global @x = 3
+global @s.f = 0
+array @A[16] = 0
+
+func @helper(%a, %b) {
+b0:
+  %t1 = add %a, %b
+  ret %t1
+}
+
+func @main() {
+  local @y = 0
+  local @buf[4] = 9
+entry:
+  %t1 = ld @x
+  %t2 = mul %t1, 2
+  st @x, %t2
+  %p = addr @y
+  stp %p, 5
+  %t3 = ldp %p
+  %q = elem @A, 3
+  sta @A, 0, %t3
+  %t4 = lda @A, 0
+  %r = call @helper(%t4, 1)
+  call @helper(0, 0)
+  print %r, %t4
+  %c = lt %r, 10
+  br %c, then, els
+then:
+  %n = neg %r
+  jmp done
+els:
+  %m = copy %r
+  jmp done
+done:
+  %v = phi [then: %n, els: %m]
+  st @s.f, %v
+  ret %v
+}
+"""
+
+
+def test_round_trip_full_program():
+    module = parse_module(FULL_PROGRAM)
+    verify_module(module)
+    text1 = print_module(module, with_mem=False)
+    module2 = parse_module(text1)
+    verify_module(module2)
+    text2 = print_module(module2, with_mem=False)
+    assert text1 == text2
+
+
+def test_round_trip_preserves_structure():
+    module = parse_module(FULL_PROGRAM)
+    main = module.get_function("main")
+    assert [b.name for b in main.blocks] == ["entry", "then", "els", "done"]
+    assert main.frame_vars["y"].initial == 0
+    assert main.frame_vars["buf"].size == 4
+    assert module.get_global("x").initial == 3
+    assert module.get_global("s.f").name == "s.f"
+
+
+def test_parse_phi_forward_reference():
+    module, func = simple_loop()
+    verify_module(module, check_ssa=True)
+    header = func.find_block("header")
+    phi = next(header.phis())
+    blocks = sorted(b.name for b, _ in phi.incoming)
+    assert blocks == ["body", "entry"]
+
+
+def test_helpers_verify():
+    for factory in (diamond, simple_loop, nested_loops):
+        module, _ = factory()
+        verify_module(module, check_ssa=True)
+
+
+def test_printer_includes_preds_comment():
+    module, func = diamond()
+    text = print_function(func)
+    assert "; preds: entry" in text
+
+
+def test_parse_errors():
+    with pytest.raises(IRParseError):
+        parse_module("global @x = 0\nbogus line")
+    with pytest.raises(IRParseError):
+        parse_module("func @f() {\nentry:\n  %t = frobnicate 1\n  ret\n}")
+    with pytest.raises(IRParseError):
+        parse_module("func @f() {\nentry:\n  %t = ld @nosuch\n  ret\n}")
+    with pytest.raises(IRParseError):
+        parse_module("func @f() {\nentry:\n  ret\n")  # unterminated
+
+
+def test_parse_instruction_before_label_rejected():
+    with pytest.raises(IRParseError):
+        parse_module("func @f() {\n  %t = copy 1\nentry:\n  ret\n}")
+
+
+def test_comments_and_blank_lines_ignored():
+    module = parse_module(
+        """
+        ; leading comment
+        module m
+        global @x = 0   ; trailing
+
+        func @f() {
+        entry:          ; preds: none
+          %t = ld @x    ; use x_0
+          ret %t
+        }
+        """
+    )
+    assert module.get_function("f") is not None

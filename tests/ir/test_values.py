@@ -1,0 +1,31 @@
+from repro.ir.values import UNDEF, Const, Undef, VReg
+
+
+def test_const_equality_and_hash():
+    assert Const(3) == Const(3)
+    assert Const(3) != Const(4)
+    assert hash(Const(3)) == hash(Const(3))
+    assert str(Const(-7)) == "-7"
+
+
+def test_const_coerces_to_int():
+    assert Const(True).value == 1
+
+
+def test_undef_singleton_semantics():
+    assert Undef() == UNDEF
+    assert str(UNDEF) == "undef"
+
+
+def test_vreg_identity_not_name_equality():
+    a, b = VReg("t1"), VReg("t1")
+    assert a != b  # identity semantics
+    assert str(a) == "%t1"
+
+
+def test_vreg_def_inst_backref():
+    from repro.ir.instructions import Copy
+
+    dst = VReg("t1")
+    inst = Copy(dst, Const(1))
+    assert dst.def_inst is inst

@@ -1,0 +1,144 @@
+import pytest
+
+from repro.ir import instructions as I
+from repro.ir.parser import parse_module
+from repro.ir.values import Const, VReg
+from repro.ir.verify import VerificationError, verify_function, verify_module
+
+from tests.support import diamond, empty_function, simple_loop
+
+
+def test_accepts_valid_function():
+    module, func = diamond()
+    verify_function(func, check_ssa=True)
+
+
+def test_missing_terminator_rejected():
+    _, func, b = empty_function()
+    func.add_block("b1")
+    with pytest.raises(VerificationError, match="lacks a terminator"):
+        verify_function(func)
+
+
+def test_entry_with_preds_rejected():
+    _, func, b = empty_function()
+    b1 = func.add_block("b1")
+    b2 = func.add_block("b2")
+    b.at(b1).jump(b2)
+    b.at(b2).jump(b1)  # back into entry
+    with pytest.raises(VerificationError, match="entry block has predecessors"):
+        verify_function(func)
+
+
+def test_stale_pred_edge_rejected():
+    _, func, b = empty_function()
+    b1, b2 = func.add_block("b1"), func.add_block("b2")
+    b.at(b1).jump(b2)
+    b.at(b2).ret()
+    b2.preds.append(b2)  # corrupt
+    with pytest.raises(VerificationError, match="stale pred edge"):
+        verify_function(func)
+
+
+def test_missing_pred_edge_rejected():
+    _, func, b = empty_function()
+    b1, b2 = func.add_block("b1"), func.add_block("b2")
+    b.at(b1).jump(b2)
+    b.at(b2).ret()
+    b2.preds.clear()  # corrupt
+    with pytest.raises(VerificationError):
+        verify_function(func)
+
+
+def test_phi_after_non_phi_rejected():
+    _, func, b = empty_function()
+    b0, b1 = func.add_block("b0"), func.add_block("b1")
+    b.at(b0).jump(b1)
+    copy = I.Copy(func.new_reg(), Const(1))
+    b1.append(copy)
+    phi = I.Phi(func.new_reg(), [(b0, Const(1))])
+    b1.instructions.append(phi)  # bypass insert_at_front
+    phi.block = b1
+    b1.append(I.Ret())
+    with pytest.raises(VerificationError, match="phi after non-phi"):
+        verify_function(func)
+
+
+def test_double_definition_rejected():
+    _, func, b = empty_function()
+    b1 = func.add_block("b1")
+    reg = func.new_reg()
+    b1.append(I.Copy(reg, Const(1)))
+    second = I.Copy(reg, Const(2))
+    b1.append(second)
+    reg.def_inst = second
+    b.at(b1).ret()
+    with pytest.raises(VerificationError, match="defined more than once"):
+        verify_function(func, check_ssa=True)
+
+
+def test_use_before_def_in_block_rejected():
+    _, func, b = empty_function()
+    b1 = func.add_block("b1")
+    reg = func.new_reg()
+    use = I.Copy(func.new_reg(), reg)
+    b1.append(use)
+    b1.append(I.Copy(reg, Const(1)))
+    b.at(b1).ret()
+    with pytest.raises(VerificationError, match="used before local definition"):
+        verify_function(func, check_ssa=True)
+
+
+def test_undominated_use_rejected():
+    module = parse_module(
+        """
+        func @f() {
+        entry:
+          %c = copy 1
+          br %c, a, bjoin
+        a:
+          %t = add 1, 2
+          jmp bjoin
+        bjoin:
+          %u = add %t, 1
+          ret %u
+        }
+        """
+    )
+    with pytest.raises(VerificationError, match="does not dominate"):
+        verify_module(module, check_ssa=True)
+
+
+def test_phi_incoming_must_match_preds():
+    module, func = simple_loop()
+    header = func.find_block("header")
+    phi = next(header.phis())
+    phi.remove_incoming(func.find_block("body"))
+    with pytest.raises(VerificationError, match="incoming blocks"):
+        verify_function(func, check_ssa=True)
+
+
+def test_phi_use_checked_at_pred_end():
+    # A loop phi may use a value defined later in its own block via the
+    # back edge; that is legal SSA and must verify.
+    module, func = simple_loop()
+    verify_function(func, check_ssa=True)
+
+
+def test_undefined_use_rejected():
+    _, func, b = empty_function()
+    b1 = func.add_block("b1")
+    ghost = VReg("ghost")
+    b1.append(I.Copy(func.new_reg(), ghost))
+    b.at(b1).ret()
+    with pytest.raises(VerificationError, match="never defined"):
+        verify_function(func, check_ssa=True)
+
+
+def test_params_are_valid_uses():
+    _, func, b = empty_function(params=["a"])
+    b1 = func.add_block("b1")
+    b.at(b1)
+    t = b.add(func.params[0], 1)
+    b.ret(t)
+    verify_function(func, check_ssa=True)

@@ -1,0 +1,92 @@
+"""Verifier coverage for memory-SSA invariants."""
+
+import pytest
+
+from repro.ir import instructions as I
+from repro.ir.parser import parse_module
+from repro.ir.verify import VerificationError, verify_function
+from repro.memory.aliasing import AliasModel
+from repro.memory.memssa import build_memory_ssa
+
+from tests.support import diamond, simple_loop
+
+
+def _built(factory):
+    module, func = factory()
+    build_memory_ssa(func, AliasModel.conservative(module))
+    return module, func
+
+
+def test_valid_memssa_accepted():
+    for factory in (diamond, simple_loop):
+        module, func = _built(factory)
+        verify_function(func, check_ssa=True, check_memssa=True)
+
+
+def test_double_memory_definition_rejected():
+    module, func = _built(simple_loop)
+    store = next(i for i in func.instructions() if isinstance(i, I.Store))
+    dup = I.Store(store.var, store.value)
+    dup.mem_defs = [store.mem_defs[0]]  # same name defined twice
+    store.block.insert_after(dup, store)
+    with pytest.raises(VerificationError, match="defined more than once"):
+        verify_function(func, check_memssa=True)
+
+
+def test_stale_def_inst_rejected():
+    module, func = _built(simple_loop)
+    store = next(i for i in func.instructions() if isinstance(i, I.Store))
+    store.mem_defs[0].def_inst = None  # corrupt the backref
+    with pytest.raises(VerificationError, match="stale def_inst"):
+        verify_function(func, check_memssa=True)
+
+
+def test_memphi_incoming_mismatch_rejected():
+    module, func = _built(simple_loop)
+    phi = next(i for i in func.instructions() if isinstance(i, I.MemPhi))
+    phi.remove_incoming(func.find_block("body"))
+    with pytest.raises(VerificationError, match="incoming blocks"):
+        verify_function(func, check_memssa=True)
+
+
+def test_undominated_memory_use_rejected():
+    module, func = _built(diamond)
+    # Make the ret use a name defined only on the left arm.
+    left_store = next(
+        i
+        for i in func.instructions()
+        if isinstance(i, I.Store) and i.block.name == "left"
+    )
+    ret = func.find_block("join").terminator
+    ret.mem_uses = [left_store.mem_defs[0]]
+    with pytest.raises(VerificationError, match="does not dominate"):
+        verify_function(func, check_memssa=True)
+
+
+def test_use_before_definition_in_block_rejected():
+    module, func = _built(simple_loop)
+    store = next(i for i in func.instructions() if isinstance(i, I.Store))
+    load = next(i for i in func.instructions() if isinstance(i, I.Load))
+    # The load precedes the store in `body`; point it at the store's name.
+    load.mem_uses = [store.mem_defs[0]]
+    with pytest.raises(VerificationError, match="used before definition"):
+        verify_function(func, check_memssa=True)
+
+
+def test_never_defined_name_rejected():
+    module, func = _built(simple_loop)
+    load = next(i for i in func.instructions() if isinstance(i, I.Load))
+    orphan = func.new_mem_name(load.var)
+    load.mem_uses = [orphan]
+    with pytest.raises(VerificationError, match="never defined"):
+        verify_function(func, check_memssa=True)
+
+
+def test_entry_names_exempt_from_dominance():
+    module, func = _built(diamond)
+    from repro.memory.resources import MemName
+
+    entry_name = MemName(module.get_global("x"), 0, None)
+    ret = func.find_block("join").terminator
+    ret.mem_uses = [entry_name]
+    verify_function(func, check_memssa=True)  # version 0 is always fine

@@ -1,0 +1,190 @@
+from repro.ir import instructions as I
+from repro.ir.parser import parse_module
+from repro.memory.aliasing import AliasModel
+
+PROGRAM = """
+module m
+global @g1 = 0
+global @g2 = 0
+array @A[4] = 0
+
+func @leaf() {
+entry:
+  %t = ld @g1
+  st @g1, %t
+  ret
+}
+
+func @mid() {
+entry:
+  %r = call @leaf()
+  ret
+}
+
+func @ptr_user() {
+  local @y = 0
+entry:
+  %p = addr @y
+  %t = ldp %p
+  stp %p, 1
+  ret
+}
+
+func @extern_caller() {
+entry:
+  %r = call @unknown()
+  ret
+}
+"""
+
+
+def _instrs(func, cls):
+    return [i for i in func.instructions() if isinstance(i, cls)]
+
+
+def test_conservative_call_touches_all_globals():
+    module = parse_module(PROGRAM)
+    model = AliasModel.conservative(module)
+    func = module.get_function("mid")
+    call = _instrs(func, I.Call)[0]
+    use = [v.name for v in model.may_use_vars(func, call)]
+    deff = [v.name for v in model.may_def_vars(func, call)]
+    assert use == ["g1", "g2"]
+    assert deff == ["g1", "g2"]
+
+
+def test_load_store_touch_only_their_var():
+    module = parse_module(PROGRAM)
+    model = AliasModel.conservative(module)
+    func = module.get_function("leaf")
+    load = _instrs(func, I.Load)[0]
+    store = _instrs(func, I.Store)[0]
+    assert [v.name for v in model.may_use_vars(func, load)] == ["g1"]
+    assert model.may_def_vars(func, load) == []
+    assert [v.name for v in model.may_def_vars(func, store)] == ["g1"]
+    assert model.may_use_vars(func, store) == []
+
+
+def test_ret_observes_globals_not_locals():
+    module = parse_module(PROGRAM)
+    model = AliasModel.conservative(module)
+    func = module.get_function("ptr_user")
+    ret = _instrs(func, I.Ret)[0]
+    assert [v.name for v in model.may_use_vars(func, ret)] == ["g1", "g2"]
+
+
+def test_pointer_ops_touch_address_taken_scalars():
+    module = parse_module(PROGRAM)
+    model = AliasModel.conservative(module)
+    func = module.get_function("ptr_user")
+    pload = _instrs(func, I.PtrLoad)[0]
+    pstore = _instrs(func, I.PtrStore)[0]
+    # Only @y has its address taken (by the addr instruction at parse).
+    assert [v.name for v in model.may_use_vars(func, pload)] == ["y"]
+    # Chi semantics: a may-def also uses the incoming value.
+    assert [v.name for v in model.may_use_vars(func, pstore)] == ["y"]
+    assert [v.name for v in model.may_def_vars(func, pstore)] == ["y"]
+
+
+def test_call_includes_exposed_locals():
+    module = parse_module(PROGRAM)
+    model = AliasModel.conservative(module)
+    func = module.get_function("ptr_user")
+    # Append a call and check its effects include the exposed local.
+    call = I.Call(None, "leaf", [])
+    use = [v.name for v in model.may_use_vars(func, call) if True]
+    # Build the instruction set without inserting; effects depend only on
+    # the function and callee.
+    assert "y" in [v.name for v in model.call_effects(func, "leaf")[0]]
+
+
+def test_modref_summaries_precision():
+    module = parse_module(PROGRAM)
+    model = AliasModel.with_modref_summaries(module)
+    mid = module.get_function("mid")
+    use, deff = model.call_effects(mid, "leaf")
+    assert [v.name for v in use] == ["g1"]
+    assert [v.name for v in deff] == ["g1"]
+
+
+def test_modref_unknown_callee_is_conservative():
+    module = parse_module(PROGRAM)
+    model = AliasModel.with_modref_summaries(module)
+    func = module.get_function("extern_caller")
+    use, deff = model.call_effects(func, "unknown")
+    assert [v.name for v in use] == ["g1", "g2"]
+
+
+def test_modref_transitive_through_call_chain():
+    module = parse_module(PROGRAM)
+    model = AliasModel.with_modref_summaries(module)
+    assert model.modref["mid"][0] == {"g1"}
+    assert model.modref["mid"][1] == {"g1"}
+    # ptr_user touches no globals (its pointer only reaches @y).
+    assert model.modref["ptr_user"] == (set(), set())
+
+
+def test_tracked_vars_sorted_and_scalar_only():
+    module = parse_module(PROGRAM)
+    model = AliasModel.conservative(module)
+    func = module.get_function("ptr_user")
+    names = [v.name for v in model.tracked_vars(func)]
+    assert names == ["g1", "g2", "y"]  # array @A excluded
+
+
+def test_modref_may_def_implies_use():
+    # Chi semantics with summaries: a callee that writes a global on one
+    # path only MAY define it, so the call must also use the incoming
+    # value — otherwise a live caller-side store looks dead (regression
+    # test for a bug found by option-matrix fuzzing).
+    module = parse_module(
+        """
+        module m
+        global @g = 0
+        func @writer(%c) {
+        entry:
+          br %c, doit, skip
+        doit:
+          st @g, 1
+          jmp skip
+        skip:
+          ret
+        }
+        func @main() {
+        entry:
+          st @g, 6
+          %r = call @writer(0)
+          %t = ld @g
+          ret %t
+        }
+        """
+    )
+    model = AliasModel.with_modref_summaries(module)
+    func = module.get_function("main")
+    use, deff = model.call_effects(func, "writer")
+    assert [v.name for v in deff] == ["g"]
+    assert [v.name for v in use] == ["g"]  # chi: def implies use
+
+
+def test_modref_end_to_end_semantics():
+    from repro.frontend.lower import compile_source
+    from repro.profile.interp import run_module
+    from repro.promotion.pipeline import PromotionPipeline
+
+    src = """
+    int g = 0;
+    void writer(int c) { if (c) g = 1; }
+    int main() {
+        g = 6;
+        writer(0);
+        print(g);
+        return g;
+    }
+    """
+    baseline = run_module(compile_source(src))
+    module = compile_source(src)
+    result = PromotionPipeline(
+        alias_model=AliasModel.with_modref_summaries
+    ).run(module)
+    assert result.output_matches
+    assert run_module(module).output == baseline.output == [(6,)]

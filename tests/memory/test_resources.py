@@ -1,0 +1,22 @@
+from repro.memory.resources import MemName, MemoryVar, VarKind
+
+
+def test_scalar_kinds_promotable():
+    assert MemoryVar("x", VarKind.GLOBAL).promotable
+    assert MemoryVar("y", VarKind.LOCAL).promotable
+    assert MemoryVar("s.f", VarKind.FIELD).promotable
+    assert not MemoryVar("A", VarKind.ARRAY, size=4).promotable
+
+
+def test_memname_repr_and_entry():
+    x = MemoryVar("x")
+    assert str(MemName(x, 0)) == "x_0"
+    assert MemName(x, 0).is_entry
+    assert not MemName(x, 3).is_entry
+
+
+def test_memoryvar_defaults():
+    x = MemoryVar("x", initial=7)
+    assert x.initial == 7
+    assert x.size == 1
+    assert not x.address_taken

@@ -1,0 +1,282 @@
+import pytest
+
+from repro.ir.parser import parse_module
+from repro.profile.interp import Interpreter, InterpreterError, run_module
+
+from tests.support import simple_loop
+
+
+def test_arithmetic_and_return():
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          %a = add 2, 3
+          %b = mul %a, %a
+          %c = sub %b, 5
+          ret %c
+        }
+        """
+    )
+    assert run_module(module).return_value == 20
+
+
+def test_division_truncates_toward_zero():
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          %a = div -7, 2
+          %b = rem -7, 2
+          %c = div 7, -2
+          print %a, %b, %c
+          ret
+        }
+        """
+    )
+    assert run_module(module).output == [(-3, -1, -3)]
+
+
+def test_division_by_zero_is_total():
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          %a = div 5, 0
+          %b = rem 5, 0
+          print %a, %b
+          ret
+        }
+        """
+    )
+    assert run_module(module).output == [(0, 0)]
+
+
+def test_comparisons_and_branches():
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          %c = lt 3, 5
+          br %c, yes, no
+        yes:
+          print 1
+          ret
+        no:
+          print 0
+          ret
+        }
+        """
+    )
+    assert run_module(module).output == [(1,)]
+
+
+def test_loop_counts_and_profile():
+    module, func = simple_loop(trip_count=10)
+    result = run_module(module, entry="loop")
+    assert result.loads == 10
+    assert result.stores == 10
+    assert result.block_counts[func.find_block("body")] == 10
+    assert result.block_counts[func.find_block("header")] == 11
+    assert result.block_counts[func.find_block("exitb")] == 1
+
+
+def test_globals_persist_across_calls():
+    module = parse_module(
+        """
+        module m
+        global @x = 5
+        func @bump() {
+        entry:
+          %t = ld @x
+          %t2 = add %t, 1
+          st @x, %t2
+          ret
+        }
+        func @main() {
+        entry:
+          %r1 = call @bump()
+          %r2 = call @bump()
+          %t = ld @x
+          ret %t
+        }
+        """
+    )
+    result = run_module(module)
+    assert result.return_value == 7
+    assert result.globals_snapshot()["x"] == 7
+    assert result.calls == 2
+
+
+def test_locals_fresh_per_activation():
+    module = parse_module(
+        """
+        module m
+        func @f(%n) {
+          local @y = 100
+        entry:
+          st @y, %n
+          %c = gt %n, 0
+          br %c, rec, done
+        rec:
+          %m = sub %n, 1
+          %r = call @f(%m)
+          jmp done
+        done:
+          %t = ld @y
+          ret %t
+        }
+        func @main() {
+        entry:
+          %r = call @f(3)
+          ret %r
+        }
+        """
+    )
+    assert run_module(module).return_value == 3
+
+
+def test_pointers_and_arrays():
+    module = parse_module(
+        """
+        module m
+        global @x = 1
+        array @A[4] = 7
+        func @main() {
+        entry:
+          %p = addr @x
+          stp %p, 42
+          %t = ldp %p
+          %q = elem @A, 2
+          stp %q, %t
+          %u = lda @A, 2
+          %v = lda @A, 0
+          print %t, %u, %v
+          ret
+        }
+        """
+    )
+    result = run_module(module)
+    assert result.output == [(42, 42, 7)]
+    assert result.ptr_loads == 1 and result.ptr_stores == 2
+    assert result.array_loads == 2
+
+
+def test_array_bounds_checked():
+    module = parse_module(
+        """
+        module m
+        array @A[2] = 0
+        func @main() {
+        entry:
+          %t = lda @A, 5
+          ret
+        }
+        """
+    )
+    with pytest.raises(InterpreterError, match="out of bounds"):
+        run_module(module)
+
+
+def test_phi_parallel_evaluation_swap():
+    # Classic swap: both phis must read the *old* values.
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          jmp header
+        header:
+          %a = phi [entry: 1, body: %b]
+          %b = phi [entry: 2, body: %a]
+          %i = phi [entry: 0, body: %i2]
+          %c = lt %i, 3
+          br %c, body, done
+        body:
+          %i2 = add %i, 1
+          jmp header
+        done:
+          print %a, %b
+          ret
+        }
+        """
+    )
+    # After 3 swaps: (2, 1).
+    assert run_module(module).output == [(2, 1)]
+
+
+def test_step_budget_enforced():
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          jmp spin
+        spin:
+          jmp spin
+        }
+        """
+    )
+    with pytest.raises(InterpreterError, match="steps"):
+        Interpreter(module, max_steps=1000).run()
+
+
+def test_recursion_budget_enforced():
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          %r = call @main()
+          ret
+        }
+        """
+    )
+    with pytest.raises(InterpreterError, match="recursion"):
+        run_module(module)
+
+
+def test_unknown_callee_rejected_unless_registered():
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          %r = call @mystery(4)
+          ret %r
+        }
+        """
+    )
+    with pytest.raises(InterpreterError, match="unknown callee"):
+        run_module(module)
+    result = Interpreter(module, externals={"mystery": lambda a: a * 2}).run()
+    assert result.return_value == 8
+
+
+def test_missing_args_default_to_zero():
+    module = parse_module(
+        """
+        func @f(%a, %b) {
+        entry:
+          %t = add %a, %b
+          ret %t
+        }
+        func @main() {
+        entry:
+          %r = call @f(5)
+          ret %r
+        }
+        """
+    )
+    assert run_module(module).return_value == 5
+
+
+def test_shift_masking():
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          %a = shl 1, 65
+          %b = shr -8, 1
+          print %a, %b
+          ret
+        }
+        """
+    )
+    assert run_module(module).output == [(2, -4)]

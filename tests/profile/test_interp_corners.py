@@ -1,0 +1,180 @@
+"""Interpreter corners: externals, copies, snapshots, frames."""
+
+import pytest
+
+from repro.ir.parser import parse_module
+from repro.profile.interp import Interpreter, InterpreterError, run_module
+
+
+def test_external_returning_none_becomes_zero():
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          %r = call @sink(9)
+          ret %r
+        }
+        """
+    )
+    seen = []
+    result = Interpreter(module, externals={"sink": seen.append}).run()
+    assert result.return_value == 0
+    assert seen == [9]
+
+
+def test_copies_counted():
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          %a = copy 1
+          %b = copy %a
+          ret %b
+        }
+        """
+    )
+    result = run_module(module)
+    assert result.copies == 2
+
+
+def test_globals_snapshot_scalars_only():
+    module = parse_module(
+        """
+        module m
+        global @x = 3
+        array @A[4] = 9
+        global @s.f = 1
+        func @main() {
+        entry:
+          st @x, 5
+          ret
+        }
+        """
+    )
+    snapshot = run_module(module).globals_snapshot()
+    assert snapshot == {"x": 5, "s.f": 1}
+
+
+def test_extra_call_arguments_ignored():
+    module = parse_module(
+        """
+        func @f(%a) {
+        entry:
+          ret %a
+        }
+        func @main() {
+        entry:
+          %r = call @f(1, 2, 3)
+          ret %r
+        }
+        """
+    )
+    assert run_module(module).return_value == 1
+
+
+def test_arithmetic_on_pointer_rejected():
+    module = parse_module(
+        """
+        module m
+        global @x = 0
+        func @main() {
+        entry:
+          %p = addr @x
+          %b = add %p, 1
+          ret %b
+        }
+        """
+    )
+    with pytest.raises(InterpreterError, match="expected integer"):
+        run_module(module)
+
+
+def test_deref_of_integer_rejected():
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          %t = ldp 5
+          ret %t
+        }
+        """
+    )
+    with pytest.raises(InterpreterError, match="expected pointer"):
+        run_module(module)
+
+
+def test_block_counts_cover_every_executed_block():
+    module = parse_module(
+        """
+        func @main(%c) {
+        entry:
+          br %c, a, b
+        a:
+          ret 1
+        b:
+          ret 2
+        }
+        """
+    )
+    result = run_module(module, args=[1])
+    counted = {b.name for b in result.block_counts}
+    assert counted == {"entry", "a"}
+
+
+def test_steps_monotone_with_work():
+    module_small = parse_module(
+        "func @main() {\nentry:\n  ret 0\n}"
+    )
+    module_large = parse_module(
+        """
+        func @main() {
+        entry:
+          jmp h
+        h:
+          %i = phi [entry: 0, body: %i2]
+          %c = lt %i, 50
+          br %c, body, out
+        body:
+          %i2 = add %i, 1
+          jmp h
+        out:
+          ret 0
+        }
+        """
+    )
+    assert run_module(module_large).steps > run_module(module_small).steps
+
+
+def test_elem_pointer_to_specific_cell():
+    module = parse_module(
+        """
+        module m
+        array @A[3] = 0
+        func @main() {
+        entry:
+          %p = elem @A, 1
+          stp %p, 42
+          %a0 = lda @A, 0
+          %a1 = lda @A, 1
+          print %a0, %a1
+          ret
+        }
+        """
+    )
+    assert run_module(module).output == [(0, 42)]
+
+
+def test_elem_bounds_checked_at_creation():
+    module = parse_module(
+        """
+        module m
+        array @A[3] = 0
+        func @main() {
+        entry:
+          %p = elem @A, 7
+          ret
+        }
+        """
+    )
+    with pytest.raises(InterpreterError, match="out of bounds"):
+        run_module(module)

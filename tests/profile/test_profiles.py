@@ -1,0 +1,52 @@
+from repro.profile.estimator import estimate_profile
+from repro.profile.interp import run_module
+from repro.profile.profiles import ProfileData
+
+from tests.support import nested_loops, simple_loop
+
+
+def test_profile_from_execution():
+    module, func = simple_loop(trip_count=4)
+    result = run_module(module, entry="loop")
+    profile = ProfileData.from_execution(result)
+    assert profile.freq(func.find_block("body")) == 4
+    assert profile.freq(func.find_block("header")) == 5
+    assert profile.freq_of(func.find_block("body").instructions[0]) == 4
+
+
+def test_unknown_block_is_zero():
+    module, func = simple_loop()
+    profile = ProfileData()
+    assert profile.freq(func.find_block("body")) == 0
+
+
+def test_set_and_scale():
+    module, func = simple_loop()
+    profile = ProfileData()
+    body = func.find_block("body")
+    profile.set_freq(body, 100)
+    assert profile.scale(0.5).freq(body) == 50
+
+
+def test_total_and_covered():
+    module, func = simple_loop(trip_count=2)
+    result = run_module(module, entry="loop")
+    profile = ProfileData.from_execution(result)
+    assert profile.total(func.blocks) == 1 + 3 + 2 + 1
+    assert profile.covered(module) == 4
+
+
+def test_estimator_orders_by_loop_depth():
+    module, func = nested_loops()
+    profile = estimate_profile(module)
+    entry = profile.freq(func.find_block("entry"))
+    outer = profile.freq(func.find_block("olatch"))
+    inner = profile.freq(func.find_block("ibody"))
+    assert entry < outer < inner
+
+
+def test_estimator_covers_all_blocks():
+    module, func = nested_loops()
+    profile = estimate_profile(module)
+    for block in func.blocks:
+        assert profile.freq(block) >= 1

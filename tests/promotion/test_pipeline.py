@@ -1,0 +1,385 @@
+"""Pipeline-level behavioural tests: semantics preservation, options, and
+edge cases (pointers, exposed locals, struct fields, irreducible CFGs)."""
+
+import pytest
+
+from repro.ir import instructions as I
+from repro.ir.parser import parse_module
+from repro.profile.interp import run_module
+from repro.promotion.driver import PromotionOptions
+from repro.promotion.pipeline import PromotionPipeline, improvement
+
+from tests.support import irreducible
+
+
+def _run_both(text, entry="main", args=()):
+    baseline = run_module(parse_module(text), entry=entry, args=list(args))
+    module = parse_module(text)
+    result = PromotionPipeline(entry=entry, args=list(args)).run(module)
+    after = run_module(module, entry=entry, args=list(args))
+    assert after.output == baseline.output
+    assert after.return_value == baseline.return_value
+    assert after.globals_snapshot() == baseline.globals_snapshot()
+    assert result.output_matches
+    return module, result, baseline, after
+
+
+def test_improvement_formula():
+    assert improvement(100, 75) == 25.0
+    assert improvement(100, 114) == pytest.approx(-14.0)
+    assert improvement(0, 5) == 0.0
+
+
+def test_simple_loop_promoted():
+    module, result, before, after = _run_both(
+        """
+        module m
+        global @x = 0
+        func @main() {
+        entry:
+          jmp h
+        h:
+          %i = phi [entry: 0, body: %i2]
+          %c = lt %i, 50
+          br %c, body, out
+        body:
+          %t = ld @x
+          %t2 = add %t, 3
+          st @x, %t2
+          %i2 = add %i, 1
+          jmp h
+        out:
+          %r = ld @x
+          ret %r
+        }
+        """
+    )
+    assert after.globals_snapshot()["x"] == 150
+    assert result.dynamic_after.total <= 3
+    assert result.dynamic_before.total == 101
+
+
+def test_pointer_aliasing_preserved():
+    # A pointer store may hit the promoted global: the compensation code
+    # must keep register and memory consistent.
+    module, result, before, after = _run_both(
+        """
+        module m
+        global @x = 0
+        func @main() {
+        entry:
+          %p = addr @x
+          jmp h
+        h:
+          %i = phi [entry: 0, latch: %i2]
+          %c = lt %i, 20
+          br %c, body, out
+        body:
+          %t = ld @x
+          %t2 = add %t, 1
+          st @x, %t2
+          %cc = eq %i, 10
+          br %cc, hit, latch
+        hit:
+          stp %p, 1000
+          jmp latch
+        latch:
+          %i2 = add %i, 1
+          jmp h
+        out:
+          %r = ld @x
+          print %r
+          ret %r
+        }
+        """
+    )
+    # 11 increments, then 1000, then 9 more increments.
+    assert after.output == [(1009,)]
+
+
+def test_pointer_load_sees_promoted_value():
+    module, result, before, after = _run_both(
+        """
+        module m
+        global @x = 0
+        func @main() {
+        entry:
+          %p = addr @x
+          jmp h
+        h:
+          %i = phi [entry: 0, latch: %i2]
+          %c = lt %i, 10
+          br %c, body, out
+        body:
+          %t = ld @x
+          %t2 = add %t, 1
+          st @x, %t2
+          %cc = eq %i, 5
+          br %cc, peek, latch
+        peek:
+          %v = ldp %p
+          print %v
+          jmp latch
+        latch:
+          %i2 = add %i, 1
+          jmp h
+        out:
+          ret
+        }
+        """
+    )
+    assert after.output == [(6,)]
+
+
+def test_recursive_function_with_global():
+    _run_both(
+        """
+        module m
+        global @depth = 0
+        func @rec(%n) {
+        entry:
+          %t = ld @depth
+          %t2 = add %t, 1
+          st @depth, %t2
+          %c = gt %n, 0
+          br %c, go, done
+        go:
+          %m = sub %n, 1
+          %r = call @rec(%m)
+          jmp done
+        done:
+          ret %n
+        }
+        func @main() {
+        entry:
+          %r = call @rec(5)
+          %d = ld @depth
+          print %d
+          ret
+        }
+        """
+    )
+
+
+def test_struct_field_promoted():
+    module, result, before, after = _run_both(
+        """
+        module m
+        global @s.count = 0
+        global @s.limit = 7
+        func @main() {
+        entry:
+          jmp h
+        h:
+          %i = phi [entry: 0, body: %i2]
+          %lim = ld @s.limit
+          %c = lt %i, %lim
+          br %c, body, out
+        body:
+          %t = ld @s.count
+          %t2 = add %t, 2
+          st @s.count, %t2
+          %i2 = add %i, 1
+          jmp h
+        out:
+          %r = ld @s.count
+          ret %r
+        }
+        """
+    )
+    assert after.return_value == 14
+    assert result.dynamic_after.total < result.dynamic_before.total
+
+
+def test_exposed_local_promotable_when_calls_absent():
+    module, result, before, after = _run_both(
+        """
+        module m
+        func @main() {
+          local @acc = 0
+        entry:
+          %p = addr @acc
+          jmp h
+        h:
+          %i = phi [entry: 0, body: %i2]
+          %c = lt %i, 30
+          br %c, body, out
+        body:
+          %t = ld @acc
+          %t2 = add %t, %i
+          st @acc, %t2
+          %i2 = add %i, 1
+          jmp h
+        out:
+          %r = ldp %p
+          ret %r
+        }
+        """
+    )
+    assert after.return_value == sum(range(30))
+    main = module.get_function("main")
+    body = main.find_block("body")
+    assert not any(isinstance(i, (I.Load, I.Store)) for i in body.instructions)
+
+
+def test_irreducible_cfg_promotes_safely():
+    module, func = irreducible()
+    baseline = run_module(module, entry="irr")
+    module2, func2 = irreducible()
+    result = PromotionPipeline(entry="irr").run(module2)
+    after = run_module(module2, entry="irr")
+    assert after.return_value == baseline.return_value
+    assert result.output_matches
+
+
+def test_multiple_globals_independent():
+    module, result, before, after = _run_both(
+        """
+        module m
+        global @a = 0
+        global @b = 100
+        func @main() {
+        entry:
+          jmp h
+        h:
+          %i = phi [entry: 0, body: %i2]
+          %c = lt %i, 25
+          br %c, body, out
+        body:
+          %ta = ld @a
+          %ta2 = add %ta, 1
+          st @a, %ta2
+          %tb = ld @b
+          %tb2 = sub %tb, 2
+          st @b, %tb2
+          %i2 = add %i, 1
+          jmp h
+        out:
+          ret
+        }
+        """
+    )
+    assert after.globals_snapshot() == {"a": 25, "b": 50}
+    assert result.dynamic_after.total <= 6
+
+
+def test_option_no_store_removal():
+    text = """
+    module m
+    global @x = 0
+    func @main() {
+    entry:
+      jmp h
+    h:
+      %i = phi [entry: 0, body: %i2]
+      %c = lt %i, 50
+      br %c, body, out
+    body:
+      %t = ld @x
+      %t2 = add %t, 3
+      st @x, %t2
+      %i2 = add %i, 1
+      jmp h
+    out:
+      %r = ld @x
+      ret %r
+    }
+    """
+    module = parse_module(text)
+    options = PromotionOptions(remove_stores=False)
+    result = PromotionPipeline(options=options).run(module)
+    assert result.output_matches
+    # Loads went away, stores stayed: "a variable resides in memory and
+    # in a virtual register simultaneously".
+    assert result.dynamic_after.loads < result.dynamic_before.loads
+    assert result.dynamic_after.stores == result.dynamic_before.stores
+
+
+def test_option_no_root_promotion():
+    text = """
+    module m
+    global @x = 0
+    func @main() {
+    entry:
+      %t = ld @x
+      %t2 = add %t, 1
+      st @x, %t2
+      %u = ld @x
+      ret %u
+    }
+    """
+    module = parse_module(text)
+    options = PromotionOptions(promote_root=False)
+    result = PromotionPipeline(options=options).run(module)
+    assert result.output_matches
+    # Straight-line code untouched without the root region.
+    assert result.static_after.loads == result.static_before.loads
+
+
+def test_profile_blind_option_still_correct():
+    module = parse_module(
+        """
+        module m
+        global @x = 0
+        func @main() {
+        entry:
+          jmp h
+        h:
+          %i = phi [entry: 0, latch: %i2]
+          %c = lt %i, 10
+          br %c, body, out
+        body:
+          %t = ld @x
+          %t2 = add %t, 1
+          st @x, %t2
+          %r = call @foo()
+          jmp latch
+        latch:
+          %i2 = add %i, 1
+          jmp h
+        out:
+          %u = ld @x
+          ret %u
+        }
+        func @foo() {
+        entry:
+          ret
+        }
+        """
+    )
+    options = PromotionOptions(require_profit=False)
+    result = PromotionPipeline(options=options).run(module)
+    # Promoting against the profile's advice is allowed to be slower but
+    # must stay correct.
+    assert result.output_matches
+
+
+def test_stats_populated():
+    module = parse_module(
+        """
+        module m
+        global @x = 0
+        func @main() {
+        entry:
+          jmp h
+        h:
+          %i = phi [entry: 0, body: %i2]
+          %c = lt %i, 50
+          br %c, body, out
+        body:
+          %t = ld @x
+          %t2 = add %t, 3
+          st @x, %t2
+          %i2 = add %i, 1
+          jmp h
+        out:
+          ret
+        }
+        """
+    )
+    result = PromotionPipeline().run(module)
+    totals = result.totals()
+    assert totals.webs_promoted >= 1
+    assert totals.loads_replaced >= 1
+    assert totals.reg_phis_created >= 1
+    assert "dynamic loads" in result.report()

@@ -1,0 +1,48 @@
+"""The register-pressure-aware gating extension (Table 3's trade-off)."""
+
+from repro.bench.workloads import WORKLOADS
+from repro.frontend.lower import compile_source
+from repro.promotion.driver import PromotionOptions
+from repro.promotion.pipeline import PromotionPipeline
+from repro.regalloc.coloring import colors_needed
+from repro.regalloc.interference import build_interference_graph
+
+SRC = WORKLOADS["go"].source
+
+
+def _run(limit):
+    module = compile_source(SRC)
+    options = PromotionOptions(pressure_limit=limit)
+    result = PromotionPipeline(options=options).run(module)
+    assert result.output_matches
+    colors = max(
+        colors_needed(build_interference_graph(f))
+        for f in module.functions.values()
+    )
+    return result, colors
+
+
+def test_tight_limit_caps_pressure():
+    limited, colors_limited = _run(limit=5)
+    unlimited, colors_unlimited = _run(limit=None)
+    assert colors_limited <= max(5, colors_unlimited)
+    # The cap costs dynamic improvement: the trade-off is real.
+    assert (
+        limited.dynamic_after.total >= unlimited.dynamic_after.total
+    )
+
+
+def test_limit_sweep_monotone_improvement():
+    # Looser pressure budgets monotonically (weakly) improve dynamic
+    # counts, converging to the unlimited result.
+    totals = []
+    for limit in (4, 6, 10, None):
+        result, _ = _run(limit)
+        totals.append(result.dynamic_after.total)
+    assert totals[0] >= totals[1] >= totals[2] >= totals[3]
+
+
+def test_semantics_preserved_under_any_limit():
+    for limit in (1, 3, 7):
+        result, _ = _run(limit)
+        assert result.output_matches

@@ -1,0 +1,227 @@
+from repro.analysis.dominance import DominatorTree
+from repro.analysis.intervals import normalize_for_promotion
+from repro.ir.parser import parse_module
+from repro.memory.aliasing import AliasModel
+from repro.memory.memssa import build_memory_ssa
+from repro.profile.profiles import ProfileData
+from repro.promotion.profitability import plan_no_defs_web, plan_web
+from repro.promotion.webs import construct_ssa_webs
+
+COLD_CALL_LOOP = """
+module m
+global @x = 0
+func @main() {
+entry:
+  jmp h
+h:
+  %i = phi [entry: 0, latch: %i2]
+  %c = lt %i, 100
+  br %c, body, done
+body:
+  %t1 = ld @x
+  %t2 = add %t1, 1
+  st @x, %t2
+  %cc = lt %t2, 30
+  br %cc, cold, latch
+cold:
+  %r = call @foo()
+  jmp latch
+latch:
+  %i2 = add %i, 1
+  jmp h
+done:
+  ret
+}
+func @foo() {
+entry:
+  ret
+}
+"""
+
+
+def _prepare(text, freqs):
+    module = parse_module(text)
+    func = module.get_function("main")
+    tree = normalize_for_promotion(func)
+    build_memory_ssa(func, AliasModel.conservative(module))
+    profile = ProfileData()
+    for block in func.blocks:
+        profile.set_freq(block, freqs.get(block.name, 1))
+    return module, func, tree, profile
+
+
+def _loop_plan(func, tree, profile):
+    loop = tree.intervals[0]
+    webs = construct_ssa_webs(func, loop)
+    assert len(webs) == 1
+    return plan_web(webs[0], profile, DominatorTree.compute(func))
+
+
+def test_cold_call_promotion_profitable():
+    module, func, tree, profile = _prepare(
+        COLD_CALL_LOOP,
+        {"entry": 1, "h": 101, "body": 100, "cold": 4, "latch": 100, "done": 1},
+    )
+    plan = _loop_plan(func, tree, profile)
+    # Replace the hot load (100) at the cost of a reload in cold (4) plus
+    # the preheader load (1).
+    assert len(plan.replaceable_loads) == 1
+    assert plan.profit_loads == 100 - 4 - 1
+    # Remove the hot store (100) at the cost of a flush in cold (4).
+    assert plan.profit_stores == 100 - 4
+    assert plan.remove_stores
+    assert plan.worthwhile
+
+
+def test_hot_call_promotion_rejected():
+    # When the call executes every iteration, compensation outweighs.
+    module, func, tree, profile = _prepare(
+        COLD_CALL_LOOP,
+        {"entry": 1, "h": 101, "body": 100, "cold": 100, "latch": 100, "done": 1},
+    )
+    plan = _loop_plan(func, tree, profile)
+    assert plan.profit_loads == 100 - 100 - 1
+    assert not plan.worthwhile
+
+
+def test_loads_added_placement():
+    module, func, tree, profile = _prepare(
+        COLD_CALL_LOOP,
+        {"entry": 1, "h": 101, "body": 100, "cold": 4, "latch": 100, "done": 1},
+    )
+    plan = _loop_plan(func, tree, profile)
+    # Leaves: the live-in at the preheader, and the call-defined name in
+    # the cold block.
+    blocks = sorted(anchor.block.name for _, anchor in plan.loads_added)
+    assert blocks == ["cold", "entry"]
+
+
+def test_stores_added_placement():
+    module, func, tree, profile = _prepare(
+        COLD_CALL_LOOP,
+        {"entry": 1, "h": 101, "body": 100, "cold": 4, "latch": 100, "done": 1},
+    )
+    plan = _loop_plan(func, tree, profile)
+    # One flush, immediately at the call (the aliased load uses the store
+    # name directly).
+    assert len(plan.stores_added) == 1
+    name, anchor = plan.stores_added[0]
+    assert anchor.block.name == "cold"
+
+
+def test_webs_split_at_call_inside_loop():
+    # A store whose value only reaches a call splits from the web that
+    # carries the loop phi (the call's def feeds the latch phi): two webs
+    # for one variable in one interval, each assessed independently.
+    module, func, tree, profile = _prepare(
+        """
+        module m
+        global @x = 0
+        func @main() {
+        entry:
+          jmp h
+        h:
+          %i = phi [entry: 0, latch: %i2]
+          %c = lt %i, 100
+          br %c, body, done
+        body:
+          %t1 = ld @x
+          %cc = lt %t1, 5
+          br %cc, rare, latch
+        rare:
+          st @x, %i
+          %r = call @foo()
+          jmp latch
+        latch:
+          %i2 = add %i, 1
+          jmp h
+        done:
+          ret
+        }
+        func @foo() {
+        entry:
+          ret
+        }
+        """,
+        {"entry": 1, "h": 101, "body": 100, "rare": 2, "latch": 100, "done": 1},
+    )
+    loop = tree.intervals[0]
+    webs = construct_ssa_webs(func, loop)
+    assert len(webs) == 2
+    load_web = next(w for w in webs if w.load_refs)
+    store_web = next(w for w in webs if w.store_refs)
+    domtree = DominatorTree.compute(func)
+
+    # Load web: the hot load (100) is replaced at the cost of the entry
+    # load (1) and the reload after the call (2).
+    load_plan = plan_web(load_web, profile, domtree)
+    assert load_plan.profit_loads == 100 - 1 - 2
+    assert load_plan.worthwhile
+
+    # Store web: flushing before the call costs exactly what the store
+    # cost (both at freq 2) — a wash, promoted on the >= 0 tie rule.
+    store_plan = plan_web(store_web, profile, domtree)
+    assert store_plan.profit_stores == 0
+    assert store_plan.remove_stores
+
+
+def test_no_defs_plan():
+    module, func, tree, profile = _prepare(
+        """
+        module m
+        global @x = 0
+        func @main() {
+        entry:
+          st @x, 5
+          jmp h
+        h:
+          %i = phi [entry: 0, body: %i2]
+          %c = lt %i, 10
+          br %c, body, out
+        body:
+          %t = ld @x
+          %i2 = add %i, %t
+          jmp h
+        out:
+          ret
+        }
+        """,
+        {"entry": 1, "h": 11, "body": 10, "out": 1},
+    )
+    loop = tree.intervals[0]
+    webs = construct_ssa_webs(func, loop)
+    plan = plan_no_defs_web(webs[0], profile, loop.preheader)
+    assert plan.profit == 10 - 1
+    assert plan.worthwhile
+
+
+def test_zero_profit_promotes():
+    # Ties promote (the paper uses profit >= 0), increasing register
+    # pressure — the effect Table 3 measures.
+    module, func, tree, profile = _prepare(
+        """
+        module m
+        global @x = 0
+        func @main() {
+        entry:
+          st @x, 5
+          jmp h
+        h:
+          %i = phi [entry: 0, body: %i2]
+          %c = lt %i, 1
+          br %c, body, out
+        body:
+          %t = ld @x
+          %i2 = add %i, %t
+          jmp h
+        out:
+          ret
+        }
+        """,
+        {"entry": 1, "h": 2, "body": 1, "out": 1},
+    )
+    loop = tree.intervals[0]
+    webs = construct_ssa_webs(func, loop)
+    plan = plan_no_defs_web(webs[0], profile, loop.preheader)
+    assert plan.profit == 0
+    assert plan.worthwhile

@@ -1,0 +1,39 @@
+"""Random CFG generation (pure graph shape) for analysis property tests."""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.ir import instructions as I
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import Const
+
+
+def random_cfg(seed: int, max_blocks: int = 14) -> Tuple[Module, Function]:
+    """A random function CFG: every block ends in ret, jmp, or condbr to
+    random targets (cycles and unreachable blocks included)."""
+    rng = random.Random(seed)
+    module = Module()
+    func = module.new_function("f")
+    n = rng.randint(2, max_blocks)
+    blocks = [func.new_block() for _ in range(n)]
+    for i, block in enumerate(blocks):
+        roll = rng.random()
+        if roll < 0.15 or n == 1:
+            block.append(I.Ret())
+        elif roll < 0.5:
+            block.append(I.Jump(rng.choice(blocks[max(0, i - 3):])))
+        else:
+            cond = func.new_reg("c")
+            block.append(I.Copy(cond, Const(rng.randint(0, 1))))
+            block.append(I.CondBr(cond, rng.choice(blocks), rng.choice(blocks)))
+    # The entry must have no predecessors: give it a dedicated block.
+    entry = func.new_block("start")
+    entry.append(I.Jump(blocks[0]))
+    func.blocks.remove(entry)
+    func.blocks.insert(0, entry)
+    # Back edges into blocks[0] would make the entry a pred target; the
+    # dedicated entry has none by construction.
+    return module, func

@@ -1,0 +1,144 @@
+"""Property tests for the analysis substrate on random CFGs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cfgutils import (
+    edges,
+    is_critical_edge,
+    remove_unreachable_blocks,
+    reverse_postorder,
+    split_critical_edges,
+)
+from repro.analysis.dominance import DominatorTree
+from repro.analysis.idf import idf_cytron, idf_sreedhar_gao
+from repro.analysis.intervals import IntervalTree, normalize_for_promotion
+from repro.ir.verify import verify_function
+
+from tests.property.gencfg import random_cfg
+
+SETTINGS = settings(max_examples=80, deadline=None)
+
+
+@SETTINGS
+@given(st.integers(0, 10**9))
+def test_dominates_matches_reachability_definition(seed):
+    _, func = random_cfg(seed)
+    remove_unreachable_blocks(func)
+    tree = DominatorTree.compute(func)
+
+    def reachable_avoiding(avoid, target):
+        seen, stack = set(), [func.entry]
+        while stack:
+            block = stack.pop()
+            if block is avoid or id(block) in seen:
+                continue
+            seen.add(id(block))
+            if block is target:
+                return True
+            stack.extend(block.succs)
+        return False
+
+    for a in func.blocks:
+        for b in func.blocks:
+            if a is b:
+                continue
+            assert tree.strictly_dominates(a, b) == (
+                not reachable_avoiding(a, b)
+            ), (a.name, b.name)
+
+
+@SETTINGS
+@given(st.integers(0, 10**9), st.integers(0, 100))
+def test_idf_algorithms_agree(seed, subset_seed):
+    import random as _random
+
+    _, func = random_cfg(seed)
+    remove_unreachable_blocks(func)
+    tree = DominatorTree.compute(func)
+    rng = _random.Random(subset_seed)
+    defs = [b for b in tree.reachable if rng.random() < 0.4]
+    got_cytron = sorted(b.name for b in idf_cytron(tree, defs))
+    got_sg = sorted(b.name for b in idf_sreedhar_gao(tree, defs))
+    assert got_cytron == got_sg
+
+
+@SETTINGS
+@given(st.integers(0, 10**9))
+def test_idf_is_closed_under_df(seed):
+    # IDF(S) must equal DF(S ∪ IDF(S)) — the defining fixed point.
+    _, func = random_cfg(seed)
+    remove_unreachable_blocks(func)
+    tree = DominatorTree.compute(func)
+    defs = tree.reachable[:: 2]
+    idf = idf_cytron(tree, defs)
+    frontier = tree.dominance_frontier()
+    closure = set()
+    for block in list(defs) + list(idf):
+        closure.update(id(b) for b in frontier.get(block, []))
+    assert closure == {id(b) for b in idf}
+
+
+@SETTINGS
+@given(st.integers(0, 10**9))
+def test_split_critical_edges_complete(seed):
+    _, func = random_cfg(seed)
+    remove_unreachable_blocks(func)
+    split_critical_edges(func)
+    verify_function(func)
+    for src, dst in edges(func):
+        assert not is_critical_edge(src, dst)
+
+
+@SETTINGS
+@given(st.integers(0, 10**9))
+def test_interval_tree_well_formed(seed):
+    _, func = random_cfg(seed)
+    remove_unreachable_blocks(func)
+    tree = IntervalTree.compute(func)
+    all_ids = {id(b) for b in func.blocks}
+    for interval in tree.intervals:
+        # Nested intervals are strict subsets of their parents.
+        assert interval.parent is not None
+        parent_ids = {id(b) for b in interval.parent.blocks}
+        child_ids = {id(b) for b in interval.blocks}
+        assert child_ids < parent_ids or interval.parent.is_root
+        assert child_ids <= all_ids
+        # Every entry block is a member with an outside predecessor.
+        for entry in interval.entries:
+            assert interval.contains(entry)
+        # Headers have minimal RPO among entries.
+        assert interval.header in interval.entries
+        # Depth increases along the tree.
+        assert interval.depth == interval.parent.depth + 1
+
+
+@SETTINGS
+@given(st.integers(0, 10**9))
+def test_normalize_for_promotion_invariants(seed):
+    _, func = random_cfg(seed)
+    tree = normalize_for_promotion(func)
+    verify_function(func)
+    for interval in tree.intervals:
+        assert interval.preheader is not None
+        assert not interval.contains(interval.preheader)
+        for _, tail in interval.exit_edges():
+            assert len(tail.preds) == 1
+    # Stability: a second normalization changes nothing.
+    n = len(func.blocks)
+    normalize_for_promotion(func)
+    assert len(func.blocks) == n
+
+
+@SETTINGS
+@given(st.integers(0, 10**9))
+def test_rpo_is_topological_on_dominance(seed):
+    # A dominator always precedes its dominated blocks in RPO.
+    _, func = random_cfg(seed)
+    remove_unreachable_blocks(func)
+    tree = DominatorTree.compute(func)
+    order = {id(b): i for i, b in enumerate(reverse_postorder(func))}
+    for block in func.blocks:
+        idom = tree.idom.get(block)
+        if idom is not None:
+            assert order[id(idom)] < order[id(block)]

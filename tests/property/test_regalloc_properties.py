@@ -1,0 +1,93 @@
+"""Register-allocation properties: exact chromatic cross-check on small
+graphs, liveness sanity on random programs, and the full back-end flow."""
+
+import itertools
+import random as _random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.liveness import Liveness
+from repro.frontend.lower import compile_source
+from repro.ir.values import VReg
+from repro.profile.interp import run_module
+from repro.promotion.pipeline import PromotionPipeline
+from repro.regalloc.coloring import colors_needed
+from repro.regalloc.interference import InterferenceGraph, build_interference_graph
+from repro.ssa.construct import construct_ssa
+from repro.ssa.destruct import destruct_ssa
+
+from tests.property.genprog import random_program
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+def _exact_chromatic(nodes, graph):
+    n = len(nodes)
+    if n == 0:
+        return 0
+    for k in range(1, n + 1):
+        for assignment in itertools.product(range(k), repeat=n):
+            ok = True
+            for i, a in enumerate(nodes):
+                for j in range(i + 1, n):
+                    if graph.interferes(a, nodes[j]) and assignment[i] == assignment[j]:
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if ok:
+                return k
+    return n
+
+
+@SETTINGS
+@given(st.integers(0, 10**9))
+def test_colors_needed_close_to_exact_chromatic(seed):
+    rng = _random.Random(seed)
+    n = rng.randint(1, 7)  # small enough for brute force
+    regs = [VReg(f"r{i}") for i in range(n)]
+    graph = InterferenceGraph()
+    for reg in regs:
+        graph.add_node(reg)
+    for _ in range(rng.randint(0, 2 * n)):
+        graph.add_edge(rng.choice(regs), rng.choice(regs))
+    heuristic = colors_needed(graph)
+    exact = _exact_chromatic(regs, graph)
+    # A valid coloring with `heuristic` colors exists, so it is an upper
+    # bound on chi; Briggs is near-optimal on graphs this small.
+    assert exact <= heuristic <= exact + 1
+
+
+@SETTINGS
+@given(st.integers(0, 10**9))
+def test_liveness_never_reaches_entry_undefined(seed):
+    # After mem2reg, nothing may be live into the entry block except
+    # parameters: a live-in temp would mean a read of an undefined value.
+    source = random_program(seed)
+    module = compile_source(source)
+    for function in module.functions.values():
+        construct_ssa(function)
+        live = Liveness.compute(function)
+        params = set(function.params)
+        assert live.live_in[function.entry] <= params, function.name
+
+
+@SETTINGS
+@given(st.integers(0, 10**9))
+def test_full_backend_flow(seed):
+    """promote → out-of-SSA → interference/coloring → still executable
+    with identical behaviour: the complete compilation story."""
+    source = random_program(seed)
+    base = run_module(compile_source(source), max_steps=4_000_000)
+    module = compile_source(source)
+    PromotionPipeline().run(module)
+    for function in module.functions.values():
+        destruct_ssa(function)
+        graph = build_interference_graph(function)
+        k = colors_needed(graph)
+        assert k >= 0
+    after = run_module(module, max_steps=4_000_000)
+    assert after.output == base.output
+    assert after.return_value == base.return_value
+    assert after.globals_snapshot() == base.globals_snapshot()

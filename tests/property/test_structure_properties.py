@@ -1,0 +1,112 @@
+"""Structural property tests: union-find against a model, incremental
+update vs CSS96 equivalence, coloring validity."""
+
+import random as _random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.values import VReg
+from repro.regalloc.coloring import color_graph, colors_needed
+from repro.regalloc.interference import InterferenceGraph
+from repro.ssa.unionfind import UnionFind
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+class _Item:
+    __slots__ = ("tag",)
+
+    def __init__(self, tag):
+        self.tag = tag
+
+
+@SETTINGS
+@given(st.integers(0, 10**9))
+def test_unionfind_matches_naive_partition_model(seed):
+    rng = _random.Random(seed)
+    n = rng.randint(1, 30)
+    items = [_Item(i) for i in range(n)]
+    uf = UnionFind()
+    model = {i: {i} for i in range(n)}  # tag -> set of tags
+
+    for item in items:
+        uf.add(item)
+    for _ in range(rng.randint(0, 40)):
+        a, b = rng.randrange(n), rng.randrange(n)
+        uf.union(items[a], items[b])
+        merged = model[a] | model[b]
+        for member in merged:
+            model[member] = merged
+
+    for i in range(n):
+        for j in range(n):
+            assert uf.connected(items[i], items[j]) == (j in model[i])
+    # groups() partitions all items exactly once.
+    seen = [item.tag for group in uf.groups() for item in group]
+    assert sorted(seen) == list(range(n))
+
+
+@SETTINGS
+@given(st.integers(0, 10**9))
+def test_coloring_is_always_proper(seed):
+    rng = _random.Random(seed)
+    n = rng.randint(1, 20)
+    regs = [VReg(f"r{i}") for i in range(n)]
+    graph = InterferenceGraph()
+    for reg in regs:
+        graph.add_node(reg)
+    for _ in range(rng.randint(0, 3 * n)):
+        graph.add_edge(rng.choice(regs), rng.choice(regs))
+
+    k = colors_needed(graph)
+    result = color_graph(graph, k)
+    assert result.colorable
+    for reg in regs:
+        for other in graph.neighbors(reg):
+            assert result.assignment[reg] != result.assignment[other]
+    # Minimality at the search boundary: k-1 colors must fail (k > 1).
+    if k > 1:
+        assert not color_graph(graph, k - 1).colorable
+
+
+@SETTINGS
+@given(st.integers(0, 10**9))
+def test_batched_and_css96_updates_agree(seed):
+    """Both updaters must leave structurally equivalent memory SSA:
+    same number of phis, and every load renamed to a name defined by the
+    same kind of instruction."""
+    from benchmarks.test_incremental_vs_css96 import (
+        build_diamond_chain,
+        insert_clones,
+    )
+    from repro.ir import instructions as I
+    from repro.ir.verify import verify_function
+    from repro.ssa.css96 import css96_update
+    from repro.ssa.incremental import update_ssa_for_cloned_resources
+
+    rng = _random.Random(seed)
+    n = rng.randint(2, 12)
+    every = rng.randint(1, 5)
+
+    _, func_a, x0_a, sites_a = build_diamond_chain(n, every)
+    cloned_a = insert_clones(func_a, x0_a.var, sites_a)
+    update_ssa_for_cloned_resources(func_a, [x0_a], cloned_a)
+    verify_function(func_a, check_memssa=True)
+
+    _, func_b, x0_b, sites_b = build_diamond_chain(n, every)
+    cloned_b = insert_clones(func_b, x0_b.var, sites_b)
+    css96_update(func_b, [x0_b], cloned_b)
+    verify_function(func_b, check_memssa=True)
+
+    def signature(func):
+        phis = sum(1 for i in func.instructions() if isinstance(i, I.MemPhi))
+        loads = []
+        for block in func.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, I.Load):
+                    definer = inst.mem_uses[0].def_inst
+                    loads.append((block.name, type(definer).__name__ if definer else "entry"))
+        return phis, loads
+
+    assert signature(func_a) == signature(func_b)

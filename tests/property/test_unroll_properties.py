@@ -1,0 +1,43 @@
+"""Unrolling property tests: semantics preserved on random programs,
+alone and composed with promotion."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.lower import compile_source
+from repro.ir.verify import verify_module
+from repro.passes.unroll import unroll_module
+from repro.profile.interp import run_module
+from repro.promotion.pipeline import PromotionPipeline
+
+from tests.property.genprog import random_program
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+def observe(module):
+    result = run_module(module, max_steps=4_000_000)
+    return result.output, result.return_value, result.globals_snapshot()
+
+
+@SETTINGS
+@given(st.integers(0, 10**9))
+def test_unroll_preserves_semantics(seed):
+    source = random_program(seed)
+    baseline = observe(compile_source(source))
+    module = compile_source(source)
+    unroll_module(module)
+    verify_module(module, check_memssa=True)
+    assert observe(module) == baseline, source
+
+
+@SETTINGS
+@given(st.integers(0, 10**9))
+def test_unroll_then_promote_preserves_semantics(seed):
+    source = random_program(seed)
+    baseline = observe(compile_source(source))
+    module = compile_source(source)
+    unroll_module(module)
+    result = PromotionPipeline().run(module)
+    assert result.output_matches, source
+    assert observe(module) == baseline, source

@@ -1,0 +1,100 @@
+from repro.ir.parser import parse_module
+from repro.ir.values import VReg
+from repro.promotion.pipeline import PromotionPipeline
+from repro.regalloc.coloring import color_graph, colors_needed
+from repro.regalloc.interference import InterferenceGraph, build_interference_graph
+
+
+def _clique(n):
+    g = InterferenceGraph()
+    regs = [VReg(f"r{i}") for i in range(n)]
+    for i, a in enumerate(regs):
+        for b in regs[i + 1:]:
+            g.add_edge(a, b)
+    return g, regs
+
+
+def test_empty_graph():
+    g = InterferenceGraph()
+    assert colors_needed(g) == 0
+
+
+def test_single_node():
+    g = InterferenceGraph()
+    g.add_node(VReg("a"))
+    assert colors_needed(g) == 1
+
+
+def test_clique_needs_n_colors():
+    for n in (2, 3, 5, 8):
+        g, _ = _clique(n)
+        assert colors_needed(g) == n
+
+
+def test_cycle_colors():
+    # Even cycle: 2 colors; odd cycle: 3.
+    def cycle(n):
+        g = InterferenceGraph()
+        regs = [VReg(f"r{i}") for i in range(n)]
+        for i in range(n):
+            g.add_edge(regs[i], regs[(i + 1) % n])
+        return g
+
+    assert colors_needed(cycle(6)) == 2
+    assert colors_needed(cycle(7)) == 3
+
+
+def test_color_assignment_valid():
+    g, regs = _clique(4)
+    result = color_graph(g, 4)
+    assert result.colorable
+    for reg in regs:
+        for other in g.neighbors(reg):
+            assert result.assignment[reg] != result.assignment[other]
+
+
+def test_insufficient_colors_spill():
+    g, _ = _clique(5)
+    result = color_graph(g, 3)
+    assert not result.colorable
+    assert len(result.spilled) >= 1
+
+
+def test_promotion_increases_colors_needed():
+    # Table 3's effect: promotion extends live ranges, raising pressure.
+    text = """
+    module m
+    global @a = 0
+    global @b = 0
+    global @c = 0
+    func @main() {
+    entry:
+      jmp h
+    h:
+      %i = phi [entry: 0, body: %i2]
+      %cc = lt %i, 40
+      br %cc, body, out
+    body:
+      %ta = ld @a
+      %ta2 = add %ta, 1
+      st @a, %ta2
+      %tb = ld @b
+      %tb2 = add %tb, %ta2
+      st @b, %tb2
+      %tc = ld @c
+      %tc2 = add %tc, %tb2
+      st @c, %tc2
+      %i2 = add %i, 1
+      jmp h
+    out:
+      ret
+    }
+    """
+    module_before = parse_module(text)
+    before = colors_needed(
+        build_interference_graph(module_before.get_function("main"))
+    )
+    module_after = parse_module(text)
+    PromotionPipeline().run(module_after)
+    after = colors_needed(build_interference_graph(module_after.get_function("main")))
+    assert after > before

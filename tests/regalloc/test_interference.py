@@ -1,0 +1,134 @@
+from repro.ir.parser import parse_module
+from repro.ir.values import VReg
+from repro.regalloc.interference import InterferenceGraph, build_interference_graph
+
+
+def _regs(func):
+    found = {}
+    for inst in func.instructions():
+        if inst.dst is not None:
+            found[inst.dst.name] = inst.dst
+    for p in func.params:
+        found[p.name] = p
+    return found
+
+
+def test_graph_primitives():
+    g = InterferenceGraph()
+    a, b, c = VReg("a"), VReg("b"), VReg("c")
+    g.add_edge(a, b)
+    g.add_edge(a, c)
+    g.add_edge(a, a)  # self edges ignored
+    assert g.interferes(a, b) and g.interferes(b, a)
+    assert not g.interferes(b, c)
+    assert g.degree(a) == 2 and g.degree(b) == 1
+    assert g.edge_count == 2
+    assert len(g) == 3
+
+
+def test_disjoint_lifetimes_do_not_interfere():
+    module = parse_module(
+        """
+        func @f(%a) {
+        entry:
+          %x = add %a, 1
+          %y = add %x, 1
+          %z = add %y, 1
+          ret %z
+        }
+        """
+    )
+    func = module.get_function("f")
+    g = build_interference_graph(func)
+    r = _regs(func)
+    assert not g.interferes(r["x"], r["z"])
+    # a dies exactly where x is born: no interference (they can share).
+    assert not g.interferes(r["a"], r["x"])
+
+
+def test_simultaneously_live_values_interfere():
+    module = parse_module(
+        """
+        func @f(%a) {
+        entry:
+          %x = add %a, 1
+          %y = add %a, 2
+          %z = add %x, %y
+          ret %z
+        }
+        """
+    )
+    func = module.get_function("f")
+    g = build_interference_graph(func)
+    r = _regs(func)
+    assert g.interferes(r["x"], r["y"])
+
+
+def test_copy_source_exempt():
+    module = parse_module(
+        """
+        func @f(%a) {
+        entry:
+          %x = add %a, 1
+          %y = copy %x
+          %z = add %y, %x
+          ret %z
+        }
+        """
+    )
+    func = module.get_function("f")
+    g = build_interference_graph(func)
+    r = _regs(func)
+    # x is live across y's definition, but y = copy x is exempt.
+    assert not g.interferes(r["x"], r["y"])
+
+
+def test_phi_targets_interfere_with_each_other():
+    module = parse_module(
+        """
+        func @f(%c) {
+        entry:
+          br %c, a, b
+        a:
+          jmp join
+        b:
+          jmp join
+        join:
+          %p = phi [a: 1, b: 2]
+          %q = phi [a: 3, b: 4]
+          %s = add %p, %q
+          ret %s
+        }
+        """
+    )
+    func = module.get_function("f")
+    g = build_interference_graph(func)
+    r = _regs(func)
+    assert g.interferes(r["p"], r["q"])
+
+
+def test_loop_carried_interference():
+    module = parse_module(
+        """
+        func @f() {
+        entry:
+          jmp h
+        h:
+          %i = phi [entry: 0, body: %i2]
+          %acc = phi [entry: 0, body: %acc2]
+          %c = lt %i, 9
+          br %c, body, out
+        body:
+          %acc2 = add %acc, %i
+          %i2 = add %i, 1
+          jmp h
+        out:
+          ret %acc
+        }
+        """
+    )
+    func = module.get_function("f")
+    g = build_interference_graph(func)
+    r = _regs(func)
+    assert g.interferes(r["i"], r["acc"])
+    assert g.interferes(r["i2"], r["acc2"])

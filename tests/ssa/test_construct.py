@@ -1,0 +1,207 @@
+from repro.ir import instructions as I
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.verify import verify_function
+from repro.profile.interp import run_module
+from repro.ssa.construct import construct_ssa, promotable_locals
+
+
+def _loads_stores(func):
+    loads = [i for i in func.instructions() if isinstance(i, I.Load)]
+    stores = [i for i in func.instructions() if isinstance(i, I.Store)]
+    return loads, stores
+
+
+def test_straightline_local_promoted():
+    module = parse_module(
+        """
+        func @main() {
+          local @y = 0
+        entry:
+          st @y, 4
+          %t = ld @y
+          %u = add %t, 1
+          ret %u
+        }
+        """
+    )
+    func = module.get_function("main")
+    before = run_module(module).return_value
+    assert construct_ssa(func) == 1
+    verify_function(func, check_ssa=True)
+    loads, stores = _loads_stores(func)
+    assert loads == [] and stores == []
+    assert "y" not in func.frame_vars
+    assert run_module(module).return_value == before == 5
+
+
+def test_branch_merges_with_phi():
+    module = parse_module(
+        """
+        func @main(%c) {
+          local @y = 0
+        entry:
+          br %c, a, b
+        a:
+          st @y, 1
+          jmp join
+        b:
+          st @y, 2
+          jmp join
+        join:
+          %t = ld @y
+          ret %t
+        }
+        """
+    )
+    func = module.get_function("main")
+    construct_ssa(func)
+    verify_function(func, check_ssa=True)
+    join = func.find_block("join")
+    phis = list(join.phis())
+    assert len(phis) == 1
+    assert run_module(module, args=[1]).return_value == 1
+    assert run_module(module, args=[0]).return_value == 2
+
+
+def test_loop_variable_gets_phi():
+    module = parse_module(
+        """
+        func @main() {
+          local @i = 0
+          local @sum = 0
+        entry:
+          st @i, 0
+          st @sum, 0
+          jmp header
+        header:
+          %i = ld @i
+          %c = lt %i, 5
+          br %c, body, done
+        body:
+          %s = ld @sum
+          %s2 = add %s, %i
+          st @sum, %s2
+          %i2 = add %i, 1
+          st @i, %i2
+          jmp header
+        done:
+          %r = ld @sum
+          ret %r
+        }
+        """
+    )
+    func = module.get_function("main")
+    before = run_module(module).return_value
+    construct_ssa(func)
+    verify_function(func, check_ssa=True)
+    loads, stores = _loads_stores(func)
+    assert loads == [] and stores == []
+    header_phis = list(func.find_block("header").phis())
+    assert len(header_phis) == 2  # i and sum
+    assert run_module(module).return_value == before == 10
+
+
+def test_address_taken_local_not_promoted():
+    module = parse_module(
+        """
+        func @main() {
+          local @y = 0
+          local @z = 0
+        entry:
+          %p = addr @y
+          st @y, 1
+          st @z, 2
+          %t = ld @z
+          ret %t
+        }
+        """
+    )
+    func = module.get_function("main")
+    assert [v.name for v in promotable_locals(func)] == ["z"]
+    construct_ssa(func)
+    assert "y" in func.frame_vars
+    assert "z" not in func.frame_vars
+    loads, stores = _loads_stores(func)
+    assert {s.var.name for s in stores} == {"y"}
+
+
+def test_globals_never_promoted_by_mem2reg():
+    module = parse_module(
+        """
+        module m
+        global @g = 0
+        func @main() {
+        entry:
+          st @g, 1
+          %t = ld @g
+          ret %t
+        }
+        """
+    )
+    func = module.get_function("main")
+    assert construct_ssa(func) == 0
+    loads, stores = _loads_stores(func)
+    assert len(loads) == 1 and len(stores) == 1
+
+
+def test_uninitialized_read_is_zero():
+    module = parse_module(
+        """
+        func @main(%c) {
+          local @y = 0
+        entry:
+          br %c, setb, join
+        setb:
+          st @y, 9
+          jmp join
+        join:
+          %t = ld @y
+          ret %t
+        }
+        """
+    )
+    func = module.get_function("main")
+    construct_ssa(func)
+    verify_function(func, check_ssa=True)
+    assert run_module(module, args=[0]).return_value == 0
+    assert run_module(module, args=[1]).return_value == 9
+
+
+def test_load_chain_resolved_transitively():
+    module = parse_module(
+        """
+        func @main() {
+          local @a = 0
+          local @b = 0
+        entry:
+          st @a, 3
+          %t = ld @a
+          st @b, %t
+          %u = ld @b
+          ret %u
+        }
+        """
+    )
+    func = module.get_function("main")
+    construct_ssa(func)
+    verify_function(func, check_ssa=True)
+    assert run_module(module).return_value == 3
+
+
+def test_local_array_untouched():
+    module = parse_module(
+        """
+        func @main() {
+          local @buf[3] = 0
+        entry:
+          sta @buf, 1, 5
+          %t = lda @buf, 1
+          ret %t
+        }
+        """
+    )
+    func = module.get_function("main")
+    assert construct_ssa(func) == 0
+    assert "buf" in func.frame_vars
+    assert run_module(module).return_value == 5

@@ -1,0 +1,124 @@
+from repro.ir import instructions as I
+from repro.ir.parser import parse_module
+from repro.ir.verify import verify_function
+from repro.memory.aliasing import AliasModel
+from repro.memory.memssa import build_memory_ssa
+from repro.profile.interp import run_module
+from repro.ssa.destruct import destruct_ssa, drop_memory_ssa, eliminate_phis
+
+from tests.support import simple_loop
+
+
+def test_eliminate_simple_phi():
+    module = parse_module(
+        """
+        func @main(%c) {
+        entry:
+          br %c, a, b
+        a:
+          %x = add 1, 0
+          jmp join
+        b:
+          %y = add 2, 0
+          jmp join
+        join:
+          %v = phi [a: %x, b: %y]
+          ret %v
+        }
+        """
+    )
+    func = module.get_function("main")
+    eliminate_phis(func)
+    verify_function(func)
+    assert not any(isinstance(i, I.Phi) for i in func.instructions())
+    assert run_module(module, args=[1]).return_value == 1
+    assert run_module(module, args=[0]).return_value == 2
+
+
+def test_eliminate_loop_phi_preserves_semantics():
+    module, func = simple_loop(trip_count=7)
+    expected = run_module(module, entry="loop")
+    eliminate_phis(func)
+    verify_function(func)
+    result = run_module(module, entry="loop")
+    assert result.globals_snapshot() == expected.globals_snapshot()
+
+
+def test_swap_cycle_broken_with_temp():
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          jmp header
+        header:
+          %a = phi [entry: 1, body: %b]
+          %b = phi [entry: 2, body: %a]
+          %i = phi [entry: 0, body: %i2]
+          %c = lt %i, 3
+          br %c, body, done
+        body:
+          %i2 = add %i, 1
+          jmp header
+        done:
+          print %a, %b
+          ret
+        }
+        """
+    )
+    func = module.get_function("main")
+    expected = run_module(module).output
+    eliminate_phis(func)
+    verify_function(func)
+    assert run_module(module).output == expected == [(2, 1)]
+    # A temp was needed somewhere for the a/b swap.
+    assert any(
+        isinstance(i, I.Copy) and i.dst.name.startswith("swap")
+        for i in func.instructions()
+    )
+
+
+def test_lost_copy_via_critical_edge_split():
+    # Phi target used after the loop; the back edge is critical and must
+    # be split for correctness.
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          jmp header
+        header:
+          %x = phi [entry: 0, header2: %x2]
+          %x2 = add %x, 1
+          %c = lt %x2, 4
+          jmp header2
+        header2:
+          br %c, header, done
+        done:
+          ret %x
+        }
+        """
+    )
+    func = module.get_function("main")
+    expected = run_module(module).return_value
+    eliminate_phis(func)
+    verify_function(func)
+    assert run_module(module).return_value == expected == 3
+
+
+def test_drop_memory_ssa():
+    module, func = simple_loop()
+    build_memory_ssa(func, AliasModel.conservative(module))
+    assert any(isinstance(i, I.MemPhi) for i in func.instructions())
+    drop_memory_ssa(func)
+    assert not any(isinstance(i, I.MemPhi) for i in func.instructions())
+    assert all(not i.mem_uses and not i.mem_defs for i in func.instructions())
+    expected = run_module(module, entry="loop")
+    assert expected.globals_snapshot()["x"] == 10
+
+
+def test_destruct_full():
+    module, func = simple_loop()
+    build_memory_ssa(func, AliasModel.conservative(module))
+    destruct_ssa(func)
+    verify_function(func)
+    assert not any(i.is_phi for i in func.instructions())
+    assert run_module(module, entry="loop").globals_snapshot()["x"] == 10

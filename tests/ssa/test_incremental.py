@@ -1,0 +1,275 @@
+"""Tests for the batched incremental SSA update (paper Section 4.5).
+
+The centerpiece reproduces Example 2 (Figures 9 and 10) exactly: the
+six-block interval, two cloned stores, three phis placed at the iterated
+dominance frontier {b1, b5, b6}, the documented renaming of each use, and
+the deletion of the dead phis.
+"""
+
+import pytest
+
+from repro.ir import instructions as I
+from repro.ir.parser import parse_module
+from repro.ir.verify import verify_function
+from repro.memory.aliasing import AliasModel
+from repro.memory.memssa import build_memory_ssa
+from repro.ssa.css96 import css96_update
+from repro.ssa.incremental import update_ssa_for_cloned_resources
+
+
+def build_example2():
+    """Figure 9's CFG: b1->(b2,b3), b2->(b4,b5), b3->b5, b4->b6,
+    b5->(b1,b6); x defined in b1, used in b3, b4, b5."""
+    module = parse_module(
+        """
+        module m
+        global @x = 0
+        func @f() {
+        b0:
+          jmp b1
+        b1:
+          st @x, 7
+          %c1 = copy 1
+          br %c1, b2, b3
+        b2:
+          %c2 = copy 1
+          br %c2, b4, b5
+        b3:
+          %u3 = ld @x
+          jmp b5
+        b4:
+          %u4 = ld @x
+          jmp b6
+        b5:
+          %u5 = ld @x
+          %c5 = copy 0
+          br %c5, b1, b6
+        b6:
+          ret
+        }
+        """
+    )
+    func = module.get_function("f")
+    x = module.get_global("x")
+
+    # Hand-annotate Figure 9's SSA state: a single definition x0 in b1,
+    # all three loads reading x0 (no pre-existing phis, as in the figure).
+    store_b1 = next(i for i in func.instructions() if isinstance(i, I.Store))
+    x0 = func.new_mem_name(x, store_b1)
+    store_b1.mem_defs = [x0]
+    loads = {i.block.name: i for i in func.instructions() if isinstance(i, I.Load)}
+    for load in loads.values():
+        load.mem_uses = [x0]
+    return module, func, x, x0, store_b1, loads
+
+
+def clone_stores(func, x, loads):
+    """Insert the two cloned stores of Example 2: one in b2, one in b3
+    (before b3's use), with fresh names x1 and x2."""
+    b2, b3 = func.find_block("b2"), func.find_block("b3")
+    st1 = I.Store(x, __import__("repro.ir.values", fromlist=["Const"]).Const(1))
+    b2.insert_at_front(st1)
+    x1 = func.new_mem_name(x, st1)
+    st1.mem_defs = [x1]
+    st2 = I.Store(x, __import__("repro.ir.values", fromlist=["Const"]).Const(2))
+    b3.insert_before(st2, loads["b3"])
+    x2 = func.new_mem_name(x, st2)
+    st2.mem_defs = [x2]
+    return st1, st2, x1, x2
+
+
+def test_example2_phi_placement_and_renaming():
+    module, func, x, x0, store_b1, loads = build_example2()
+    st1, st2, x1, x2 = clone_stores(func, x, loads)
+
+    stats = update_ssa_for_cloned_resources(func, [x0], [x1, x2])
+
+    # Three phis were placed, at the IDF {b1, b5, b6} (Figure 10) —
+    # the two dead ones (b1, b6) are deleted again by step 4.
+    assert stats.phis_placed == 3
+    assert stats.phis_deleted == 2
+    b1_phis = list(func.find_block("b1").mem_phis())
+    b6_phis = list(func.find_block("b6").mem_phis())
+    b5_phis = list(func.find_block("b5").mem_phis())
+    assert b1_phis == [] and b6_phis == []
+    assert len(b5_phis) == 1
+
+    # "the use at b3 is renamed x2, the use at b4 renamed x1, and the use
+    # at b5 renamed x3" (the b5 phi's target).
+    assert loads["b3"].mem_uses == [x2]
+    assert loads["b4"].mem_uses == [x1]
+    x3 = b5_phis[0].dst_name
+    assert loads["b5"].mem_uses == [x3]
+
+    # The live phi at b5 joins x1 (via b2) and x2 (via b3).
+    incoming = {b.name: n for b, n in b5_phis[0].incoming}
+    assert incoming == {"b2": x1, "b3": x2}
+
+    # x0's definition became dead and was removed (step 4 deletes "the
+    # dead definitions of the resources in oldResSet").
+    assert store_b1.block is None
+    assert stats.defs_deleted == 3  # two dead phis + the old store
+
+    verify_function(func, check_ssa=True, check_memssa=True)
+
+
+def test_example2_semantics_no_dead_code_left():
+    module, func, x, x0, store_b1, loads = build_example2()
+    st1, st2, x1, x2 = clone_stores(func, x, loads)
+    update_ssa_for_cloned_resources(func, [x0], [x1, x2])
+    # No empty phis, no unused memory definitions of x anywhere.
+    used = set()
+    for inst in func.instructions():
+        used.update(id(n) for n in inst.mem_uses)
+    for inst in func.instructions():
+        for name in inst.mem_defs:
+            if isinstance(inst, (I.Store, I.MemPhi)):
+                assert id(name) in used, f"dead def {name} survived"
+
+
+def test_update_with_no_clones_is_noop():
+    module, func, x, x0, store_b1, loads = build_example2()
+    before = [i for i in func.instructions()]
+    stats = update_ssa_for_cloned_resources(func, [x0], [])
+    assert stats.phis_placed == 0
+    assert [i for i in func.instructions()] == before
+
+
+def test_mixed_variable_rejected():
+    module, func, x, x0, store_b1, loads = build_example2()
+    y = module.add_global("y")
+    bad = func.new_mem_name(y)
+    with pytest.raises(ValueError, match="mixed variables"):
+        update_ssa_for_cloned_resources(func, [x0], [bad])
+
+
+def test_entry_name_reaches_unstored_paths():
+    # Clone a def on one branch only; the other branch must keep reading
+    # the live-on-entry name through a join phi.
+    module = parse_module(
+        """
+        module m
+        global @x = 5
+        func @f(%c) {
+        entry:
+          br %c, a, b
+        a:
+          jmp join
+        b:
+          jmp join
+        join:
+          %t = ld @x
+          ret %t
+        }
+        """
+    )
+    func = module.get_function("f")
+    x = module.get_global("x")
+    x0 = func.new_mem_name(x)
+    x0.version = 0  # entry name
+    x0.def_inst = None
+    load = next(i for i in func.instructions() if isinstance(i, I.Load))
+    load.mem_uses = [x0]
+
+    from repro.ir.values import Const
+
+    st = I.Store(x, Const(9))
+    func.find_block("a").insert_at_front(st)
+    x1 = func.new_mem_name(x, st)
+    st.mem_defs = [x1]
+
+    update_ssa_for_cloned_resources(func, [x0], [x1])
+    join_phis = list(func.find_block("join").mem_phis())
+    assert len(join_phis) == 1
+    incoming = {b.name: n for b, n in join_phis[0].incoming}
+    assert incoming["a"] is x1
+    assert incoming["b"] is x0
+    assert load.mem_uses == [join_phis[0].dst_name]
+    verify_function(func, check_ssa=True, check_memssa=True)
+
+
+def test_reuses_existing_phi_instead_of_duplicating():
+    # Build real memory SSA (which places phis), then clone a def and
+    # check the update reuses the existing join phi.
+    module = parse_module(
+        """
+        module m
+        global @x = 0
+        func @f(%c) {
+        entry:
+          br %c, a, b
+        a:
+          st @x, 1
+          jmp join
+        b:
+          st @x, 2
+          jmp join
+        join:
+          %t = ld @x
+          ret %t
+        }
+        """
+    )
+    func = module.get_function("f")
+    x = module.get_global("x")
+    build_memory_ssa(func, AliasModel.conservative(module))
+    join = func.find_block("join")
+    assert len(list(join.mem_phis())) == 1
+
+    # Clone a store at the end of block a (after the existing one).
+    from repro.ir.values import Const
+
+    old = _names_of(func, x)
+    st = I.Store(x, Const(3))
+    func.find_block("a").insert_before_terminator(st)
+    xn = func.new_mem_name(x, st)
+    st.mem_defs = [xn]
+
+    stats = update_ssa_for_cloned_resources(func, old, [xn])
+    assert stats.phis_reused >= 1
+    phis = list(join.mem_phis())
+    assert len(phis) == 1  # no duplicate phi
+    incoming = {b.name: n for b, n in phis[0].incoming}
+    assert incoming["a"] is xn
+    verify_function(func, check_ssa=True, check_memssa=True)
+    # The shadowed store in a is now dead and was deleted.
+    stores_in_a = [
+        i for i in func.find_block("a").instructions if isinstance(i, I.Store)
+    ]
+    assert stores_in_a == [st]
+
+
+def test_css96_equivalent_to_batched():
+    # Run both updaters on identical twin programs; final memory SSA must
+    # agree structurally.
+    def fresh():
+        module, func, x, x0, store_b1, loads = build_example2()
+        st1, st2, x1, x2 = clone_stores(func, x, loads)
+        return module, func, x, x0, [x1, x2], loads
+
+    _, func_a, xa, x0a, clones_a, loads_a = fresh()
+    update_ssa_for_cloned_resources(func_a, [x0a], clones_a)
+
+    _, func_b, xb, x0b, clones_b, loads_b = fresh()
+    css96_update(func_b, [x0b], clones_b)
+
+    for name in ("b3", "b4", "b5"):
+        ua = loads_a[name].mem_uses[0]
+        ub = loads_b[name].mem_uses[0]
+        defining_a = type(ua.def_inst).__name__ if ua.def_inst else None
+        defining_b = type(ub.def_inst).__name__ if ub.def_inst else None
+        assert defining_a == defining_b, name
+    na = sum(1 for i in func_a.instructions() if isinstance(i, I.MemPhi))
+    nb = sum(1 for i in func_b.instructions() if isinstance(i, I.MemPhi))
+    assert na == nb == 1
+    verify_function(func_b, check_ssa=True, check_memssa=True)
+
+
+def _names_of(func, var):
+    names, seen = [], set()
+    for inst in func.instructions():
+        for n in list(inst.mem_uses) + list(inst.mem_defs):
+            if n.var is var and id(n) not in seen:
+                seen.add(id(n))
+                names.append(n)
+    return names

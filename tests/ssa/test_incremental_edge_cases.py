@@ -1,0 +1,189 @@
+"""Edge cases for the incremental SSA update beyond the paper's Example 2."""
+
+import pytest
+
+from repro.ir import instructions as I
+from repro.ir.parser import parse_module
+from repro.ir.values import Const
+from repro.ir.verify import verify_function
+from repro.ssa.incremental import update_ssa_for_cloned_resources
+
+
+def _prep(text):
+    module = parse_module(text)
+    func = list(module.functions.values())[0]
+    x = module.get_global("x")
+    return module, func, x
+
+
+def _entry_name(func, x):
+    from repro.memory.resources import MemName
+
+    return MemName(x, 0, None)
+
+
+def _attach_store(func, x, block, position, value=1):
+    store = I.Store(x, Const(value))
+    block.instructions.insert(position, store)
+    store.block = block
+    name = func.new_mem_name(x, store)
+    store.mem_defs = [name]
+    return store, name
+
+
+def test_two_clones_in_one_block_latest_wins():
+    module, func, x = _prep(
+        """
+        module m
+        global @x = 0
+        func @f() {
+        entry:
+          %u = ld @x
+          ret %u
+        }
+        """
+    )
+    x0 = _entry_name(func, x)
+    load = next(i for i in func.instructions() if isinstance(i, I.Load))
+    load.mem_uses = [x0]
+    _, n1 = _attach_store(func, x, func.entry, 0, value=1)
+    _, n2 = _attach_store(func, x, func.entry, 1, value=2)
+    stats = update_ssa_for_cloned_resources(func, [x0], [n1, n2])
+    assert load.mem_uses == [n2]  # nearest preceding definition
+    # The shadowed first store is dead and deleted.
+    assert n1.def_inst.block is None
+    assert stats.defs_deleted == 1
+    verify_function(func, check_ssa=True, check_memssa=True)
+
+
+def test_clone_after_use_does_not_capture_it():
+    module, func, x = _prep(
+        """
+        module m
+        global @x = 5
+        func @f() {
+        entry:
+          %u = ld @x
+          %v = add %u, 1
+          ret %v
+        }
+        """
+    )
+    x0 = _entry_name(func, x)
+    load = next(i for i in func.instructions() if isinstance(i, I.Load))
+    load.mem_uses = [x0]
+    _, n1 = _attach_store(func, x, func.entry, 1, value=9)  # after the load
+    # Keep the clone alive with a use at the ret.
+    ret = func.entry.terminator
+    ret.mem_uses = [x0]
+    update_ssa_for_cloned_resources(func, [x0], [n1])
+    assert load.mem_uses == [x0]  # unchanged: clone is below it
+    assert ret.mem_uses == [n1]  # renamed: clone dominates the ret
+    verify_function(func, check_memssa=True)
+
+
+def test_loop_clone_creates_live_header_phi():
+    module, func, x = _prep(
+        """
+        module m
+        global @x = 0
+        func @f() {
+        entry:
+          jmp h
+        h:
+          %u = ld @x
+          %c = lt %u, 10
+          br %c, body, out
+        body:
+          jmp h
+        out:
+          ret %u
+        }
+        """
+    )
+    x0 = _entry_name(func, x)
+    load = next(i for i in func.instructions() if isinstance(i, I.Load))
+    load.mem_uses = [x0]
+    body = func.find_block("body")
+    _, n1 = _attach_store(func, x, body, 0)
+    stats = update_ssa_for_cloned_resources(func, [x0], [n1])
+    header_phis = list(func.find_block("h").mem_phis())
+    assert len(header_phis) == 1
+    phi = header_phis[0]
+    incoming = {b.name: n for b, n in phi.incoming}
+    assert incoming["entry"] is x0
+    assert incoming["body"] is n1
+    assert load.mem_uses == [phi.dst_name]
+    verify_function(func, check_ssa=True, check_memssa=True)
+
+
+def test_no_reaching_definition_raises():
+    module, func, x = _prep(
+        """
+        module m
+        global @x = 0
+        func @f(%c) {
+        entry:
+          br %c, a, b
+        a:
+          jmp join
+        b:
+          jmp join
+        join:
+          %u = ld @x
+          ret %u
+        }
+        """
+    )
+    # Use references a name whose defining instruction was deleted: the
+    # updater must fail loudly, not silently miscompile.
+    ghost_store, ghost = _attach_store(func, x, func.find_block("b"), 0)
+    ghost_store.remove_from_block()
+    load = next(i for i in func.instructions() if isinstance(i, I.Load))
+    load.mem_uses = [ghost]
+    store, n1 = _attach_store(func, x, func.find_block("a"), 0)
+    with pytest.raises(ValueError, match="detached"):
+        update_ssa_for_cloned_resources(func, [ghost], [n1])
+
+
+def test_clone_into_block_with_other_vars_phi():
+    module, func, x = _prep(
+        """
+        module m
+        global @x = 0
+        global @y = 0
+        func @f(%c) {
+        entry:
+          br %c, a, b
+        a:
+          jmp join
+        b:
+          jmp join
+        join:
+          %u = ld @x
+          ret %u
+        }
+        """
+    )
+    y = module.get_global("y")
+    join = func.find_block("join")
+    # Pre-existing memphi for a DIFFERENT variable at the IDF block.
+    yname = func.new_mem_name(y)
+    from repro.memory.resources import MemName
+
+    y0 = MemName(y, 0, None)
+    yphi = I.MemPhi(y, yname, [(func.find_block("a"), y0), (func.find_block("b"), y0)])
+    join.insert_at_front(yphi)
+
+    x0 = _entry_name(func, x)
+    load = next(i for i in func.instructions() if isinstance(i, I.Load))
+    load.mem_uses = [x0]
+    _, n1 = _attach_store(func, x, func.find_block("a"), 0)
+    stats = update_ssa_for_cloned_resources(func, [x0], [n1])
+    # A NEW phi for @x was placed (the @y phi must not be reused).
+    x_phis = [p for p in join.mem_phis() if p.var is x]
+    assert len(x_phis) == 1
+    assert stats.phis_reused == 0
+    incoming = {b.name: n for b, n in x_phis[0].incoming}
+    assert incoming["a"] is n1
+    assert incoming["b"] is x0

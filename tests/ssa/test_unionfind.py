@@ -1,0 +1,65 @@
+from repro.ssa.unionfind import UnionFind
+
+
+class Item:
+    def __init__(self, tag):
+        self.tag = tag
+
+
+def test_singletons():
+    uf = UnionFind()
+    a, b = Item("a"), Item("b")
+    uf.add(a)
+    uf.add(b)
+    assert uf.find(a) is a
+    assert not uf.connected(a, b)
+    assert len(uf) == 2
+
+
+def test_union_and_connected():
+    uf = UnionFind()
+    items = [Item(i) for i in range(6)]
+    for x in items:
+        uf.add(x)
+    uf.union(items[0], items[1])
+    uf.union(items[2], items[3])
+    uf.union(items[1], items[2])
+    assert uf.connected(items[0], items[3])
+    assert not uf.connected(items[0], items[4])
+
+
+def test_find_implicitly_adds():
+    uf = UnionFind()
+    a = Item("a")
+    assert uf.find(a) is a
+    assert len(uf) == 1
+
+
+def test_groups_deterministic_order():
+    uf = UnionFind()
+    items = [Item(i) for i in range(5)]
+    for x in items:
+        uf.add(x)
+    uf.union(items[3], items[1])
+    uf.union(items[4], items[0])
+    groups = uf.groups()
+    tags = [[i.tag for i in g] for g in groups]
+    assert tags == [[0, 4], [1, 3], [2]]
+
+
+def test_union_idempotent():
+    uf = UnionFind()
+    a, b = Item("a"), Item("b")
+    r1 = uf.union(a, b)
+    r2 = uf.union(a, b)
+    assert r1 is r2
+    assert len(uf.groups()) == 1
+
+
+def test_identity_not_equality_semantics():
+    # Two equal-looking items remain distinct sets.
+    uf = UnionFind()
+    a, b = Item("same"), Item("same")
+    uf.add(a)
+    uf.add(b)
+    assert not uf.connected(a, b)

@@ -1,0 +1,133 @@
+"""Shared test helpers: tiny CFG factories used across the suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.ir import Function, IRBuilder, Module
+from repro.ir.parser import parse_module
+
+
+def empty_function(
+    name: str = "f", params: Optional[List[str]] = None
+) -> Tuple[Module, Function, IRBuilder]:
+    module = Module()
+    func = module.new_function(name, params or [])
+    return module, func, IRBuilder(func)
+
+
+def diamond() -> Tuple[Module, Function]:
+    """entry -> (left|right) -> join; global x written on both arms."""
+    module = parse_module(
+        """
+        module m
+        global @x = 0
+
+        func @diamond() {
+        entry:
+          %c = ld @x
+          br %c, left, right
+        left:
+          st @x, 1
+          jmp join
+        right:
+          st @x, 2
+          jmp join
+        join:
+          ret 0
+        }
+        """
+    )
+    return module, module.get_function("diamond")
+
+
+def simple_loop(trip_count: int = 10) -> Tuple[Module, Function]:
+    """Counted loop incrementing global x via load/store each iteration."""
+    module = parse_module(
+        f"""
+        module m
+        global @x = 0
+
+        func @loop() {{
+        entry:
+          jmp header
+        header:
+          %i = phi [entry: 0, body: %inext]
+          %c = lt %i, {trip_count}
+          br %c, body, exitb
+        body:
+          %t = ld @x
+          %t2 = add %t, 1
+          st @x, %t2
+          %inext = add %i, 1
+          jmp header
+        exitb:
+          ret 0
+        }}
+        """
+    )
+    return module, module.get_function("loop")
+
+
+def nested_loops() -> Tuple[Module, Function]:
+    """Two-level loop nest over global x (outer 10, inner 5)."""
+    module = parse_module(
+        """
+        module m
+        global @x = 0
+
+        func @nest() {
+        entry:
+          jmp oh
+        oh:
+          %i = phi [entry: 0, olatch: %inext]
+          %c1 = lt %i, 10
+          br %c1, ih0, oexit
+        ih0:
+          jmp ih
+        ih:
+          %j = phi [ih0: 0, ibody: %jnext]
+          %c2 = lt %j, 5
+          br %c2, ibody, olatch
+        ibody:
+          %t = ld @x
+          %t2 = add %t, %i
+          st @x, %t2
+          %jnext = add %j, 1
+          jmp ih
+        olatch:
+          %inext = add %i, 1
+          jmp oh
+        oexit:
+          ret 0
+        }
+        """
+    )
+    return module, module.get_function("nest")
+
+
+def irreducible() -> Tuple[Module, Function]:
+    """An improper interval: two entries (a and b) into the cycle a <-> b."""
+    module = parse_module(
+        """
+        module m
+        global @x = 0
+
+        func @irr() {
+        entry:
+          %c = ld @x
+          br %c, a, b
+        a:
+          %t1 = ld @x
+          %ca = eq %t1, 1
+          br %ca, b, done
+        b:
+          %t2 = ld @x
+          %cb = eq %t2, 2
+          br %cb, a, done
+        done:
+          ret 0
+        }
+        """
+    )
+    return module, module.get_function("irr")
