@@ -7,6 +7,12 @@ Usage::
     repro-minic program.c --emit-ir       # dump IR instead of running
     repro-minic program.c --baseline lucooper
     repro-minic program.c --args 3 4
+    repro-minic program.c --promote --diagnostics out.json --strict
+
+Exit codes: the program's return value (masked to 0..255) on success, 2
+on driver errors (missing file, compile error, runtime error), and 1
+when ``--strict`` is given and the pipeline rolled back or skipped any
+function or could not preserve behaviour.
 """
 
 from __future__ import annotations
@@ -15,9 +21,15 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.frontend.errors import CompileError
 from repro.frontend.lower import compile_source
 from repro.ir.printer import print_module
-from repro.profile.interp import Interpreter
+from repro.profile.interp import Interpreter, InterpreterError
+
+
+def _error(message: str) -> int:
+    print(f"repro-minic: error: {message}", file=sys.stderr)
+    return 2
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -47,10 +59,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--stats", action="store_true", help="print before/after operation counts"
     )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="interpreter step budget for profiling and execution",
+    )
+    parser.add_argument(
+        "--diagnostics",
+        metavar="FILE",
+        help="write the pipeline's per-function outcome report as JSON",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 if the pipeline rolled back or skipped any function",
+    )
     options = parser.parse_args(argv)
 
-    with open(options.source) as handle:
-        module = compile_source(handle.read())
+    try:
+        with open(options.source) as handle:
+            source = handle.read()
+    except OSError as exc:
+        return _error(f"cannot read {options.source}: {exc.strerror or exc}")
+    try:
+        module = compile_source(source)
+    except CompileError as exc:
+        return _error(f"{options.source}: {exc}")
 
     if options.unroll:
         from repro.passes.unroll import unroll_module
@@ -58,35 +94,70 @@ def main(argv: Optional[List[str]] = None) -> int:
         unrolled = unroll_module(module)
         print(f"unrolled {unrolled} loop(s)", file=sys.stderr)
 
+    pipeline_kwargs = dict(entry=options.entry, args=options.args)
+    if options.max_steps is not None:
+        pipeline_kwargs["max_steps"] = options.max_steps
+
     result = None
     if options.baseline == "lucooper":
         from repro.baselines.lucooper import LuCooperPipeline
 
-        result = LuCooperPipeline(entry=options.entry, args=options.args).run(module)
+        result = LuCooperPipeline(**pipeline_kwargs).run(module)
     elif options.baseline == "mahlke":
         from repro.baselines.mahlke import MahlkePipeline
 
-        result = MahlkePipeline(entry=options.entry, args=options.args).run(module)
+        result = MahlkePipeline(**pipeline_kwargs).run(module)
     elif options.promote:
         from repro.promotion.pipeline import PromotionPipeline
 
-        result = PromotionPipeline(entry=options.entry, args=options.args).run(module)
+        result = PromotionPipeline(**pipeline_kwargs).run(module)
 
     if options.stats and result is not None:
         print(result.report(), file=sys.stderr)
+
+    if options.diagnostics:
+        if result is None:
+            return _error("--diagnostics requires --promote or --baseline")
+        try:
+            result.diagnostics.write(options.diagnostics)
+        except OSError as exc:
+            return _error(
+                f"cannot write {options.diagnostics}: {exc.strerror or exc}"
+            )
+
+    strict_failed = (
+        options.strict
+        and result is not None
+        and (not result.diagnostics.clean or not result.output_matches)
+    )
+    if strict_failed:
+        print(
+            "repro-minic: strict: "
+            f"{result.diagnostics.summary()}, behaviour preserved: "
+            f"{result.output_matches}",
+            file=sys.stderr,
+        )
 
     if options.emit_dot:
         from repro.ir.dot import module_to_dot
 
         print(module_to_dot(module), end="")
-        return 0
+        return 1 if strict_failed else 0
     if options.emit_ir:
         print(print_module(module), end="")
-        return 0
+        return 1 if strict_failed else 0
 
-    run = Interpreter(module).run(options.entry, options.args)
+    interp_kwargs = {}
+    if options.max_steps is not None:
+        interp_kwargs["max_steps"] = options.max_steps
+    try:
+        run = Interpreter(module, **interp_kwargs).run(options.entry, options.args)
+    except InterpreterError as exc:
+        return _error(f"execution failed: {exc}")
     for values in run.output:
         print(" ".join(str(v) for v in values))
+    if strict_failed:
+        return 1
     return run.return_value & 0xFF
 
 

@@ -21,7 +21,7 @@ memory SSA (``check_memssa``)
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.ir import instructions as I
 from repro.ir.basicblock import BasicBlock
@@ -32,7 +32,29 @@ from repro.memory.resources import MemName
 
 
 class VerificationError(AssertionError):
-    """Raised when the IR violates a checked invariant."""
+    """Raised when the IR violates a checked invariant.
+
+    Carries structured context so drivers (the transactional pipeline,
+    fault-injection tests) can attribute the failure without parsing the
+    message: ``function`` is the offending function's name, ``block`` the
+    offending block's name when one is known, ``stage`` the checker group
+    (``structure``, ``ssa``, or ``memssa``), and ``detail`` the bare
+    message without the appended IR dump.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        function: Optional[str] = None,
+        block: Optional[str] = None,
+        stage: Optional[str] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.function = function
+        self.block = block
+        self.stage = stage
+        self.detail = detail
 
 
 def verify_module(
@@ -52,52 +74,74 @@ def verify_function(
         _check_memory_ssa(function)
 
 
-def _fail(function: Function, message: str) -> None:
+def _fail(
+    function: Function,
+    message: str,
+    block: Optional[BasicBlock] = None,
+    stage: Optional[str] = None,
+) -> None:
     from repro.ir.printer import print_function
 
-    raise VerificationError(f"{function.name}: {message}\n{print_function(function)}")
+    raise VerificationError(
+        f"{function.name}: {message}\n{print_function(function)}",
+        function=function.name,
+        block=block.name if block is not None else None,
+        stage=stage,
+        detail=message,
+    )
 
 
 def _check_structure(function: Function) -> None:
+    stage = "structure"
     blocks = set(function.blocks)
     if not function.blocks:
-        _fail(function, "function has no blocks")
+        _fail(function, "function has no blocks", stage=stage)
     if function.entry.preds:
-        _fail(function, "entry block has predecessors")
+        _fail(function, "entry block has predecessors", function.entry, stage)
     names = [b.name for b in function.blocks]
     if len(set(names)) != len(names):
-        _fail(function, "duplicate block names")
+        _fail(function, "duplicate block names", stage=stage)
 
     for block in function.blocks:
         if block.function is not function:
-            _fail(function, f"block {block.name} has wrong function backref")
+            _fail(function, f"block {block.name} has wrong function backref", block, stage)
         term = block.terminator
         if term is None:
-            _fail(function, f"block {block.name} lacks a terminator")
+            _fail(function, f"block {block.name} lacks a terminator", block, stage)
         for i, inst in enumerate(block.instructions):
             if inst.block is not block:
-                _fail(function, f"instruction in {block.name} has wrong block backref")
+                _fail(
+                    function,
+                    f"instruction in {block.name} has wrong block backref",
+                    block,
+                    stage,
+                )
             if inst.is_terminator and inst is not block.instructions[-1]:
-                _fail(function, f"terminator not last in {block.name}")
+                _fail(function, f"terminator not last in {block.name}", block, stage)
             if inst.is_phi and i > block.first_non_phi_index():
-                _fail(function, f"phi after non-phi in {block.name}")
+                _fail(function, f"phi after non-phi in {block.name}", block, stage)
         for target in term.targets:
             if target not in blocks:
-                _fail(function, f"{block.name} targets foreign block {target.name}")
+                _fail(
+                    function,
+                    f"{block.name} targets foreign block {target.name}",
+                    block,
+                    stage,
+                )
         for pred in block.preds:
             if pred not in blocks:
-                _fail(function, f"{block.name} has foreign pred {pred.name}")
+                _fail(function, f"{block.name} has foreign pred {pred.name}", block, stage)
             pred_term = pred.terminator
             if pred_term is None or block not in pred_term.targets:
-                _fail(function, f"stale pred edge {pred.name} -> {block.name}")
+                _fail(function, f"stale pred edge {pred.name} -> {block.name}", block, stage)
         if len(set(id(p) for p in block.preds)) != len(block.preds):
-            _fail(function, f"duplicate preds on {block.name}")
+            _fail(function, f"duplicate preds on {block.name}", block, stage)
 
     # Inverse check: every terminator edge appears in the target's preds.
     for block in function.blocks:
         for succ in block.succs:
             if block not in succ.preds:
-                _fail(function, f"missing pred edge {block.name} -> {succ.name}")
+                _fail(function, f"missing pred edge {block.name} -> {succ.name}", succ, stage)
 
 
 def _dominators(function: Function):
@@ -111,11 +155,11 @@ def _check_register_ssa(function: Function) -> None:
     for inst in function.instructions():
         if inst.dst is not None:
             if inst.dst in defs:
-                _fail(function, f"{inst.dst} defined more than once")
+                _fail(function, f"{inst.dst} defined more than once", inst.block, "ssa")
             defs[inst.dst] = inst
     for reg, inst in defs.items():
         if reg.def_inst is not inst:
-            _fail(function, f"{reg} has stale def_inst backref")
+            _fail(function, f"{reg} has stale def_inst backref", inst.block, "ssa")
 
     domtree = _dominators(function)
     params = set(function.params)
@@ -131,6 +175,8 @@ def _check_register_ssa(function: Function) -> None:
                         f"phi {inst.dst} incoming blocks "
                         f"{[b.name for b in incoming_blocks]} != preds "
                         f"{[p.name for p in block.preds]} of {block.name}",
+                        block,
+                        "ssa",
                     )
                 for pred, value in inst.incoming:
                     _check_reg_use(
@@ -154,17 +200,24 @@ def _check_reg_use(function, domtree, positions, defs, params, value,
     if value in params:
         return
     if value not in defs:
-        _fail(function, f"{value} used but never defined ({what})")
+        _fail(function, f"{value} used but never defined ({what})", use_block, "ssa")
     def_inst = defs[value]
     def_block, def_pos = positions[id(def_inst)]
     if def_block is use_block:
         if def_pos >= use_pos:
-            _fail(function, f"{value} used before local definition ({what})")
+            _fail(
+                function,
+                f"{value} used before local definition ({what})",
+                use_block,
+                "ssa",
+            )
     elif not domtree.dominates(def_block, use_block):
         _fail(
             function,
             f"definition of {value} in {def_block.name} does not dominate "
             f"use in {use_block.name} ({what})",
+            use_block,
+            "ssa",
         )
 
 
@@ -174,10 +227,20 @@ def _check_memory_ssa(function: Function) -> None:
     for inst in function.instructions():
         for name in inst.mem_defs:
             if name in defs:
-                _fail(function, f"memory name {name} defined more than once")
+                _fail(
+                    function,
+                    f"memory name {name} defined more than once",
+                    inst.block,
+                    "memssa",
+                )
             defs[name] = inst
             if name.def_inst is not inst:
-                _fail(function, f"memory name {name} has stale def_inst")
+                _fail(
+                    function,
+                    f"memory name {name} has stale def_inst",
+                    inst.block,
+                    "memssa",
+                )
 
     domtree = _dominators(function)
     positions = _instruction_positions(function)
@@ -190,6 +253,8 @@ def _check_memory_ssa(function: Function) -> None:
                     _fail(
                         function,
                         f"memphi {inst.dst_name} incoming blocks != preds of {block.name}",
+                        block,
+                        "memssa",
                     )
                 for pred, name in inst.incoming:
                     _check_mem_use(
@@ -211,17 +276,29 @@ def _check_mem_use(function, domtree, positions, defs, name,
     if name.is_entry:
         return  # live-on-entry version; defined "above" the entry block
     if name not in defs:
-        _fail(function, f"memory name {name} used but never defined ({what})")
+        _fail(
+            function,
+            f"memory name {name} used but never defined ({what})",
+            use_block,
+            "memssa",
+        )
     def_inst = defs[name]
     def_block, def_pos = positions[id(def_inst)]
     if def_block is use_block:
         if def_pos >= use_pos:
-            _fail(function, f"memory name {name} used before definition ({what})")
+            _fail(
+                function,
+                f"memory name {name} used before definition ({what})",
+                use_block,
+                "memssa",
+            )
     elif not domtree.dominates(def_block, use_block):
         _fail(
             function,
             f"definition of {name} in {def_block.name} does not dominate "
             f"use in {use_block.name} ({what})",
+            use_block,
+            "memssa",
         )
 
 

@@ -8,13 +8,20 @@ for differential testing of every transformation.
 """
 
 from repro.profile.estimator import estimate_profile
-from repro.profile.interp import ExecutionResult, Interpreter, InterpreterError, run_module
+from repro.profile.interp import (
+    ExecutionResult,
+    Interpreter,
+    InterpreterError,
+    InterpreterLimitError,
+    run_module,
+)
 from repro.profile.profiles import ProfileData
 
 __all__ = [
     "ExecutionResult",
     "Interpreter",
     "InterpreterError",
+    "InterpreterLimitError",
     "ProfileData",
     "estimate_profile",
     "run_module",

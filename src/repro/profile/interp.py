@@ -35,6 +35,19 @@ class InterpreterError(RuntimeError):
     exhaustion, out-of-bounds array access."""
 
 
+class InterpreterLimitError(InterpreterError):
+    """A step or recursion budget was exhausted.
+
+    A distinct subclass so drivers can treat budget exhaustion as a
+    recoverable condition (fall back to the static profile estimator)
+    while genuine runtime errors still propagate."""
+
+    def __init__(self, message: str, steps: int = 0, depth: int = 0) -> None:
+        super().__init__(message)
+        self.steps = steps
+        self.depth = depth
+
+
 class Pointer:
     """A runtime pointer: a view onto a cell list."""
 
@@ -126,7 +139,9 @@ class Interpreter:
         depth: int,
     ) -> int:
         if depth > self.max_depth:
-            raise InterpreterError(f"recursion deeper than {self.max_depth}")
+            raise InterpreterLimitError(
+                f"recursion deeper than {self.max_depth}", depth=depth
+            )
 
         frame_store: Dict[int, List[int]] = {}
         for var in function.frame_vars.values():
@@ -188,7 +203,9 @@ class Interpreter:
             for inst in block.instructions[index:]:
                 result.steps += 1
                 if result.steps > self.max_steps:
-                    raise InterpreterError(f"exceeded {self.max_steps} steps")
+                    raise InterpreterLimitError(
+                        f"exceeded {self.max_steps} steps", steps=result.steps
+                    )
 
                 if isinstance(inst, I.Copy):
                     env[inst.dst] = value(inst.src)

@@ -14,12 +14,17 @@ Modules map one-to-one onto the paper's Section 4:
   mem2reg → profile → memory SSA → promote → cleanup) with metrics.
 """
 
-from repro.promotion.driver import PromotionOptions, promote_function
+from repro.promotion.driver import (
+    PromotionError,
+    PromotionOptions,
+    promote_function,
+)
 from repro.promotion.pipeline import PipelineResult, PromotionPipeline
 from repro.promotion.webs import Web, construct_ssa_webs
 
 __all__ = [
     "PipelineResult",
+    "PromotionError",
     "PromotionOptions",
     "PromotionPipeline",
     "Web",

@@ -25,6 +25,26 @@ from repro.promotion.webpromote import WebPromotion
 from repro.promotion.webs import Web, construct_ssa_webs
 
 
+class PromotionError(RuntimeError):
+    """An unexpected failure inside :func:`promote_function`, annotated
+    with the function, interval, and web it occurred in so the
+    transactional pipeline's rollback diagnostics can attribute it
+    without parsing a traceback.  The original exception is chained as
+    ``__cause__``."""
+
+    def __init__(
+        self,
+        message: str,
+        function: Optional[str] = None,
+        interval: Optional[str] = None,
+        var: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.function = function
+        self.interval = interval
+        self.var = var
+
+
 class PromotionOptions:
     """Tunables (each is an ablation arm in the benchmarks)."""
 
@@ -119,7 +139,21 @@ def promote_function(
                 stats.webs_skipped += 1
                 _insert_dummy(function, web, _preheader_block(interval), stats)
                 continue
-            _promote_in_web(function, mssa, web, interval, profile, domtree, options, stats)
+            try:
+                _promote_in_web(
+                    function, mssa, web, interval, profile, domtree, options, stats
+                )
+            except PromotionError:
+                raise
+            except Exception as exc:
+                where = "<root>" if interval.is_root else interval.header.name
+                raise PromotionError(
+                    f"promotion of @{web.var.name} in interval {where} of "
+                    f"{function.name} failed: {exc}",
+                    function=function.name,
+                    interval=where,
+                    var=web.var.name,
+                ) from exc
     return stats
 
 

@@ -15,18 +15,29 @@ Order of operations per function:
    observable behaviour (printed output, return value, final global
    values) is unchanged.
 
+Every per-function transformation (phases 1, 3, and 4) is a
+*transaction*: the function's IR is snapshotted first, and any exception
+or verification failure restores the snapshot, records a structured
+:class:`~repro.robustness.diagnostics.FunctionOutcome`, and lets the rest
+of the module proceed.  When phase 5 detects a behaviour divergence, the
+pipeline delta-debugs over the transformed functions (re-running from
+snapshots) to isolate a minimal culprit set and rolls only those back, so
+the module the caller gets is always behaviour-preserving.  The result's
+``diagnostics`` names every rolled-back function with its reason.
+
 The result object carries everything Tables 1 and 2 need.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+import time
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.intervals import IntervalTree, normalize_for_promotion
 from repro.ir import instructions as I
 from repro.ir.function import Function
 from repro.ir.module import Module
-from repro.ir.verify import verify_module
+from repro.ir.verify import verify_function, verify_module
 from repro.memory.aliasing import AliasModel
 from repro.memory.memssa import build_memory_ssa
 from repro.passes.copyprop import propagate_copies
@@ -36,12 +47,20 @@ from repro.passes.dce import (
     remove_dummy_loads,
 )
 from repro.profile.estimator import estimate_profile
-from repro.profile.interp import ExecutionResult, Interpreter
+from repro.profile.interp import ExecutionResult, Interpreter, InterpreterError, InterpreterLimitError
 from repro.profile.profiles import ProfileData
 from repro.promotion.driver import (
     FunctionPromotionStats,
     PromotionOptions,
     promote_function,
+)
+from repro.robustness.bisect import isolate_culprits
+from repro.robustness.diagnostics import BisectionReport, PipelineDiagnostics
+from repro.robustness.snapshot import (
+    FunctionSnapshot,
+    FunctionState,
+    capture_state,
+    snapshot_function,
 )
 from repro.ssa.construct import construct_ssa
 
@@ -109,6 +128,8 @@ class PipelineResult:
         self.stats: Dict[str, FunctionPromotionStats] = {}
         self.output_matches = True
         self.profile: Optional[ProfileData] = None
+        #: Per-function outcomes, warnings, and the bisection report.
+        self.diagnostics = PipelineDiagnostics()
 
     def totals(self) -> FunctionPromotionStats:
         total = FunctionPromotionStats()
@@ -128,11 +149,33 @@ class PipelineResult:
             f" ({improvement(self.dynamic_before.stores, self.dynamic_after.stores):+.1f}%)",
             f"behaviour preserved: {self.output_matches}",
         ]
+        if self.diagnostics.outcomes:
+            lines.append(f"functions: {self.diagnostics.summary()}")
+        for warning in self.diagnostics.warnings:
+            lines.append(f"warning: {warning}")
         return "\n".join(lines)
 
 
+def _behaviour_matches(before: ExecutionResult, after: ExecutionResult) -> bool:
+    return (
+        after.output == before.output
+        and after.return_value == before.return_value
+        and after.globals_snapshot() == before.globals_snapshot()
+    )
+
+
 class PromotionPipeline:
-    """The user-facing pass manager around :func:`promote_function`."""
+    """The user-facing transactional pass manager around
+    :func:`promote_function`.
+
+    With ``transactional=True`` (the default) every function is
+    snapshotted before it is transformed; failures roll the function
+    back instead of aborting the run, and a phase-5 behaviour divergence
+    triggers bisection over the transformed functions.  With
+    ``transactional=False`` the pipeline behaves like a classic
+    all-or-nothing pass manager (no snapshot overhead, exceptions
+    propagate, divergence is only recorded in ``output_matches``).
+    """
 
     def __init__(
         self,
@@ -144,6 +187,7 @@ class PromotionPipeline:
         run_mem2reg: bool = True,
         verify: bool = True,
         max_steps: int = 50_000_000,
+        transactional: bool = True,
     ) -> None:
         self.options = options or PromotionOptions()
         self.alias_model_factory = alias_model or AliasModel.conservative
@@ -153,60 +197,202 @@ class PromotionPipeline:
         self.run_mem2reg = run_mem2reg
         self.verify = verify
         self.max_steps = max_steps
+        self.transactional = transactional
 
     def run(self, module: Module) -> PipelineResult:
         result = PipelineResult(module)
+        diags = result.diagnostics
 
-        # Phase 1: prepare every function.
+        # Phase 1: prepare every function (transaction: skip on failure).
         trees: Dict[str, IntervalTree] = {}
-        for function in module.functions.values():
-            if self.run_mem2reg:
-                construct_ssa(function)
-            trees[function.name] = normalize_for_promotion(function)
-        if self.verify:
+        prepared: List[str] = []
+        for function in list(module.functions.values()):
+            if not self.transactional:
+                if self.run_mem2reg:
+                    construct_ssa(function)
+                trees[function.name] = normalize_for_promotion(function)
+                prepared.append(function.name)
+                continue
+            started = time.perf_counter()
+            pre = snapshot_function(function)
+            try:
+                if self.run_mem2reg:
+                    construct_ssa(function)
+                trees[function.name] = normalize_for_promotion(function)
+                if self.verify:
+                    verify_function(function, check_ssa=True)
+            except Exception as exc:
+                pre.restore()
+                trees.pop(function.name, None)
+                diags.record_skip(
+                    function.name,
+                    stage="prepare",
+                    error=exc,
+                    duration_ms=(time.perf_counter() - started) * 1e3,
+                )
+            else:
+                prepared.append(function.name)
+        if self.verify and not self.transactional:
             verify_module(module, check_ssa=True)
 
         result.static_before = StaticCounts.of_module(module)
 
-        # Phase 2: profile.
+        # Phase 2: profile (step-limit exhaustion falls back to the
+        # static estimate instead of aborting the run).
         before_run: Optional[ExecutionResult] = None
         if self.use_interpreter_profile and self.entry in module.functions:
-            before_run = Interpreter(module, max_steps=self.max_steps).run(
-                self.entry, self.args
-            )
-            result.profile = ProfileData.from_execution(before_run)
-            result.dynamic_before = DynamicCounts.of_execution(before_run)
+            try:
+                before_run = Interpreter(module, max_steps=self.max_steps).run(
+                    self.entry, self.args
+                )
+            except InterpreterLimitError as exc:
+                diags.warn(
+                    f"profiling run hit the interpreter limit ({exc}); "
+                    "falling back to the static profile estimate"
+                )
+                result.profile = estimate_profile(module)
+            else:
+                result.profile = ProfileData.from_execution(before_run)
+                result.dynamic_before = DynamicCounts.of_execution(before_run)
         else:
             result.profile = estimate_profile(module)
 
-        # Phase 3: memory SSA + promotion.
+        # Phases 3+4: memory SSA, promotion, and cleanup — one
+        # transaction per function, verified before committing.
         model = self.alias_model_factory(module)
-        for function in module.functions.values():
-            mssa = build_memory_ssa(function, model)
-            result.stats[function.name] = promote_function(
-                function, mssa, result.profile, trees[function.name], self.options
-            )
-
-        # Phase 4: cleanup.
-        for function in module.functions.values():
-            remove_dummy_loads(function)
-            propagate_copies(function)
-            dead_code_elimination(function)
-            dead_memory_elimination(function)
-        if self.verify:
-            verify_module(module, check_ssa=True, check_memssa=True)
+        snapshots: Dict[str, FunctionSnapshot] = {}
+        committed: Dict[str, FunctionState] = {}
+        for name in prepared:
+            function = module.functions[name]
+            snap = snapshot_function(function) if self.transactional else None
+            started = time.perf_counter()
+            stage = "memssa"
+            try:
+                mssa = build_memory_ssa(function, model)
+                stage = "promote"
+                stats = promote_function(
+                    function, mssa, result.profile, trees[name], self.options
+                )
+                stage = "cleanup"
+                remove_dummy_loads(function)
+                propagate_copies(function)
+                dead_code_elimination(function)
+                dead_memory_elimination(function)
+                stage = "verify"
+                if self.verify:
+                    verify_function(function, check_ssa=True, check_memssa=True)
+            except Exception as exc:
+                if snap is None:
+                    raise
+                snap.restore()
+                result.stats[name] = FunctionPromotionStats()
+                diags.record_rollback(
+                    name,
+                    stage=stage,
+                    error=exc,
+                    duration_ms=(time.perf_counter() - started) * 1e3,
+                )
+            else:
+                result.stats[name] = stats
+                if snap is not None:
+                    snapshots[name] = snap
+                    committed[name] = capture_state(function)
+                diags.record_promoted(
+                    name,
+                    duration_ms=(time.perf_counter() - started) * 1e3,
+                    webs_promoted=stats.webs_promoted,
+                )
 
         result.static_after = StaticCounts.of_module(module)
 
-        # Phase 5: re-execute and compare behaviour.
+        # Phase 5: re-execute, compare behaviour, and bisect divergence.
         if before_run is not None:
-            after_run = Interpreter(module, max_steps=self.max_steps).run(
+            self._check_behaviour(module, result, before_run, snapshots, committed)
+        return result
+
+    # -- phase 5 ---------------------------------------------------------
+
+    def _execute(self, module: Module):
+        """One re-execution attempt: (run, error) with exactly one set."""
+        try:
+            run = Interpreter(module, max_steps=self.max_steps).run(
                 self.entry, self.args
             )
+        except InterpreterError as exc:
+            return None, exc
+        return run, None
+
+    def _check_behaviour(
+        self,
+        module: Module,
+        result: PipelineResult,
+        before_run: ExecutionResult,
+        snapshots: Dict[str, FunctionSnapshot],
+        committed: Dict[str, FunctionState],
+    ) -> None:
+        diags = result.diagnostics
+        after_run, error = self._execute(module)
+        if after_run is not None and _behaviour_matches(before_run, after_run):
             result.dynamic_after = DynamicCounts.of_execution(after_run)
-            result.output_matches = (
-                after_run.output == before_run.output
-                and after_run.return_value == before_run.return_value
-                and after_run.globals_snapshot() == before_run.globals_snapshot()
+            result.output_matches = True
+            return
+
+        reason = (
+            f"re-execution raised {type(error).__name__}: {error}"
+            if error is not None
+            else "re-execution diverged from the baseline behaviour"
+        )
+        if not committed:
+            diags.warn(f"{reason}; no transformed function to roll back")
+            result.output_matches = False
+            if after_run is not None:
+                result.dynamic_after = DynamicCounts.of_execution(after_run)
+            return
+
+        # Delta-debug: find the minimal culprit set among the transformed
+        # functions, toggling each between its promoted and pre-promotion
+        # IR and re-running from the snapshots.
+        diags.warn(
+            f"{reason}; bisecting over {len(committed)} transformed function(s)"
+        )
+        candidates = list(committed)
+
+        def diverges(kept: List[str]) -> bool:
+            kept_set = set(kept)
+            for name in candidates:
+                if name in kept_set:
+                    committed[name].install(module.functions[name])
+                else:
+                    snapshots[name].restore()
+            run, _ = self._execute(module)
+            return run is None or not _behaviour_matches(before_run, run)
+
+        culprits, tests_run, resolved = isolate_culprits(candidates, diverges)
+        diags.bisection = BisectionReport(candidates, culprits, tests_run, resolved)
+
+        culprit_set = set(culprits)
+        for name in candidates:
+            if name in culprit_set:
+                snapshots[name].restore()
+            else:
+                committed[name].install(module.functions[name])
+        for name in culprits:
+            result.stats[name] = FunctionPromotionStats()
+            diags.record_rollback(
+                name,
+                stage="re-execution",
+                reason="behaviour divergence isolated by bisection",
             )
-        return result
+
+        final_run, final_error = self._execute(module)
+        result.output_matches = final_run is not None and _behaviour_matches(
+            before_run, final_run
+        )
+        if final_run is not None:
+            result.dynamic_after = DynamicCounts.of_execution(final_run)
+        result.static_after = StaticCounts.of_module(module)
+        if not result.output_matches:
+            diags.warn(
+                "behaviour divergence persists after rolling back every "
+                "transformed function; promotion is not the cause"
+            )

@@ -1,0 +1,55 @@
+"""Transactional-pipeline machinery: snapshots, rollback, divergence
+bisection, structured diagnostics, and fault injection.
+
+The promotion pipeline must degrade gracefully on a production-scale
+module: promote what it can, roll back what it cannot, and explain why.
+This package supplies the pieces:
+
+``snapshot``
+    Deep-clone snapshots of one function's IR that can be restored into
+    the original :class:`~repro.ir.function.Function` object, so every
+    promotion is a transaction.
+
+``diagnostics``
+    Structured per-function outcomes (promoted / rolled_back / skipped),
+    timings, warnings, and a bisection report — serializable to JSON and
+    surfaced on :class:`~repro.promotion.pipeline.PipelineResult`.
+
+``bisect``
+    Delta-debugging over the set of transformed functions: when the
+    post-promotion re-execution diverges, isolate a minimal culprit set
+    and roll only those back.
+
+``faults``
+    A :class:`FaultInjector` that deliberately corrupts IR (one method
+    per corruption class) and an :class:`UnsoundAliasModel` wrapper,
+    used by tests to prove the verifier catches each corruption and the
+    pipeline recovers instead of crashing.
+"""
+
+from repro.robustness.bisect import isolate_culprits
+from repro.robustness.diagnostics import (
+    BisectionReport,
+    FunctionOutcome,
+    PipelineDiagnostics,
+)
+from repro.robustness.faults import FaultInjector, UnsoundAliasModel
+from repro.robustness.snapshot import (
+    FunctionSnapshot,
+    FunctionState,
+    capture_state,
+    snapshot_function,
+)
+
+__all__ = [
+    "BisectionReport",
+    "FaultInjector",
+    "FunctionOutcome",
+    "FunctionSnapshot",
+    "FunctionState",
+    "PipelineDiagnostics",
+    "UnsoundAliasModel",
+    "capture_state",
+    "isolate_culprits",
+    "snapshot_function",
+]

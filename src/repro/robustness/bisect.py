@@ -1,0 +1,73 @@
+"""Divergence bisection: isolate the functions whose transformation broke
+behaviour.
+
+The pipeline's re-execution oracle compares observable behaviour before
+and after promotion.  When it diverges, the culprit is some subset of the
+transformed functions; re-running the program is cheap, so delta-debug:
+repeatedly binary-search the shortest rollback prefix that restores
+behaviour, implicating one function per round.  With ``k`` culprits among
+``n`` candidates this costs ``O(k log n)`` re-executions instead of the
+``O(n)`` of one-at-a-time rollback.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+
+def isolate_culprits(
+    candidates: Sequence[str],
+    diverges: Callable[[List[str]], bool],
+    max_tests: int = 256,
+) -> Tuple[List[str], int, bool]:
+    """Find a minimal-ish culprit set among ``candidates``.
+
+    ``diverges(kept)`` must install exactly the functions in ``kept`` in
+    their transformed form (everything else rolled back), re-execute, and
+    report whether behaviour still diverges.  Rolling back every
+    candidate is expected to restore behaviour (``diverges([]) ==
+    False``); if it does not, every candidate is returned and the
+    ``resolved`` flag is False.
+
+    Returns ``(culprits, tests_run, resolved)``.
+    """
+    candidates = list(candidates)
+    tests_run = 0
+    culprits: List[str] = []
+
+    def check(kept: List[str]) -> bool:
+        nonlocal tests_run
+        if tests_run >= max_tests:
+            raise _BudgetExhausted
+        tests_run += 1
+        return diverges(kept)
+
+    try:
+        while True:
+            kept = [c for c in candidates if c not in culprits]
+            if not kept:
+                # Every candidate was implicated; a full rollback must be
+                # verified explicitly — the binary search only assumes it.
+                return culprits, tests_run, not check([])
+            if not check(kept):
+                return culprits, tests_run, True
+            # At least one culprit remains in `kept`.  f(k) := diverges
+            # with the first k of `kept` rolled back; f(0) is True (just
+            # checked) and f(len) is False (full rollback restores
+            # behaviour), so binary-search the smallest k with f(k) False
+            # — the k-th element (kept[k-1]) is the one whose rollback
+            # flipped the outcome.
+            lo, hi = 0, len(kept)
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if check(kept[mid:]):
+                    lo = mid
+                else:
+                    hi = mid
+            culprits.append(kept[hi - 1])
+    except _BudgetExhausted:
+        return culprits, tests_run, False
+
+
+class _BudgetExhausted(Exception):
+    """Internal: the re-execution budget ran out mid-search."""

@@ -1,0 +1,203 @@
+"""Structured pipeline diagnostics.
+
+Every function the pipeline touches gets a :class:`FunctionOutcome`
+(promoted / rolled_back / skipped) with the pass stage, the reason, and
+the time spent.  :class:`PipelineDiagnostics` aggregates outcomes,
+free-form warnings, and the divergence-bisection report, and serializes
+the lot to JSON for the ``--diagnostics`` CLI flag and bench logs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+
+class FunctionOutcome:
+    """What happened to one function during a pipeline run."""
+
+    PROMOTED = "promoted"
+    ROLLED_BACK = "rolled_back"
+    SKIPPED = "skipped"
+
+    def __init__(
+        self,
+        name: str,
+        status: str,
+        stage: Optional[str] = None,
+        reason: Optional[str] = None,
+        error_type: Optional[str] = None,
+        duration_ms: float = 0.0,
+        webs_promoted: int = 0,
+    ) -> None:
+        self.name = name
+        self.status = status
+        #: Pipeline stage the outcome was decided in: ``prepare``,
+        #: ``memssa``, ``promote``, ``cleanup``, ``verify``, or
+        #: ``re-execution``.
+        self.stage = stage
+        self.reason = reason
+        self.error_type = error_type
+        self.duration_ms = duration_ms
+        self.webs_promoted = webs_promoted
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "stage": self.stage,
+            "reason": self.reason,
+            "error_type": self.error_type,
+            "duration_ms": round(self.duration_ms, 3),
+            "webs_promoted": self.webs_promoted,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionOutcome({self.name!r}, {self.status}, stage={self.stage})"
+
+
+class BisectionReport:
+    """How divergence bisection went: candidates, culprits, cost."""
+
+    def __init__(
+        self,
+        candidates: Sequence[str],
+        culprits: Sequence[str],
+        tests_run: int,
+        resolved: bool,
+    ) -> None:
+        self.candidates = list(candidates)
+        self.culprits = list(culprits)
+        self.tests_run = tests_run
+        #: False when behaviour still diverged with every candidate
+        #: rolled back (the divergence is not promotion's fault).
+        self.resolved = resolved
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "candidates": self.candidates,
+            "culprits": self.culprits,
+            "tests_run": self.tests_run,
+            "resolved": self.resolved,
+        }
+
+
+class PipelineDiagnostics:
+    """Aggregated per-run diagnostics, attached to ``PipelineResult``."""
+
+    def __init__(self) -> None:
+        self.outcomes: Dict[str, FunctionOutcome] = {}
+        self.warnings: List[str] = []
+        self.bisection: Optional[BisectionReport] = None
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, outcome: FunctionOutcome) -> FunctionOutcome:
+        self.outcomes[outcome.name] = outcome
+        return outcome
+
+    def record_promoted(
+        self, name: str, duration_ms: float = 0.0, webs_promoted: int = 0
+    ) -> FunctionOutcome:
+        return self.record(
+            FunctionOutcome(
+                name,
+                FunctionOutcome.PROMOTED,
+                duration_ms=duration_ms,
+                webs_promoted=webs_promoted,
+            )
+        )
+
+    def record_rollback(
+        self,
+        name: str,
+        stage: str,
+        error: Optional[BaseException] = None,
+        reason: Optional[str] = None,
+        duration_ms: float = 0.0,
+    ) -> FunctionOutcome:
+        return self.record(
+            FunctionOutcome(
+                name,
+                FunctionOutcome.ROLLED_BACK,
+                stage=stage,
+                reason=reason or _first_line(error),
+                error_type=type(error).__name__ if error is not None else None,
+                duration_ms=duration_ms,
+            )
+        )
+
+    def record_skip(
+        self,
+        name: str,
+        stage: str,
+        error: Optional[BaseException] = None,
+        reason: Optional[str] = None,
+        duration_ms: float = 0.0,
+    ) -> FunctionOutcome:
+        return self.record(
+            FunctionOutcome(
+                name,
+                FunctionOutcome.SKIPPED,
+                stage=stage,
+                reason=reason or _first_line(error),
+                error_type=type(error).__name__ if error is not None else None,
+                duration_ms=duration_ms,
+            )
+        )
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    # -- queries ---------------------------------------------------------
+
+    def _named(self, status: str) -> List[str]:
+        return [o.name for o in self.outcomes.values() if o.status == status]
+
+    @property
+    def promoted_functions(self) -> List[str]:
+        return self._named(FunctionOutcome.PROMOTED)
+
+    @property
+    def rolled_back_functions(self) -> List[str]:
+        return self._named(FunctionOutcome.ROLLED_BACK)
+
+    @property
+    def skipped_functions(self) -> List[str]:
+        return self._named(FunctionOutcome.SKIPPED)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was rolled back or skipped (``--strict``)."""
+        return not self.rolled_back_functions and not self.skipped_functions
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.promoted_functions)} promoted, "
+            f"{len(self.rolled_back_functions)} rolled back, "
+            f"{len(self.skipped_functions)} skipped"
+        )
+
+    # -- serialization ---------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "summary": self.summary(),
+            "functions": [o.as_dict() for o in self.outcomes.values()],
+            "warnings": list(self.warnings),
+            "bisection": self.bisection.as_dict() if self.bisection else None,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+def _first_line(error: Optional[BaseException]) -> Optional[str]:
+    if error is None:
+        return None
+    text = str(error) or type(error).__name__
+    return text.splitlines()[0]

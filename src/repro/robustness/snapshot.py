@@ -1,0 +1,93 @@
+"""Deep-clone snapshots of function IR for transactional passes.
+
+A :class:`FunctionSnapshot` clones everything a pass may mutate — blocks,
+instructions, virtual registers, frame variables, naming counters — while
+*sharing* module-level objects: the owning :class:`~repro.ir.module.Module`
+and every global :class:`~repro.memory.resources.MemoryVar`.  Sharing is
+load-bearing: the interpreter maps storage by variable identity and the
+alias model hands out the module's own global objects, so a restored
+function must keep referencing them.
+
+Restoring installs the clone's state back into the *original*
+``Function`` object (rather than swapping objects in ``module.functions``)
+so that every external reference to the function stays valid.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.ir.function import Function
+
+
+class FunctionState:
+    """A shallow capture of one function's mutable fields.
+
+    Installing a state hands the captured blocks to the function without
+    copying, so a state must only be installed while nothing mutates the
+    IR it captured — exactly the discipline divergence bisection follows
+    when it toggles a function between its promoted and pre-promotion
+    versions.
+    """
+
+    __slots__ = (
+        "blocks",
+        "params",
+        "frame_vars",
+        "next_reg",
+        "next_block",
+        "mem_versions",
+    )
+
+    def __init__(self, function: Function) -> None:
+        self.blocks = function.blocks
+        self.params = function.params
+        self.frame_vars = function.frame_vars
+        self.next_reg = function._next_reg
+        self.next_block = function._next_block
+        self.mem_versions = function._mem_versions
+
+    def install(self, function: Function) -> None:
+        function.blocks = self.blocks
+        function.params = self.params
+        function.frame_vars = self.frame_vars
+        function._next_reg = self.next_reg
+        function._next_block = self.next_block
+        function._mem_versions = self.mem_versions
+        for block in self.blocks:
+            block.function = function
+
+
+def capture_state(function: Function) -> FunctionState:
+    """Capture the function's current IR without copying (see
+    :class:`FunctionState` for the aliasing caveat)."""
+    return FunctionState(function)
+
+
+class FunctionSnapshot:
+    """A restorable deep clone of one function's IR."""
+
+    def __init__(self, function: Function) -> None:
+        self.name = function.name
+        self._function = function
+        self._state = FunctionState(_clone(function))
+
+    def restore(self) -> Function:
+        """Install the snapshotted IR back into the original function."""
+        self._state.install(self._function)
+        return self._function
+
+
+def snapshot_function(function: Function) -> FunctionSnapshot:
+    """Deep-clone ``function`` (sharing its module and global variables)."""
+    return FunctionSnapshot(function)
+
+
+def _clone(function: Function) -> Function:
+    memo: dict = {}
+    module = function.module
+    if module is not None:
+        memo[id(module)] = module
+        for var in module.globals.values():
+            memo[id(var)] = var
+    return copy.deepcopy(function, memo)

@@ -6,17 +6,31 @@ def test_api_imports():
     from repro.frontend import CompileError, compile_source, parse_program
     from repro.profile import (
         Interpreter,
+        InterpreterError,
+        InterpreterLimitError,
         ProfileData,
         estimate_profile,
         run_module,
     )
     from repro.promotion import (
+        PromotionError,
         PromotionOptions,
         PromotionPipeline,
         construct_ssa_webs,
         promote_function,
     )
     from repro.baselines import LuCooperPipeline, MahlkePipeline
+    from repro.robustness import (
+        BisectionReport,
+        FaultInjector,
+        FunctionOutcome,
+        FunctionSnapshot,
+        PipelineDiagnostics,
+        UnsoundAliasModel,
+        capture_state,
+        isolate_culprits,
+        snapshot_function,
+    )
     from repro.ssa.construct import construct_ssa
     from repro.ssa.destruct import destruct_ssa, eliminate_phis
     from repro.ssa.incremental import (

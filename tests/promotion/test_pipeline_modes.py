@@ -105,6 +105,13 @@ def test_report_format_stable():
     module = compile_source(SRC)
     result = PromotionPipeline().run(module)
     report = result.report()
-    assert report.count("\n") == 4
-    for token in ("static  loads", "dynamic stores", "behaviour preserved"):
+    assert report.count("\n") == 5
+    for token in (
+        "static  loads",
+        "dynamic stores",
+        "behaviour preserved",
+        "functions:",
+        "promoted",
+        "rolled back",
+    ):
         assert token in report

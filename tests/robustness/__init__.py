@@ -1,0 +1,2 @@
+"""Tests for the transactional pipeline: snapshots, rollback, divergence
+bisection, fault injection, and structured diagnostics."""

@@ -1,0 +1,166 @@
+"""Divergence bisection: synthetic predicates for the search itself, plus
+an integration test where a semantically corrupted function is isolated
+by actually re-executing IR."""
+
+from repro.ir.parser import parse_module
+from repro.profile.interp import run_module
+from repro.robustness import (
+    FaultInjector,
+    capture_state,
+    isolate_culprits,
+    snapshot_function,
+)
+
+
+def predicate(bad):
+    """diverges(kept) is True iff any bad function is still installed."""
+    return lambda kept: bool(bad & set(kept))
+
+
+def test_no_culprit_when_behaviour_matches():
+    culprits, tests_run, resolved = isolate_culprits(list("abc"), predicate(set()))
+    assert culprits == []
+    assert resolved
+    assert tests_run == 1
+
+
+def test_single_culprit_binary_search():
+    candidates = [f"f{i}" for i in range(8)]
+    culprits, tests_run, resolved = isolate_culprits(candidates, predicate({"f5"}))
+    assert culprits == ["f5"]
+    assert resolved
+    # initial probe + ~log2(8) bisection steps + one confirming probe
+    assert tests_run <= 6
+
+
+def test_two_culprits():
+    candidates = [f"f{i}" for i in range(8)]
+    bad = {"f2", "f5"}
+    culprits, tests_run, resolved = isolate_culprits(candidates, predicate(bad))
+    assert set(culprits) == bad
+    assert resolved
+    assert tests_run <= 12
+
+
+def test_every_candidate_guilty():
+    culprits, tests_run, resolved = isolate_culprits(list("ab"), predicate({"a", "b"}))
+    assert set(culprits) == {"a", "b"}
+    assert resolved  # rolling back everything does restore behaviour
+
+
+def test_unresolved_when_rollback_never_helps():
+    # Divergence persists even with everything rolled back: promotion is
+    # not the cause, and the report must say so.
+    culprits, tests_run, resolved = isolate_culprits(
+        list("abcd"), lambda kept: True
+    )
+    assert not resolved
+    assert set(culprits) == set("abcd")
+
+
+def test_max_tests_bound_respected():
+    calls = []
+
+    def diverges(kept):
+        calls.append(list(kept))
+        return True
+
+    culprits, tests_run, resolved = isolate_culprits(
+        [f"f{i}" for i in range(64)], diverges, max_tests=5
+    )
+    assert not resolved
+    assert tests_run <= 5
+    assert len(calls) == tests_run
+
+
+TEXT = """
+module m
+global @a = 0
+global @b = 0
+
+func @main() {
+entry:
+  %x = call @f()
+  %y = call @g()
+  %s = add %x, %y
+  ret %s
+}
+
+func @f() {
+entry:
+  jmp h
+h:
+  %i = phi [entry: 0, body: %i2]
+  %c = lt %i, 5
+  br %c, body, out
+body:
+  %t = ld @a
+  %t2 = add %t, 1
+  st @a, %t2
+  %i2 = add %i, 1
+  jmp h
+out:
+  %r = ld @a
+  ret %r
+}
+
+func @g() {
+entry:
+  jmp h
+h:
+  %i = phi [entry: 0, body: %i2]
+  %c = lt %i, 7
+  br %c, body, out
+body:
+  %t = ld @b
+  %t2 = add %t, 1
+  st @b, %t2
+  %i2 = add %i, 1
+  jmp h
+out:
+  %r = ld @b
+  ret %r
+}
+"""
+
+
+def test_bisection_isolates_real_semantic_corruption():
+    baseline = run_module(parse_module(TEXT))
+    module = parse_module(TEXT)
+
+    pristine = {
+        name: snapshot_function(fn) for name, fn in module.functions.items()
+    }
+    FaultInjector().apply("drop_compensating_store", module.functions["g"])
+    corrupted = {
+        name: capture_state(fn) for name, fn in module.functions.items()
+    }
+
+    def diverges(kept):
+        kept_set = set(kept)
+        for name, fn in module.functions.items():
+            if name in kept_set:
+                corrupted[name].install(fn)
+            else:
+                pristine[name].restore()
+        run = run_module(module)
+        return (
+            run.output != baseline.output
+            or run.return_value != baseline.return_value
+            or run.globals_snapshot() != baseline.globals_snapshot()
+        )
+
+    culprits, tests_run, resolved = isolate_culprits(
+        list(module.functions), diverges
+    )
+    assert culprits == ["g"]
+    assert resolved
+
+    # Install the verdict: the culprit rolled back, everything else kept.
+    for name, fn in module.functions.items():
+        if name in culprits:
+            pristine[name].restore()
+        else:
+            corrupted[name].install(fn)
+    final = run_module(module)
+    assert final.return_value == baseline.return_value

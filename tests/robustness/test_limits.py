@@ -1,0 +1,86 @@
+"""Interpreter resource exhaustion is catchable and the pipeline degrades
+to the static profile estimate instead of aborting."""
+
+import pytest
+
+from repro.ir.parser import parse_module
+from repro.profile.interp import (
+    Interpreter,
+    InterpreterError,
+    InterpreterLimitError,
+    run_module,
+)
+from repro.promotion.pipeline import PromotionPipeline
+
+LOOP = """
+module m
+global @x = 0
+
+func @main() {
+entry:
+  jmp h
+h:
+  %i = phi [entry: 0, body: %i2]
+  %c = lt %i, 1000
+  br %c, body, out
+body:
+  %t = ld @x
+  %t2 = add %t, 1
+  st @x, %t2
+  %i2 = add %i, 1
+  jmp h
+out:
+  %r = ld @x
+  ret %r
+}
+"""
+
+RECURSION = """
+module m
+
+func @spin(%n) {
+entry:
+  %m2 = add %n, 1
+  %r = call @spin(%m2)
+  ret %r
+}
+
+func @main() {
+entry:
+  %r = call @spin(0)
+  ret %r
+}
+"""
+
+
+def test_step_limit_raises_catchable_subclass():
+    module = parse_module(LOOP)
+    with pytest.raises(InterpreterLimitError) as excinfo:
+        Interpreter(module, max_steps=50).run("main", [])
+    error = excinfo.value
+    assert isinstance(error, InterpreterError)
+    assert error.steps > 50
+    assert "steps" in str(error)
+
+
+def test_recursion_limit_raises_catchable_subclass():
+    module = parse_module(RECURSION)
+    with pytest.raises(InterpreterLimitError) as excinfo:
+        Interpreter(module).run("main", [])
+    assert excinfo.value.depth > 0
+
+
+def test_pipeline_falls_back_to_estimator_on_step_limit():
+    baseline = run_module(parse_module(LOOP))
+    module = parse_module(LOOP)
+
+    result = PromotionPipeline(max_steps=50).run(module)
+
+    # The run completed on the estimated profile; no interpreter counts.
+    assert result.profile is not None
+    assert result.dynamic_before.total == 0
+    assert any("limit" in w for w in result.diagnostics.warnings)
+    assert "warning:" in result.report()
+
+    # The transformation itself is still correct.
+    assert run_module(module).return_value == baseline.return_value

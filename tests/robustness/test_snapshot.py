@@ -1,0 +1,107 @@
+"""Snapshot/rollback round-trips: restoring must reproduce the exact IR
+text and behaviour while keeping module-level identity (the interpreter
+keys storage by variable identity)."""
+
+from repro.ir import instructions as I
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_function
+from repro.profile.interp import run_module
+from repro.robustness import FaultInjector, capture_state, snapshot_function
+
+TEXT = """
+module m
+global @g = 0
+
+func @main() {
+entry:
+  jmp h
+h:
+  %i = phi [entry: 0, body: %i2]
+  %c = lt %i, 5
+  br %c, body, out
+body:
+  %t = ld @g
+  %t2 = add %t, %i
+  st @g, %t2
+  %i2 = add %i, 1
+  jmp h
+out:
+  %r = ld @g
+  ret %r
+}
+"""
+
+
+def test_restore_round_trips_ir_text():
+    module = parse_module(TEXT)
+    function = module.get_function("main")
+    original = print_function(function)
+
+    snap = snapshot_function(function)
+    assert print_function(function) == original  # snapshotting is pure
+
+    FaultInjector().apply("drop_compensating_store", function)
+    assert print_function(function) != original
+
+    restored = snap.restore()
+    assert restored is function  # same object: external refs stay valid
+    assert print_function(function) == original
+    for block in function.blocks:
+        assert block.function is function
+        for inst in block.instructions:
+            assert inst.block is block
+
+
+def test_restore_preserves_behaviour_and_global_identity():
+    module = parse_module(TEXT)
+    function = module.get_function("main")
+    baseline = run_module(module)
+
+    snap = snapshot_function(function)
+    FaultInjector().apply("drop_compensating_store", function)
+    snap.restore()
+
+    # The restored IR must reference the module's own global objects —
+    # the alias model and interpreter rely on identity, not name.
+    for inst in function.instructions():
+        if isinstance(inst, (I.Load, I.Store)):
+            assert inst.var is module.globals[inst.var.name]
+
+    after = run_module(module)
+    assert after.return_value == baseline.return_value
+    assert after.output == baseline.output
+    assert after.globals_snapshot() == baseline.globals_snapshot()
+
+
+def test_capture_state_toggles_between_versions():
+    # The cheap FunctionState capture is what bisection uses to flip a
+    # function between its promoted and pre-promotion IR.
+    module = parse_module(TEXT)
+    function = module.get_function("main")
+    original_text = print_function(function)
+
+    snap = snapshot_function(function)
+    FaultInjector().apply("drop_compensating_store", function)
+    mutated_text = print_function(function)
+    mutated = capture_state(function)
+
+    snap.restore()
+    assert print_function(function) == original_text
+    mutated.install(function)
+    assert print_function(function) == mutated_text
+    snap.restore()
+    assert print_function(function) == original_text
+    for block in function.blocks:
+        assert block.function is function
+
+
+def test_restore_is_idempotent():
+    module = parse_module(TEXT)
+    function = module.get_function("main")
+    original = print_function(function)
+    snap = snapshot_function(function)
+    FaultInjector().apply("drop_compensating_store", function)
+    snap.restore()
+    snap.restore()
+    assert print_function(function) == original
+    assert run_module(module).return_value == 10
