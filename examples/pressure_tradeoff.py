@@ -23,8 +23,7 @@ def measure(limit):
     result = PromotionPipeline(options=options).run(module)
     assert result.output_matches
     colors = max(
-        colors_needed(build_interference_graph(f))
-        for f in module.functions.values()
+        colors_needed(build_interference_graph(f)) for f in module.functions.values()
     )
     improvement = 100.0 * (
         result.dynamic_before.total - result.dynamic_after.total

@@ -128,7 +128,9 @@ class DominatorTree:
     def dominance_frontier(self) -> Dict[BasicBlock, List[BasicBlock]]:
         """Per-block dominance frontier (computed lazily, cached)."""
         if self._frontier is None:
-            frontier: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in self.reachable}
+            frontier: Dict[BasicBlock, List[BasicBlock]] = {
+                b: [] for b in self.reachable
+            }
             for block in self.reachable:
                 if len(block.preds) < 2:
                     continue

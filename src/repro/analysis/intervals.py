@@ -86,7 +86,9 @@ class Interval:
         return result
 
     def __repr__(self) -> str:
-        kind = "root" if self.is_root else ("interval" if self.is_proper else "improper")
+        kind = (
+            "root" if self.is_root else ("interval" if self.is_proper else "improper")
+        )
         return f"Interval({kind} @{self.header.name}, {len(self.blocks)} blocks)"
 
 
@@ -106,14 +108,22 @@ class IntervalTree:
             self._collect(child)
 
     @classmethod
-    def compute(cls, function: Function, domtree: Optional[DominatorTree] = None) -> "IntervalTree":
+    def compute(
+        cls, function: Function, domtree: Optional[DominatorTree] = None
+    ) -> "IntervalTree":
         rpo = reverse_postorder(function)
         rpo_index = {id(b): i for i, b in enumerate(rpo)}
         root = Interval(function.entry, rpo, [function.entry], is_root=True)
         _find_nested(rpo, set(), root, rpo_index)
         _assign_depths(root)
         tree = cls(function, root)
-        tree.assign_preheaders(domtree or DominatorTree.compute(function))
+        if domtree is None:
+            # Local import: this module is pulled in by the package
+            # __init__, which the cache's own imports traverse.
+            from repro.parallel import cache as analysis_cache
+
+            domtree = analysis_cache.dominator_tree(function)
+        tree.assign_preheaders(domtree)
         return tree
 
     def assign_preheaders(self, domtree: DominatorTree) -> None:

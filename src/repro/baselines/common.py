@@ -18,7 +18,6 @@ from repro.ir.module import Module
 from repro.ir.verify import verify_module
 from repro.memory.aliasing import AliasModel
 from repro.memory.memssa import MemorySSA, build_memory_ssa
-from repro.memory.resources import MemoryVar
 from repro.passes.copyprop import propagate_copies
 from repro.passes.dce import (
     dead_code_elimination,

@@ -30,6 +30,7 @@ from repro.analysis.dominance import DominatorTree
 from repro.analysis.intervals import Interval, IntervalTree
 from repro.ir.function import Function
 from repro.memory.memssa import MemorySSA
+from repro.parallel import cache as analysis_cache
 from repro.profile.profiles import ProfileData
 from repro.promotion.driver import FunctionPromotionStats
 from repro.promotion.webs import construct_ssa_webs
@@ -52,7 +53,7 @@ def mahlke_promote(
     hot_fraction: float = HOT_FRACTION,
 ) -> FunctionPromotionStats:
     stats = FunctionPromotionStats()
-    domtree = DominatorTree.compute(function)
+    domtree = analysis_cache.dominator_tree(function)
     for interval in interval_tree.bottom_up():
         if interval.is_root or interval.children:
             continue  # innermost loops only
@@ -73,9 +74,7 @@ def _migrate_in_loop(
 ) -> None:
     header_freq = max(1, profile.freq(interval.header))
     hot_blocks: Set[int] = {
-        id(b)
-        for b in interval.blocks
-        if profile.freq(b) >= hot_fraction * header_freq
+        id(b) for b in interval.blocks if profile.freq(b) >= hot_fraction * header_freq
     }
     webs = construct_ssa_webs(function, interval)
     for var_name, var_webs in sorted(webs_by_variable(webs).items()):

@@ -10,7 +10,6 @@ from repro.baselines.lucooper import LuCooperPipeline
 from repro.baselines.mahlke import MahlkePipeline
 from repro.bench.workloads import Workload
 from repro.frontend.lower import compile_source
-from repro.ir.module import Module
 from repro.promotion.driver import PromotionOptions
 from repro.promotion.pipeline import PipelineResult, PromotionPipeline, improvement
 from repro.regalloc.coloring import colors_needed
@@ -79,13 +78,24 @@ def measure_workload(
     workload: Workload,
     promoter: str = "sastry-ju",
     options: Optional[PromotionOptions] = None,
+    jobs: int = 1,
+    use_cache: bool = True,
 ) -> BenchmarkRow:
-    """Compile a workload, run a promoter, return the counts row."""
+    """Compile a workload, run a promoter, return the counts row.
+
+    ``jobs``/``use_cache`` configure the paper pipeline's execution
+    layer only; the baselines have no parallel path (and their counts
+    would be identical anyway).
+    """
     module = compile_source(workload.source)
     factory = PROMOTERS[promoter]
     if promoter == "sastry-ju":
         pipeline = factory(
-            options=options, entry=workload.entry, args=list(workload.args)
+            options=options,
+            entry=workload.entry,
+            args=list(workload.args),
+            jobs=jobs,
+            use_cache=use_cache,
         )
     else:
         pipeline = factory(entry=workload.entry, args=list(workload.args))
@@ -122,8 +132,6 @@ def pressure_rows(workload: Workload) -> List[PressureRow]:
     PromotionPipeline(entry=workload.entry, args=list(workload.args)).run(after_module)
     rows = []
     for routine in workload.pressure_routines:
-        after = colors_needed(
-            build_interference_graph(after_module.functions[routine])
-        )
+        after = colors_needed(build_interference_graph(after_module.functions[routine]))
         rows.append(PressureRow(workload.name, routine, before[routine], after))
     return rows

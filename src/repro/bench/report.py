@@ -6,6 +6,9 @@ Usage::
     repro-report --table 2      # dynamic counts only
     repro-report --table 3      # register pressure
     repro-report --compare      # ours vs Lu-Cooper vs Mahlke
+    repro-report --jobs 4       # parallel promotion (identical tables)
+    repro-report --timing BENCH_pipeline.json   # time the exec layers
+    repro-report --timing out.json --perf-baseline benchmarks/BENCH_baseline.json
 """
 
 from __future__ import annotations
@@ -25,13 +28,16 @@ from repro.bench.tables import (
 from repro.bench.workloads import ORDER, WORKLOADS
 
 
-def collect_rows(promoter: str = "sastry-ju"):
-    return [measure_workload(WORKLOADS[name], promoter) for name in ORDER]
+def collect_rows(promoter: str = "sastry-ju", jobs: int = 1, use_cache: bool = True):
+    return [
+        measure_workload(WORKLOADS[name], promoter, jobs=jobs, use_cache=use_cache)
+        for name in ORDER
+    ]
 
 
-def collect_json() -> dict:
+def collect_json(jobs: int = 1, use_cache: bool = True) -> dict:
     """All evaluation data as one JSON-serializable document."""
-    rows = collect_rows()
+    rows = collect_rows(jobs=jobs, use_cache=use_cache)
     doc: dict = {"workloads": {}, "pressure": []}
     for row in rows:
         doc["workloads"][row.name] = {
@@ -69,6 +75,43 @@ def collect_json() -> dict:
     return doc
 
 
+def run_timing(out_path: str, jobs: int, perf_baseline: Optional[str] = None) -> int:
+    """``--timing``: benchmark the execution layers, optionally gate."""
+    from repro.bench.timing import check_against_baseline, time_suite, write_bench
+
+    bench = time_suite(jobs=jobs)
+    write_bench(out_path, bench)
+    speedup = bench["speedup"]
+    print(
+        f"wrote {out_path}: "
+        f"serial {speedup['serial_vs_baseline']}x, "
+        f"parallel {speedup['parallel_vs_baseline']}x vs baseline "
+        f"(jobs={bench['jobs']}, cpus={bench['cpu_count']}); "
+        f"outputs identical: {bench['outputs_identical']}",
+        file=sys.stderr,
+    )
+    if not bench["outputs_identical"]:
+        print("repro-report: timing: arm outputs diverged", file=sys.stderr)
+        return 1
+    if perf_baseline is not None:
+        try:
+            with open(perf_baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(
+                f"repro-report: cannot read perf baseline {perf_baseline}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        failures = check_against_baseline(bench, baseline)
+        for failure in failures:
+            print(f"repro-report: perf gate: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("repro-report: perf gate passed", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro-report")
     parser.add_argument("--table", choices=["1", "2", "3", "all"], default="all")
@@ -78,16 +121,56 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON instead"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for promotion (0 = one per CPU; "
+        "default 1, or 4 with --timing)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-function analysis cache",
+    )
+    parser.add_argument(
+        "--timing",
+        metavar="FILE",
+        help="time the execution layers over the suite and write FILE",
+    )
+    parser.add_argument(
+        "--perf-baseline",
+        metavar="FILE",
+        help="with --timing: fail if speedup regressed >25%% vs FILE",
+    )
     options = parser.parse_args(argv)
+    use_cache = not options.no_cache
+
+    if options.timing:
+        jobs = 4 if options.jobs is None else options.jobs
+        return run_timing(
+            options.timing, jobs=jobs, perf_baseline=options.perf_baseline
+        )
+    if options.perf_baseline:
+        print("repro-report: --perf-baseline requires --timing", file=sys.stderr)
+        return 2
+    jobs = 1 if options.jobs is None else options.jobs
 
     if options.json:
-        print(json.dumps(collect_json(), indent=2, sort_keys=True))
+        print(
+            json.dumps(
+                collect_json(jobs=jobs, use_cache=use_cache),
+                indent=2,
+                sort_keys=True,
+            )
+        )
         return 0
 
     sections: List[str] = []
     rows = None
     if options.table in ("1", "2", "all"):
-        rows = collect_rows()
+        rows = collect_rows(jobs=jobs, use_cache=use_cache)
         bad = [r.name for r in rows if not r.output_matches]
         if bad:
             print(f"WARNING: behaviour changed for {bad}", file=sys.stderr)
@@ -96,9 +179,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if options.table in ("2", "all"):
         sections.append(format_table2(rows))
     if options.table in ("3", "all"):
-        pressure = [
-            row for name in ORDER for row in pressure_rows(WORKLOADS[name])
-        ]
+        pressure = [row for name in ORDER for row in pressure_rows(WORKLOADS[name])]
         sections.append(format_table3(pressure))
     if options.compare:
         sections.append(

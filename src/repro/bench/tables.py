@@ -88,7 +88,9 @@ def format_table2(rows: Sequence[BenchmarkRow]) -> str:
             f"{_fmt_pct(row.pct('dynamic_stores')):>8}"
             f"{_fmt_pct(row.pct('dynamic_total')):>9}"
         )
-    overall = 100.0 * (total_before - total_after) / total_before if total_before else 0.0
+    overall = (
+        100.0 * (total_before - total_after) / total_before if total_before else 0.0
+    )
     lines.append(
         f"{'overall':<10}{total_before:>10}{total_after:>10}"
         f"{_fmt_pct(overall):>8}   (paper: ~12% of scalar memory ops)"

@@ -1,0 +1,198 @@
+"""Wall-clock timing of the promotion pipeline's execution layers.
+
+Three arms over the 8-workload suite, compared on one machine in one
+process tree:
+
+``baseline``
+    the classic execution layer — interpreter dispatch loop, no analysis
+    cache, serial (``jobs=1``);
+``serial``
+    the optimized layer, still serial — compiled interpreter dispatch
+    plus the per-function analysis cache;
+``parallel``
+    the optimized layer fanned out over ``jobs`` shared-nothing worker
+    processes at workload granularity (each worker promotes a whole
+    workload; :func:`repro.parallel.scheduler.map_tasks`).
+
+Every arm records per-workload wall-clock seconds and a fingerprint of
+everything observable — the transformed IR, the Table 1/2 counts, the
+per-function stats, and the canonicalized diagnostics — so the harness
+*proves* the arms computed identical results before comparing their
+speed.  ``outputs_identical`` is false (and the CI perf gate fails) the
+moment an optimization changes an output bit.
+
+Durations are wall-clock and machine-dependent; the committed baseline
+(``benchmarks/BENCH_baseline.json``) is compared by **speedup ratios**,
+which transfer across machines, not by absolute seconds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional
+
+from repro.bench.workloads import ORDER, WORKLOADS
+from repro.frontend.lower import compile_source
+from repro.ir.printer import print_module
+from repro.parallel.scheduler import map_tasks, resolve_jobs
+from repro.promotion.pipeline import PromotionPipeline
+
+ARMS = ("baseline", "serial", "parallel")
+
+#: Speedup may regress to this fraction of the committed baseline's
+#: before the perf gate fails (0.75 == "no more than 25% slower").
+GATE_RATIO = 0.75
+
+
+def run_workload_arm(name: str, arm: str, jobs: int) -> Dict[str, object]:
+    """Promote one workload under one arm; returns timing + fingerprint.
+
+    Module-level (and with picklable inputs/outputs) so the parallel arm
+    can run it in worker processes.
+    """
+    workload = WORKLOADS[name]
+    module = compile_source(workload.source, name)
+    optimized = arm != "baseline"
+    pipeline = PromotionPipeline(
+        entry=workload.entry,
+        args=list(workload.args),
+        use_cache=optimized,
+        compiled_interpreter=optimized,
+        # Workload granularity: each task owns a process, so the
+        # pipeline itself stays serial even in the parallel arm.
+        jobs=1,
+    )
+    started = time.perf_counter()
+    result = pipeline.run(module)
+    elapsed = time.perf_counter() - started
+    return {
+        "workload": name,
+        "seconds": elapsed,
+        "fingerprint": _fingerprint(module, result),
+        "cache": result.cache_stats.as_dict() if result.cache_stats else None,
+    }
+
+
+def _fingerprint(module, result) -> str:
+    """Hash of every observable output of one workload's promotion."""
+    diagnostics = result.diagnostics.as_dict()
+    for outcome in diagnostics["functions"]:
+        outcome["duration_ms"] = 0.0  # timing is not an output
+    doc = {
+        "ir": print_module(module),
+        "static": [
+            result.static_before.loads,
+            result.static_before.stores,
+            result.static_after.loads,
+            result.static_after.stores,
+        ],
+        "dynamic": [
+            result.dynamic_before.loads,
+            result.dynamic_before.stores,
+            result.dynamic_after.loads,
+            result.dynamic_after.stores,
+        ],
+        "stats": {name: s.as_dict() for name, s in sorted(result.stats.items())},
+        "output_matches": result.output_matches,
+        "diagnostics": diagnostics,
+    }
+    payload = json.dumps(doc, sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def time_suite(
+    jobs: int = 4, workloads: Optional[List[str]] = None
+) -> Dict[str, object]:
+    """Run all three arms over the suite; returns the BENCH document."""
+    names = list(workloads or ORDER)
+    jobs = resolve_jobs(jobs)
+
+    arms: Dict[str, dict] = {}
+    fingerprints: Dict[str, Dict[str, str]] = {}
+    for arm in ARMS:
+        arm_jobs = jobs if arm == "parallel" else 1
+        started = time.perf_counter()
+        rows = map_tasks(
+            run_workload_arm, [(name, arm, arm_jobs) for name in names], arm_jobs
+        )
+        total = time.perf_counter() - started
+        fingerprints[arm] = {row["workload"]: row["fingerprint"] for row in rows}
+        entry: Dict[str, object] = {
+            "total_seconds": round(total, 4),
+            "workloads": {row["workload"]: round(row["seconds"], 4) for row in rows},
+        }
+        cache_rows = [row["cache"] for row in rows if row["cache"]]
+        if cache_rows:
+            hits = sum(c["total_hits"] for c in cache_rows)
+            misses = sum(c["total_misses"] for c in cache_rows)
+            entry["cache_hits"] = hits
+            entry["cache_misses"] = misses
+            entry["cache_hit_rate"] = (
+                round(hits / (hits + misses), 4) if hits + misses else 0.0
+            )
+        arms[arm] = entry
+
+    identical = all(
+        fingerprints["baseline"][name]
+        == fingerprints["serial"][name]
+        == fingerprints["parallel"][name]
+        for name in names
+    )
+    baseline_s = arms["baseline"]["total_seconds"]
+    serial_s = arms["serial"]["total_seconds"]
+    parallel_s = arms["parallel"]["total_seconds"]
+    return {
+        "suite": names,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "arms": arms,
+        "speedup": {
+            "serial_vs_baseline": _ratio(baseline_s, serial_s),
+            "parallel_vs_baseline": _ratio(baseline_s, parallel_s),
+            "parallel_vs_serial": _ratio(serial_s, parallel_s),
+        },
+        "outputs_identical": identical,
+    }
+
+
+def _ratio(reference: float, measured: float) -> float:
+    return round(reference / measured, 3) if measured else 0.0
+
+
+def check_against_baseline(
+    bench: Dict[str, object], baseline: Dict[str, object]
+) -> List[str]:
+    """Perf-gate verdict: list of failure messages (empty == pass).
+
+    Gates on output identity and on *speedup ratios* against the
+    committed baseline — absolute seconds do not transfer between
+    machines, relative speedups approximately do.
+    """
+    failures: List[str] = []
+    if not bench.get("outputs_identical", False):
+        failures.append(
+            "serial and parallel arms produced different outputs "
+            "(IR, tables, or diagnostics diverged)"
+        )
+    for key, reference in (baseline.get("speedup") or {}).items():
+        measured = (bench.get("speedup") or {}).get(key)
+        if measured is None or not reference:
+            continue
+        if measured < reference * GATE_RATIO:
+            failures.append(
+                f"speedup {key} regressed: {measured:.2f}x measured vs "
+                f"{reference:.2f}x in the committed baseline "
+                f"(gate: >= {reference * GATE_RATIO:.2f}x)"
+            )
+    return failures
+
+
+def write_bench(path: str, bench: Dict[str, object]) -> None:
+    with open(path, "w") as handle:
+        json.dump(bench, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -67,6 +67,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="interpreter step budget for profiling and execution",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for promotion (0 = one per CPU; "
+        "results are identical to a serial run)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-function analysis cache",
+    )
+    parser.add_argument(
         "--diagnostics",
         metavar="FILE",
         help="write the pipeline's per-function outcome report as JSON",
@@ -99,6 +112,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         pipeline_kwargs["max_steps"] = options.max_steps
 
     result = None
+    if options.baseline is not None and (options.jobs != 1 or options.no_cache):
+        print(
+            "repro-minic: note: --jobs/--no-cache only apply to --promote; "
+            "the baselines run serially",
+            file=sys.stderr,
+        )
     if options.baseline == "lucooper":
         from repro.baselines.lucooper import LuCooperPipeline
 
@@ -110,7 +129,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif options.promote:
         from repro.promotion.pipeline import PromotionPipeline
 
-        result = PromotionPipeline(**pipeline_kwargs).run(module)
+        result = PromotionPipeline(
+            jobs=options.jobs,
+            use_cache=not options.no_cache,
+            **pipeline_kwargs,
+        ).run(module)
 
     if options.stats and result is not None:
         print(result.report(), file=sys.stderr)
@@ -121,9 +144,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             result.diagnostics.write(options.diagnostics)
         except OSError as exc:
-            return _error(
-                f"cannot write {options.diagnostics}: {exc.strerror or exc}"
-            )
+            return _error(f"cannot write {options.diagnostics}: {exc.strerror or exc}")
 
     strict_failed = (
         options.strict

@@ -6,6 +6,7 @@ from typing import List, NamedTuple
 
 from repro.frontend.errors import CompileError
 
+# fmt: off
 KEYWORDS = {
     "int", "void", "struct", "if", "else", "while", "for", "do",
     "return", "break", "continue", "print",
@@ -19,6 +20,7 @@ OPERATORS = [
     "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
     "(", ")", "{", "}", "[", "]", ";", ",", ".",
 ]
+# fmt: on
 
 
 class Token(NamedTuple):

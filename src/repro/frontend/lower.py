@@ -308,7 +308,9 @@ class _Lowerer:
         return self.b.load(tmp)
 
 
+# fmt: off
 _COMPOUND = {
     "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
     "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
 }
+# fmt: on

@@ -38,11 +38,13 @@ _BINARY_LEVELS = [
     ["*", "/", "%"],
 ]
 
+# fmt: off
 _OP_NAMES = {
     "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
     "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
     "<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq", "!=": "ne",
 }
+# fmt: on
 
 
 def parse_program(source: str) -> A.Program:
@@ -323,7 +325,9 @@ class _Parser:
         self.expect(";")
         step = None if self.check(")") else self.simple_statement(need_semi=False)
         self.expect(")")
-        return A.For(line=line, init=init, cond=cond, step=step, body=self.statement_or_block())
+        return A.For(
+            line=line, init=init, cond=cond, step=step, body=self.statement_or_block()
+        )
 
     # -- expressions ------------------------------------------------------
 

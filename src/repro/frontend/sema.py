@@ -73,9 +73,7 @@ def _check_init_values(values, size, line) -> None:
     if size is None:
         raise CompileError("initializer list requires an array", line)
     if len(values) > size:
-        raise CompileError(
-            f"{len(values)} initializers for an array of {size}", line
-        )
+        raise CompileError(f"{len(values)} initializers for an array of {size}", line)
 
 
 def _check_function(info: SemaInfo, finfo: FunctionInfo) -> None:
@@ -107,7 +105,9 @@ def _check_body(
         _check_stmt(info, finfo, stmt, in_loop)
 
 
-def _check_stmt(info: SemaInfo, finfo: FunctionInfo, stmt: A.Stmt, in_loop: bool) -> None:
+def _check_stmt(
+    info: SemaInfo, finfo: FunctionInfo, stmt: A.Stmt, in_loop: bool
+) -> None:
     if isinstance(stmt, A.LocalDecl):
         _check_init_values(stmt.init_values, stmt.array_size, stmt.line)
         if stmt.init is not None:

@@ -143,7 +143,9 @@ class IRBuilder:
         self._emit(ArrayLoad(dst, array, as_value(index)))
         return dst
 
-    def array_store(self, array: MemoryVar, index: ValueLike, value: ValueLike) -> ArrayStore:
+    def array_store(
+        self, array: MemoryVar, index: ValueLike, value: ValueLike
+    ) -> ArrayStore:
         return self._emit(ArrayStore(array, as_value(index), as_value(value)))
 
     def call(
@@ -162,7 +164,9 @@ class IRBuilder:
         assert self.block is not None
         return self.block.set_terminator(Jump(target))
 
-    def cond_br(self, cond: ValueLike, if_true: BasicBlock, if_false: BasicBlock) -> CondBr:
+    def cond_br(
+        self, cond: ValueLike, if_true: BasicBlock, if_false: BasicBlock
+    ) -> CondBr:
         assert self.block is not None
         return self.block.set_terminator(CondBr(as_value(cond), if_true, if_false))
 

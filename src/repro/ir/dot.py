@@ -34,8 +34,7 @@ def _escape(text: str) -> str:
 def _block_label(block: BasicBlock, freq: Optional[int]) -> str:
     header = block.name if freq is None else f"{block.name}  (freq {freq})"
     lines = [header] + [
-        _escape(format_instruction(inst, with_mem=True))
-        for inst in block.instructions
+        _escape(format_instruction(inst, with_mem=True)) for inst in block.instructions
     ]
     return "\\l".join(lines) + "\\l"
 
@@ -61,9 +60,7 @@ def function_to_dot(
 
     def emit_block(block: BasicBlock, indent: str) -> None:
         freq = profile.freq(block) if profile is not None else None
-        lines.append(
-            f'{indent}"{block.name}" [label="{_block_label(block, freq)}"];'
-        )
+        lines.append(f'{indent}"{block.name}" [label="{_block_label(block, freq)}"];')
         emitted.add(id(block))
 
     if intervals is not None:
@@ -95,7 +92,11 @@ def function_to_dot(
             style = ""
             if intervals is not None:
                 inner = intervals.innermost(succ)
-                if not inner.is_root and succ in inner.entries and inner.contains(block):
+                if (
+                    not inner.is_root
+                    and succ in inner.entries
+                    and inner.contains(block)
+                ):
                     style = ' [style=dashed, label="back"]'
             lines.append(f'  "{block.name}" -> "{succ.name}"{style};')
     lines.append("}")

@@ -63,7 +63,9 @@ class Function:
         self.blocks.append(block)
         return block
 
-    def new_mem_name(self, var: MemoryVar, def_inst: Optional[Instruction] = None) -> MemName:
+    def new_mem_name(
+        self, var: MemoryVar, def_inst: Optional[Instruction] = None
+    ) -> MemName:
         """Create a fresh SSA name (next version) for ``var``."""
         version = self._mem_versions.get(var, 0) + 1
         self._mem_versions[var] = version

@@ -33,11 +33,13 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Binary operators with C-like semantics (division truncates toward zero;
 #: division/remainder by zero yield 0 so that program semantics stay total,
 #: which property-based tests rely on).
+# fmt: off
 BINARY_OPS = (
     "add", "sub", "mul", "div", "rem",
     "and", "or", "xor", "shl", "shr",
     "lt", "le", "gt", "ge", "eq", "ne",
 )
+# fmt: on
 
 UNARY_OPS = ("neg", "not", "bnot")
 
@@ -188,7 +190,9 @@ class Phi(Instruction):
     the values so generic operand replacement works.
     """
 
-    def __init__(self, dst: VReg, incoming: Sequence[Tuple["BasicBlock", Value]]) -> None:
+    def __init__(
+        self, dst: VReg, incoming: Sequence[Tuple["BasicBlock", Value]]
+    ) -> None:
         super().__init__()
         self._set_dst(dst)
         self.incoming: List[Tuple["BasicBlock", Value]] = list(incoming)
@@ -561,7 +565,9 @@ class CondBr(Instruction):
 
     is_terminator = True
 
-    def __init__(self, cond: Value, if_true: "BasicBlock", if_false: "BasicBlock") -> None:
+    def __init__(
+        self, cond: Value, if_true: "BasicBlock", if_false: "BasicBlock"
+    ) -> None:
         super().__init__()
         self.operands = [cond]
         self.targets: List["BasicBlock"] = [if_true, if_false]

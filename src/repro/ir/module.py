@@ -57,7 +57,9 @@ class Module:
         function.module = self
         return function
 
-    def new_function(self, name: str, param_names: Optional[List[str]] = None) -> Function:
+    def new_function(
+        self, name: str, param_names: Optional[List[str]] = None
+    ) -> Function:
         return self.add_function(Function(name, param_names))
 
     def get_function(self, name: str) -> Function:

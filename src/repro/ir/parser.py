@@ -242,14 +242,18 @@ def _parse_instruction(
     elif head == "stp":
         block.append(I.PtrStore(env.value(args[0]), env.value(args[1])))
     elif head == "sta":
-        block.append(I.ArrayStore(env.var(args[0]), env.value(args[1]), env.value(args[2])))
+        block.append(
+            I.ArrayStore(env.var(args[0]), env.value(args[1]), env.value(args[2]))
+        )
     elif head == "print":
         block.append(I.Print([env.value(a) for a in args]))
     elif head == "jmp":
         block.set_terminator(I.Jump(func.find_block(args[0])))
     elif head == "br":
         block.set_terminator(
-            I.CondBr(env.value(args[0]), func.find_block(args[1]), func.find_block(args[2]))
+            I.CondBr(
+                env.value(args[0]), func.find_block(args[1]), func.find_block(args[2])
+            )
         )
     elif head == "ret":
         block.set_terminator(I.Ret(env.value(args[0]) if args else None))

@@ -30,7 +30,9 @@ def format_instruction(inst: I.Instruction, with_mem: bool = True) -> str:
     text = _format_core(inst)
     if with_mem:
         notes: List[str] = []
-        if inst.mem_uses and not isinstance(inst, (I.Load, I.MemPhi, I.DummyAliasedLoad)):
+        if inst.mem_uses and not isinstance(
+            inst, (I.Load, I.MemPhi, I.DummyAliasedLoad)
+        ):
             notes.append("use " + ", ".join(str(n) for n in inst.mem_uses))
         if inst.mem_defs and not isinstance(inst, (I.Store, I.MemPhi)):
             notes.append("def " + ", ".join(str(n) for n in inst.mem_defs))

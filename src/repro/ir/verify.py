@@ -104,7 +104,9 @@ def _check_structure(function: Function) -> None:
 
     for block in function.blocks:
         if block.function is not function:
-            _fail(function, f"block {block.name} has wrong function backref", block, stage)
+            _fail(
+                function, f"block {block.name} has wrong function backref", block, stage
+            )
         term = block.terminator
         if term is None:
             _fail(function, f"block {block.name} lacks a terminator", block, stage)
@@ -130,10 +132,17 @@ def _check_structure(function: Function) -> None:
                 )
         for pred in block.preds:
             if pred not in blocks:
-                _fail(function, f"{block.name} has foreign pred {pred.name}", block, stage)
+                _fail(
+                    function, f"{block.name} has foreign pred {pred.name}", block, stage
+                )
             pred_term = pred.terminator
             if pred_term is None or block not in pred_term.targets:
-                _fail(function, f"stale pred edge {pred.name} -> {block.name}", block, stage)
+                _fail(
+                    function,
+                    f"stale pred edge {pred.name} -> {block.name}",
+                    block,
+                    stage,
+                )
         if len(set(id(p) for p in block.preds)) != len(block.preds):
             _fail(function, f"duplicate preds on {block.name}", block, stage)
 
@@ -141,13 +150,18 @@ def _check_structure(function: Function) -> None:
     for block in function.blocks:
         for succ in block.succs:
             if block not in succ.preds:
-                _fail(function, f"missing pred edge {block.name} -> {succ.name}", succ, stage)
+                _fail(
+                    function,
+                    f"missing pred edge {block.name} -> {succ.name}",
+                    succ,
+                    stage,
+                )
 
 
 def _dominators(function: Function):
-    from repro.analysis.dominance import DominatorTree
+    from repro.parallel import cache as analysis_cache
 
-    return DominatorTree.compute(function)
+    return analysis_cache.dominator_tree(function)
 
 
 def _check_register_ssa(function: Function) -> None:
@@ -180,21 +194,34 @@ def _check_register_ssa(function: Function) -> None:
                     )
                 for pred, value in inst.incoming:
                     _check_reg_use(
-                        function, domtree, positions, defs, params, value,
-                        use_block=pred, use_pos=len(pred.instructions),
+                        function,
+                        domtree,
+                        positions,
+                        defs,
+                        params,
+                        value,
+                        use_block=pred,
+                        use_pos=len(pred.instructions),
                         what=f"phi {inst.dst} from {pred.name}",
                     )
             else:
                 for value in inst.operands:
                     _check_reg_use(
-                        function, domtree, positions, defs, params, value,
-                        use_block=block, use_pos=positions[id(inst)][1],
+                        function,
+                        domtree,
+                        positions,
+                        defs,
+                        params,
+                        value,
+                        use_block=block,
+                        use_pos=positions[id(inst)][1],
                         what=f"use in {block.name}",
                     )
 
 
-def _check_reg_use(function, domtree, positions, defs, params, value,
-                   use_block, use_pos, what) -> None:
+def _check_reg_use(
+    function, domtree, positions, defs, params, value, use_block, use_pos, what
+) -> None:
     if isinstance(value, (Const, Undef)):
         return
     if value in params:
@@ -258,21 +285,32 @@ def _check_memory_ssa(function: Function) -> None:
                     )
                 for pred, name in inst.incoming:
                     _check_mem_use(
-                        function, domtree, positions, defs, name,
-                        use_block=pred, use_pos=len(pred.instructions),
+                        function,
+                        domtree,
+                        positions,
+                        defs,
+                        name,
+                        use_block=pred,
+                        use_pos=len(pred.instructions),
                         what=f"memphi {inst.dst_name} from {pred.name}",
                     )
             else:
                 for name in inst.mem_uses:
                     _check_mem_use(
-                        function, domtree, positions, defs, name,
-                        use_block=block, use_pos=positions[id(inst)][1],
+                        function,
+                        domtree,
+                        positions,
+                        defs,
+                        name,
+                        use_block=block,
+                        use_pos=positions[id(inst)][1],
                         what=f"memory use at {block.name}",
                     )
 
 
-def _check_mem_use(function, domtree, positions, defs, name,
-                   use_block, use_pos, what) -> None:
+def _check_mem_use(
+    function, domtree, positions, defs, name, use_block, use_pos, what
+) -> None:
     if name.is_entry:
         return  # live-on-entry version; defined "above" the entry block
     if name not in defs:

@@ -122,7 +122,9 @@ class AliasModel:
         address-taken scalar in scope)."""
         return self._taken_scalars(function)
 
-    def call_effects(self, function: Function, callee: str) -> Tuple[List[MemoryVar], List[MemoryVar]]:
+    def call_effects(
+        self, function: Function, callee: str
+    ) -> Tuple[List[MemoryVar], List[MemoryVar]]:
         """(may-use, may-def) scalar variables of a call."""
         exposed_locals = [
             v for v in function.frame_vars.values() if v.is_scalar and v.address_taken

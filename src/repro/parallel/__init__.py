@@ -1,0 +1,51 @@
+"""Parallel, cache-aware execution layer for the promotion pipeline.
+
+Three pieces:
+
+* :mod:`repro.parallel.cache` — a per-function :class:`AnalysisCache`
+  memoizing dominator trees, iterated dominance frontiers, and liveness
+  across pipeline phases, keyed by IR fingerprints so mutation is
+  invalidation.
+* :mod:`repro.parallel.transport` — pickle-based IR payloads that move
+  functions and modules between shared-nothing worker processes while
+  preserving the module/global sharing discipline.
+* :mod:`repro.parallel.scheduler` — the process-pool scheduler itself.
+  Import it directly (``from repro.parallel import scheduler``); it is not
+  re-exported here because it imports promotion passes, which would make
+  ``import repro.parallel`` drag in — and cycle with — the pipeline.
+"""
+
+from repro.parallel.cache import (
+    AnalysisCache,
+    CacheStats,
+    activate,
+    active_cache,
+    dominator_tree,
+    idf,
+    liveness,
+)
+from repro.parallel.fingerprint import cfg_fingerprint, code_fingerprint
+from repro.parallel.transport import (
+    FunctionPayload,
+    ModulePayload,
+    TransportError,
+    export_profile,
+    import_profile,
+)
+
+__all__ = [
+    "AnalysisCache",
+    "CacheStats",
+    "activate",
+    "active_cache",
+    "dominator_tree",
+    "idf",
+    "liveness",
+    "cfg_fingerprint",
+    "code_fingerprint",
+    "FunctionPayload",
+    "ModulePayload",
+    "TransportError",
+    "export_profile",
+    "import_profile",
+]

@@ -1,0 +1,88 @@
+"""Structural fingerprints of function IR, for analysis caching.
+
+A fingerprint is a nested tuple of object identities that changes whenever
+the fingerprinted structure is mutated, paired with a *pin list* holding a
+strong reference to every object whose ``id()`` appears in the key.  The
+pins make identity keys sound: as long as a cache entry (and therefore its
+pins) is alive, none of those ids can be recycled for a new object, so a
+key match proves the cached analysis still describes the exact same IR
+objects.
+
+Two granularities:
+
+* :func:`cfg_fingerprint` covers the block set and the edge structure —
+  everything a dominator tree or an IDF computation depends on.  Inserting
+  or deleting instructions does not change it; adding/removing blocks or
+  retargeting a terminator does (terminator targets are part of the key).
+* :func:`code_fingerprint` additionally covers every instruction: its
+  identity, class, target register, operand identities, and (for phis) the
+  incoming predecessor blocks — everything liveness depends on.  Replacing
+  an operand in place swaps the operand object, so it changes the key.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Phi
+
+
+def cfg_fingerprint(function: Function) -> Tuple[tuple, List[object]]:
+    """(key, pins) covering the CFG: blocks in order plus successor edges."""
+    pins: List[object] = [function]
+    parts = []
+    for block in function.blocks:
+        pins.append(block)
+        succ_ids = []
+        term = block.terminator
+        if term is not None:
+            for target in term.targets:
+                pins.append(target)
+                succ_ids.append(id(target))
+        parts.append((id(block), tuple(succ_ids)))
+    return tuple(parts), pins
+
+
+def code_fingerprint(function: Function) -> Tuple[tuple, List[object]]:
+    """(key, pins) covering the CFG plus every instruction and operand."""
+    pins: List[object] = [function]
+    parts = []
+    for block in function.blocks:
+        pins.append(block)
+        inst_parts = []
+        for inst in block.instructions:
+            pins.append(inst)
+            operand_ids = []
+            for op in inst.operands:
+                pins.append(op)
+                operand_ids.append(id(op))
+            dst = inst.dst
+            if dst is not None:
+                pins.append(dst)
+            extra: tuple = ()
+            if isinstance(inst, Phi):
+                # replace_incoming_block swaps predecessors without
+                # touching the operand list; liveness cares.
+                pred_ids = []
+                for pred, _ in inst.incoming:
+                    pins.append(pred)
+                    pred_ids.append(id(pred))
+                extra = tuple(pred_ids)
+            elif inst.is_terminator:
+                target_ids = []
+                for target in inst.targets:
+                    pins.append(target)
+                    target_ids.append(id(target))
+                extra = tuple(target_ids)
+            inst_parts.append(
+                (
+                    id(inst),
+                    id(inst.__class__),
+                    0 if dst is None else id(dst),
+                    tuple(operand_ids),
+                    extra,
+                )
+            )
+        parts.append((id(block), tuple(inst_parts)))
+    return tuple(parts), pins

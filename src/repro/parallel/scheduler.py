@@ -1,0 +1,250 @@
+"""The shared-nothing function-level scheduler.
+
+Sastry & Ju's algorithm is embarrassingly parallel at function
+granularity: each function's interval tree, memory-SSA webs, and
+promotion decisions depend only on that function's IR, the module-level
+profile, and an alias model built from the *pre-promotion* module.  The
+scheduler exploits that:
+
+* the parent serializes the prepared module once (:class:`ModulePayload`)
+  and each worker process deserializes its own pristine copy — workers
+  share nothing, so there is no locking and no cross-talk;
+* each task is one function name; the worker runs phases 3+4 (memory SSA,
+  promotion, cleanup, verification) on its copy and ships the transformed
+  IR back as a :class:`FunctionPayload`;
+* the parent merges results **in module order** regardless of completion
+  order, so statistics, diagnostics, and the final IR are deterministic
+  and byte-identical to a serial run.
+
+Failures inside a worker reproduce the serial transaction semantics: the
+worker restores its local snapshot, reports the failing stage and error,
+and the parent records a rollback without installing anything — exactly
+what the serial path's snapshot/restore does.
+
+Pool-level failures (a worker dying, unpicklable user callables) degrade
+to the serial path with a diagnostic warning rather than failing the run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.intervals import IntervalTree
+from repro.parallel.cache import AnalysisCache, CacheStats, activate
+from repro.parallel.transport import (
+    FunctionPayload,
+    ModulePayload,
+    export_profile,
+    import_profile,
+)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` means one worker per
+    CPU; anything else must be a positive worker count."""
+    if jobs is None or jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+class FunctionResult:
+    """What one worker task produced for one function (picklable)."""
+
+    __slots__ = (
+        "name",
+        "status",
+        "stage",
+        "error_type",
+        "reason",
+        "duration_ms",
+        "stats",
+        "payload",
+        "cache_stats",
+    )
+
+    PROMOTED = "promoted"
+    ROLLED_BACK = "rolled_back"
+
+    def __init__(
+        self,
+        name: str,
+        status: str,
+        stage: Optional[str] = None,
+        error_type: Optional[str] = None,
+        reason: Optional[str] = None,
+        duration_ms: float = 0.0,
+        stats: Optional[Dict[str, int]] = None,
+        payload: Optional[FunctionPayload] = None,
+        cache_stats: Optional[CacheStats] = None,
+    ) -> None:
+        self.name = name
+        self.status = status
+        self.stage = stage
+        self.error_type = error_type
+        self.reason = reason
+        self.duration_ms = duration_ms
+        self.stats = stats
+        self.payload = payload
+        self.cache_stats = cache_stats
+
+
+class SchedulerError(RuntimeError):
+    """The pool could not be used; callers should fall back to serial."""
+
+
+# -- worker side ----------------------------------------------------------
+
+#: Per-worker-process state, set once by the pool initializer.
+_WORKER_STATE: Optional[dict] = None
+
+
+def _init_worker(
+    module_bytes: bytes,
+    profile_map: Dict[str, Dict[str, int]],
+    options,
+    alias_model_factory: Callable,
+    verify: bool,
+    use_cache: bool,
+) -> None:
+    global _WORKER_STATE
+    payload = ModulePayload(module_bytes)
+    module = payload.restore()
+    _WORKER_STATE = {
+        "module": module,
+        "model": alias_model_factory(module),
+        "profile": import_profile(profile_map, module),
+        "options": options,
+        "verify": verify,
+        "use_cache": use_cache,
+    }
+
+
+def _promote_one(name: str) -> FunctionResult:
+    """Run phases 3+4 for one function on the worker's module copy."""
+    # Imported here: the pipeline imports this module, so a top-level
+    # import would be circular.
+    from repro.ir.verify import verify_function
+    from repro.memory.memssa import build_memory_ssa
+    from repro.passes.copyprop import propagate_copies
+    from repro.passes.dce import (
+        dead_code_elimination,
+        dead_memory_elimination,
+        remove_dummy_loads,
+    )
+    from repro.promotion.driver import promote_function
+    from repro.robustness.snapshot import snapshot_function
+
+    state = _WORKER_STATE
+    assert state is not None, "worker used before initialization"
+    module = state["module"]
+    function = module.functions[name]
+    cache = AnalysisCache() if state["use_cache"] else None
+
+    snap = snapshot_function(function)
+    started = time.perf_counter()
+    stage = "memssa"
+    with activate(cache):
+        try:
+            # The parent already normalized the CFG in phase 1; recompute
+            # the (deterministic) interval tree on this copy.
+            tree = IntervalTree.compute(function)
+            mssa = build_memory_ssa(function, state["model"])
+            stage = "promote"
+            stats = promote_function(
+                function, mssa, state["profile"], tree, state["options"]
+            )
+            stage = "cleanup"
+            remove_dummy_loads(function)
+            propagate_copies(function)
+            dead_code_elimination(function)
+            dead_memory_elimination(function)
+            stage = "verify"
+            if state["verify"]:
+                verify_function(function, check_ssa=True, check_memssa=True)
+        except Exception as exc:
+            snap.restore()
+            text = str(exc) or type(exc).__name__
+            return FunctionResult(
+                name,
+                FunctionResult.ROLLED_BACK,
+                stage=stage,
+                error_type=type(exc).__name__,
+                reason=text.splitlines()[0],
+                duration_ms=(time.perf_counter() - started) * 1e3,
+                cache_stats=cache.stats if cache else None,
+            )
+    return FunctionResult(
+        name,
+        FunctionResult.PROMOTED,
+        duration_ms=(time.perf_counter() - started) * 1e3,
+        stats=stats.as_dict(),
+        payload=FunctionPayload.capture(function),
+        cache_stats=cache.stats if cache else None,
+    )
+
+
+# -- parent side ----------------------------------------------------------
+
+
+def promote_functions_parallel(
+    module,
+    names: Sequence[str],
+    profile,
+    options,
+    alias_model_factory: Callable,
+    verify: bool,
+    jobs: int,
+    use_cache: bool = True,
+) -> List[FunctionResult]:
+    """Fan phases 3+4 out over a process pool; results in ``names`` order.
+
+    Raises :class:`SchedulerError` when the pool cannot be used at all
+    (e.g. an unpicklable alias-model factory); the caller falls back to
+    the serial path.
+    """
+    module_bytes = ModulePayload.capture(module).data
+    profile_map = export_profile(profile, module)
+    init_args = (
+        module_bytes,
+        profile_map,
+        options,
+        alias_model_factory,
+        verify,
+        use_cache,
+    )
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=_init_worker, initargs=init_args
+        ) as pool:
+            futures = {name: pool.submit(_promote_one, name) for name in names}
+            return [futures[name].result() for name in names]
+    except Exception as exc:
+        raise SchedulerError(
+            f"parallel promotion unavailable ({type(exc).__name__}: {exc}); "
+            "falling back to serial execution"
+        ) from exc
+
+
+def map_tasks(
+    worker: Callable,
+    task_args: Sequence[tuple],
+    jobs: int,
+) -> List[object]:
+    """Generic shared-nothing fan-out: run ``worker(*args)`` for each args
+    tuple in a process pool, returning results in submission order.
+
+    Used by the timing harness to parallelize at *workload* granularity
+    (each task compiles and promotes one workload in its own process).
+    ``worker`` must be a module-level callable and all arguments and
+    results must be picklable.
+    """
+    if jobs <= 1 or len(task_args) <= 1:
+        return [worker(*args) for args in task_args]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(worker, *args) for args in task_args]
+        return [future.result() for future in futures]

@@ -1,0 +1,163 @@
+"""Serialization of IR across process boundaries (shared-nothing workers).
+
+Function IR is a pointer-rich object graph that *shares* two kinds of
+module-level objects: the owning :class:`~repro.ir.module.Module` and the
+global :class:`~repro.memory.resources.MemoryVar` storage objects (the
+interpreter and the alias model both depend on those identities — the same
+sharing discipline :mod:`repro.robustness.snapshot` documents).  Pickling
+a function naively would drag the whole module along and, worse, produce
+*private copies* of the globals on the other side.
+
+:class:`FunctionPayload` solves this the same way ``FunctionSnapshot``
+does — a memoized ``deepcopy`` — but with the shared objects replaced by
+named tokens before pickling and re-bound to the *destination* module's
+objects after unpickling.  A payload captured in a worker against the
+worker's module copy therefore installs cleanly into the parent's module,
+and vice versa.  Installation reuses :class:`FunctionState`, so every
+external reference to the destination ``Function`` object stays valid.
+
+:class:`ModulePayload` ships a whole module (workers get one pristine copy
+each), and the profile helpers translate block-identity-keyed
+:class:`~repro.profile.profiles.ProfileData` to a name-keyed form that
+survives the trip.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from typing import Dict, Optional
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.profile.profiles import ProfileData
+from repro.robustness.snapshot import FunctionState
+
+
+class TransportError(RuntimeError):
+    """A payload could not be captured or installed."""
+
+
+class _Token:
+    """A named placeholder for a module-level shared object."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.name})"
+
+
+def _shared_memo(module: Optional[Module]) -> "tuple[dict, _Token, Dict[str, _Token]]":
+    """deepcopy memo replacing the module and its globals with tokens."""
+    module_token = _Token("<module>")
+    global_tokens: Dict[str, _Token] = {}
+    memo: dict = {}
+    if module is not None:
+        memo[id(module)] = module_token
+        for name, var in module.globals.items():
+            token = _Token(name)
+            global_tokens[name] = token
+            memo[id(var)] = token
+    return memo, module_token, global_tokens
+
+
+class FunctionPayload:
+    """One function's IR, serialized with its shared references tokenized."""
+
+    def __init__(self, name: str, data: bytes) -> None:
+        self.name = name
+        self.data = data
+
+    @classmethod
+    def capture(cls, function: Function) -> "FunctionPayload":
+        memo, module_token, global_tokens = _shared_memo(function.module)
+        clone = copy.deepcopy(function, memo)
+        try:
+            data = pickle.dumps(
+                (clone, module_token, global_tokens),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception as exc:  # pragma: no cover - exotic IR only
+            raise TransportError(
+                f"cannot serialize function {function.name}: {exc}"
+            ) from exc
+        return cls(function.name, data)
+
+    def install(self, module: Module) -> Function:
+        """Re-bind the payload to ``module`` and install it into the
+        function of the same name, preserving the object's identity."""
+        clone, module_token, global_tokens = pickle.loads(self.data)
+        target = module.functions.get(self.name)
+        if target is None:
+            raise TransportError(f"module has no function {self.name}")
+        memo: dict = {id(module_token): module}
+        for name, token in global_tokens.items():
+            var = module.globals.get(name)
+            if var is None:
+                raise TransportError(
+                    f"function {self.name} references unknown global @{name}"
+                )
+            memo[id(token)] = var
+        rebound = copy.deepcopy(clone, memo)
+        FunctionState(rebound).install(target)
+        return target
+
+
+class ModulePayload:
+    """A whole module, pickled (self-contained object graph)."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+
+    @classmethod
+    def capture(cls, module: Module) -> "ModulePayload":
+        try:
+            return cls(pickle.dumps(module, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception as exc:  # pragma: no cover - exotic IR only
+            raise TransportError(
+                f"cannot serialize module {module.name}: {exc}"
+            ) from exc
+
+    def restore(self) -> Module:
+        return pickle.loads(self.data)
+
+
+# -- profiles -------------------------------------------------------------
+
+
+def export_profile(
+    profile: Optional[ProfileData], module: Module
+) -> Dict[str, Dict[str, int]]:
+    """Block-identity-keyed profile -> ``{function: {block: count}}``.
+
+    Blocks that no longer belong to a module function (removed by
+    normalization) are dropped; they can carry no placement weight on the
+    other side anyway.
+    """
+    mapping: Dict[str, Dict[str, int]] = {}
+    if profile is None:
+        return mapping
+    for block, count in profile.items():
+        function = block.function
+        if function is None or module.functions.get(function.name) is not function:
+            continue
+        mapping.setdefault(function.name, {})[block.name] = count
+    return mapping
+
+
+def import_profile(mapping: Dict[str, Dict[str, int]], module: Module) -> ProfileData:
+    """Re-key an exported profile against ``module``'s own blocks."""
+    profile = ProfileData()
+    for fn_name, blocks in mapping.items():
+        function = module.functions.get(fn_name)
+        if function is None:
+            continue
+        by_name = {block.name: block for block in function.blocks}
+        for block_name, count in blocks.items():
+            block = by_name.get(block_name)
+            if block is not None:
+                profile.set_freq(block, count)
+    return profile

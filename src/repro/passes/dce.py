@@ -36,7 +36,11 @@ def dead_code_elimination(function: Function) -> int:
                     used.add(op)
         victims: List[I.Instruction] = []
         for inst in function.instructions():
-            if isinstance(inst, _PURE) and inst.dst is not None and inst.dst not in used:
+            if (
+                isinstance(inst, _PURE)
+                and inst.dst is not None
+                and inst.dst not in used
+            ):
                 victims.append(inst)
         if not victims:
             return removed

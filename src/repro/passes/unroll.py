@@ -114,9 +114,7 @@ def _unroll_loop(function: Function, mssa: MemorySSA, loop: Interval) -> bool:
                 target = function.new_mem_name(inst.var)
                 clone = I.MemPhi(inst.var, target, [])
                 name_map[id(inst.dst_name)] = target
-                var_entry = cloned_by_var.setdefault(
-                    id(inst.var), (inst.var, [])
-                )
+                var_entry = cloned_by_var.setdefault(id(inst.var), (inst.var, []))
                 var_entry[1].append(target)
                 clone_block.insert_at_front(clone)
                 cloned_phis.append((inst, clone, block))
@@ -164,9 +162,7 @@ def _unroll_loop(function: Function, mssa: MemorySSA, loop: Interval) -> bool:
     ):
         seed = [mssa.entry_names[var]] if var in mssa.entry_names else []
         clone_ids = {id(n) for n in clones}
-        old = [
-            n for n in names_of_var(function, var, seed) if id(n) not in clone_ids
-        ]
+        old = [n for n in names_of_var(function, var, seed) if id(n) not in clone_ids]
         update_ssa_for_cloned_resources(function, old, clones)
     return True
 

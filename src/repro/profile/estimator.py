@@ -10,8 +10,6 @@ buys over structural guessing (one of the ablations DESIGN.md lists).
 
 from __future__ import annotations
 
-from typing import Dict
-
 from repro.analysis.cfgutils import reverse_postorder
 from repro.analysis.intervals import IntervalTree
 from repro.ir.function import Function
@@ -38,7 +36,9 @@ def _estimate_function(
         # header (cheap approximation: one halving if the block is a
         # conditional target that is not a loop header).
         interval = tree.innermost(block)
-        is_header = any(block is e for e in ([] if interval.is_root else interval.entries))
+        is_header = any(
+            block is e for e in ([] if interval.is_root else interval.entries)
+        )
         if not is_header and len(block.preds) == 1 and len(block.preds[0].succs) > 1:
             base = max(1, base // 2)
         profile.set_freq(block, base)

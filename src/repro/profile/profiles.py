@@ -13,7 +13,7 @@ recorded, so always normalize before profiling.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.ir.basicblock import BasicBlock
 from repro.ir.instructions import Instruction
@@ -44,6 +44,10 @@ class ProfileData:
 
     def total(self, blocks: Iterable[BasicBlock]) -> int:
         return sum(self.freq(b) for b in blocks)
+
+    def items(self) -> Iterable[Tuple[BasicBlock, int]]:
+        """(block, count) pairs, in recording order."""
+        return self._counts.items()
 
     def covered(self, module: Module) -> int:
         """How many blocks of ``module`` have a recorded frequency."""

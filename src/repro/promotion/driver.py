@@ -21,6 +21,7 @@ from repro.ir.function import Function
 from repro.memory.memssa import MemorySSA
 from repro.profile.profiles import ProfileData
 from repro.promotion.profitability import plan_no_defs_web, plan_web
+from repro.parallel import cache as analysis_cache
 from repro.promotion.webpromote import WebPromotion
 from repro.promotion.webs import Web, construct_ssa_webs
 
@@ -124,7 +125,7 @@ def promote_function(
     instructions are inserted and deleted — so the interval tree and
     dominator tree stay valid throughout."""
     options = options or PromotionOptions()
-    domtree = DominatorTree.compute(function)
+    domtree = analysis_cache.dominator_tree(function)
     stats = FunctionPromotionStats()
 
     for interval in interval_tree.bottom_up():
@@ -188,7 +189,9 @@ def _promote_in_web(
         # preheader for a loop, the entry block for the root region.
         cost_block = preheader if not interval.is_root else function.entry
         plan = plan_no_defs_web(web, profile, cost_block)
-        promoted = (plan.worthwhile or not options.require_profit) and bool(web.load_refs)
+        promoted = (plan.worthwhile or not options.require_profit) and bool(
+            web.load_refs
+        )
         if promoted:
             _promote_no_defs_web(function, web, interval, stats)
         need_dummy = (
@@ -204,9 +207,7 @@ def _promote_in_web(
             stats.webs_skipped += 1
         return
 
-    plan = plan_web(
-        web, profile, domtree, count_tail_stores=options.count_tail_stores
-    )
+    plan = plan_web(web, profile, domtree, count_tail_stores=options.count_tail_stores)
     if not options.remove_stores:
         plan.remove_stores = False
     if not options.require_profit:

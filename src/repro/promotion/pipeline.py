@@ -40,6 +40,14 @@ from repro.ir.module import Module
 from repro.ir.verify import verify_function, verify_module
 from repro.memory.aliasing import AliasModel
 from repro.memory.memssa import build_memory_ssa
+from repro.parallel.cache import AnalysisCache, CacheStats, activate
+from repro.parallel.scheduler import (
+    FunctionResult,
+    SchedulerError,
+    promote_functions_parallel,
+    resolve_jobs,
+)
+from repro.parallel.transport import TransportError
 from repro.passes.copyprop import propagate_copies
 from repro.passes.dce import (
     dead_code_elimination,
@@ -47,7 +55,12 @@ from repro.passes.dce import (
     remove_dummy_loads,
 )
 from repro.profile.estimator import estimate_profile
-from repro.profile.interp import ExecutionResult, Interpreter, InterpreterError, InterpreterLimitError
+from repro.profile.interp import (
+    ExecutionResult,
+    Interpreter,
+    InterpreterError,
+    InterpreterLimitError,
+)
 from repro.profile.profiles import ProfileData
 from repro.promotion.driver import (
     FunctionPromotionStats,
@@ -130,6 +143,12 @@ class PipelineResult:
         self.profile: Optional[ProfileData] = None
         #: Per-function outcomes, warnings, and the bisection report.
         self.diagnostics = PipelineDiagnostics()
+        #: Worker count phases 3+4 actually ran with (1 = serial).
+        self.jobs_used = 1
+        #: Analysis-cache hit/miss counters, aggregated over the parent
+        #: run and (in parallel mode, in module order) every worker.
+        #: ``None`` when caching was disabled.
+        self.cache_stats: Optional[CacheStats] = None
 
     def totals(self) -> FunctionPromotionStats:
         total = FunctionPromotionStats()
@@ -175,6 +194,14 @@ class PromotionPipeline:
     ``transactional=False`` the pipeline behaves like a classic
     all-or-nothing pass manager (no snapshot overhead, exceptions
     propagate, divergence is only recorded in ``output_matches``).
+
+    ``jobs`` > 1 fans phases 3+4 out over that many shared-nothing worker
+    processes (``jobs=0`` means one per CPU); results merge in module
+    order, so every table, statistic, and diagnostic is identical to a
+    serial run.  Parallel mode requires ``transactional=True`` — workers
+    report failures as rollbacks, and phase-5 bisection needs the
+    snapshots.  ``use_cache`` memoizes dominator trees, IDFs, and
+    liveness across phases (per run, per worker).
     """
 
     def __init__(
@@ -188,6 +215,9 @@ class PromotionPipeline:
         verify: bool = True,
         max_steps: int = 50_000_000,
         transactional: bool = True,
+        jobs: int = 1,
+        use_cache: bool = True,
+        compiled_interpreter: bool = True,
     ) -> None:
         self.options = options or PromotionOptions()
         self.alias_model_factory = alias_model or AliasModel.conservative
@@ -198,9 +228,29 @@ class PromotionPipeline:
         self.verify = verify
         self.max_steps = max_steps
         self.transactional = transactional
+        if jobs != 1 and not transactional:
+            raise ValueError(
+                "parallel promotion (jobs != 1) requires transactional=True: "
+                "workers report failures as per-function rollbacks"
+            )
+        self.jobs = jobs
+        self.use_cache = use_cache
+        #: False pins phases 2 and 5 to the interpreter's classic
+        #: dispatch loop — the timing harness's baseline arm.
+        self.compiled_interpreter = compiled_interpreter
 
     def run(self, module: Module) -> PipelineResult:
         result = PipelineResult(module)
+        cache = AnalysisCache() if self.use_cache else None
+        if cache is not None:
+            result.cache_stats = CacheStats()
+        with activate(cache):
+            self._run_phases(module, result)
+        if cache is not None:
+            result.cache_stats.absorb(cache.stats)
+        return result
+
+    def _run_phases(self, module: Module, result: PipelineResult) -> None:
         diags = result.diagnostics
 
         # Phase 1: prepare every function (transaction: skip on failure).
@@ -242,26 +292,58 @@ class PromotionPipeline:
         before_run: Optional[ExecutionResult] = None
         if self.use_interpreter_profile and self.entry in module.functions:
             try:
-                before_run = Interpreter(module, max_steps=self.max_steps).run(
-                    self.entry, self.args
-                )
+                before_run = Interpreter(
+                    module,
+                    max_steps=self.max_steps,
+                    compiled=self.compiled_interpreter,
+                ).run(self.entry, self.args)
             except InterpreterLimitError as exc:
                 diags.warn(
                     f"profiling run hit the interpreter limit ({exc}); "
                     "falling back to the static profile estimate"
                 )
                 result.profile = estimate_profile(module)
+                diags.profile_source = "estimator-fallback"
             else:
                 result.profile = ProfileData.from_execution(before_run)
                 result.dynamic_before = DynamicCounts.of_execution(before_run)
+                diags.profile_source = "interpreter"
         else:
             result.profile = estimate_profile(module)
+            diags.profile_source = "estimator"
 
         # Phases 3+4: memory SSA, promotion, and cleanup — one
         # transaction per function, verified before committing.
-        model = self.alias_model_factory(module)
         snapshots: Dict[str, FunctionSnapshot] = {}
         committed: Dict[str, FunctionState] = {}
+        jobs = 1 if self.jobs == 1 else resolve_jobs(self.jobs)
+        ran_parallel = False
+        if jobs > 1 and len(prepared) > 1:
+            ran_parallel = self._phase34_parallel(
+                module, result, prepared, snapshots, committed, jobs
+            )
+        if not ran_parallel:
+            self._phase34_serial(module, result, trees, prepared, snapshots, committed)
+
+        result.static_after = StaticCounts.of_module(module)
+
+        # Phase 5: re-execute, compare behaviour, and bisect divergence.
+        if before_run is not None:
+            self._check_behaviour(module, result, before_run, snapshots, committed)
+
+    # -- phases 3+4 ------------------------------------------------------
+
+    def _phase34_serial(
+        self,
+        module: Module,
+        result: PipelineResult,
+        trees: Dict[str, IntervalTree],
+        prepared: List[str],
+        snapshots: Dict[str, FunctionSnapshot],
+        committed: Dict[str, FunctionState],
+    ) -> None:
+        diags = result.diagnostics
+        model = self.alias_model_factory(module)
         for name in prepared:
             function = module.functions[name]
             snap = snapshot_function(function) if self.transactional else None
@@ -303,21 +385,85 @@ class PromotionPipeline:
                     webs_promoted=stats.webs_promoted,
                 )
 
-        result.static_after = StaticCounts.of_module(module)
-
-        # Phase 5: re-execute, compare behaviour, and bisect divergence.
-        if before_run is not None:
-            self._check_behaviour(module, result, before_run, snapshots, committed)
-        return result
+    def _phase34_parallel(
+        self,
+        module: Module,
+        result: PipelineResult,
+        prepared: List[str],
+        snapshots: Dict[str, FunctionSnapshot],
+        committed: Dict[str, FunctionState],
+        jobs: int,
+    ) -> bool:
+        """Phases 3+4 over a worker pool; False means fall back to serial
+        (nothing was modified)."""
+        diags = result.diagnostics
+        try:
+            outcomes = promote_functions_parallel(
+                module,
+                prepared,
+                result.profile,
+                self.options,
+                self.alias_model_factory,
+                self.verify,
+                jobs,
+                use_cache=self.use_cache,
+            )
+        except SchedulerError as exc:
+            diags.warn(str(exc))
+            return False
+        result.jobs_used = jobs
+        for name, outcome in zip(prepared, outcomes):
+            function = module.functions[name]
+            if outcome.cache_stats is not None and result.cache_stats is not None:
+                result.cache_stats.absorb(outcome.cache_stats)
+            if outcome.status != FunctionResult.PROMOTED:
+                # The worker already restored its copy; this module's
+                # function was never touched — record the rollback with
+                # the stage and error the worker observed.
+                result.stats[name] = FunctionPromotionStats()
+                diags.record_rollback(
+                    name,
+                    stage=outcome.stage,
+                    reason=outcome.reason,
+                    error_type=outcome.error_type,
+                    duration_ms=outcome.duration_ms,
+                )
+                continue
+            snap = snapshot_function(function)
+            try:
+                outcome.payload.install(module)
+            except TransportError as exc:
+                snap.restore()
+                result.stats[name] = FunctionPromotionStats()
+                diags.record_rollback(
+                    name,
+                    stage="install",
+                    error=exc,
+                    duration_ms=outcome.duration_ms,
+                )
+                continue
+            stats = FunctionPromotionStats()
+            stats.absorb(outcome.stats)
+            result.stats[name] = stats
+            snapshots[name] = snap
+            committed[name] = capture_state(function)
+            diags.record_promoted(
+                name,
+                duration_ms=outcome.duration_ms,
+                webs_promoted=stats.webs_promoted,
+            )
+        return True
 
     # -- phase 5 ---------------------------------------------------------
 
     def _execute(self, module: Module):
         """One re-execution attempt: (run, error) with exactly one set."""
         try:
-            run = Interpreter(module, max_steps=self.max_steps).run(
-                self.entry, self.args
-            )
+            run = Interpreter(
+                module,
+                max_steps=self.max_steps,
+                compiled=self.compiled_interpreter,
+            ).run(self.entry, self.args)
         except InterpreterError as exc:
             return None, exc
         return run, None

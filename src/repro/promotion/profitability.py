@@ -56,7 +56,9 @@ class WebPlan:
     def worthwhile(self) -> bool:
         """Promote only when something is actually removed and the
         profile-weighted profit is non-negative."""
-        if not self.replaceable_loads and not (self.remove_stores and self.web.store_refs):
+        if not self.replaceable_loads and not (
+            self.remove_stores and self.web.store_refs
+        ):
             return False
         return self.profit >= 0
 
@@ -169,13 +171,17 @@ def _tail_store_cost(
     return cost
 
 
-def plan_no_defs_web(web: Web, profile: ProfileData, preheader: Optional[BasicBlock]) -> WebPlan:
+def plan_no_defs_web(
+    web: Web, profile: ProfileData, preheader: Optional[BasicBlock]
+) -> WebPlan:
     """The degenerate plan for a web with no definitions in the interval:
     one load in the preheader replaces every load of the web."""
     plan = WebPlan(web)
     plan.replaceable_loads = list(web.load_refs)
     preheader_cost = profile.freq(preheader) if preheader is not None else 1
-    plan.profit_loads = sum(profile.freq_of(ld) for ld in web.load_refs) - preheader_cost
+    plan.profit_loads = (
+        sum(profile.freq_of(ld) for ld in web.load_refs) - preheader_cost
+    )
     return plan
 
 

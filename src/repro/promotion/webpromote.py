@@ -168,7 +168,10 @@ class WebPromotion:
             live_out = self._reaching_web_name(src)
             if live_out is None:
                 continue
-            if id(live_out) not in defined_by_store and id(live_out) not in defined_by_phi:
+            if (
+                id(live_out) not in defined_by_store
+                and id(live_out) not in defined_by_phi
+            ):
                 continue  # live-in or aliased-store-defined: memory is current
             value = self.materialize_store_value(live_out)
             store = I.Store(live_out.var, value)
@@ -209,7 +212,9 @@ class WebPromotion:
         return reaching_web_name(self.web, self.domtree, exit_src)
 
 
-def reaching_web_name(web, domtree: DominatorTree, exit_src: BasicBlock) -> Optional[MemName]:
+def reaching_web_name(
+    web, domtree: DominatorTree, exit_src: BasicBlock
+) -> Optional[MemName]:
     """The web name live at the end of ``exit_src``, or None.
 
     The dominator walk must consider *every* definition of the variable —

@@ -89,6 +89,11 @@ class PipelineDiagnostics:
         self.outcomes: Dict[str, FunctionOutcome] = {}
         self.warnings: List[str] = []
         self.bisection: Optional[BisectionReport] = None
+        #: Where block frequencies came from: ``interpreter`` (profiling
+        #: run completed), ``estimator`` (interpreter not used or entry
+        #: missing), or ``estimator-fallback`` (the profiling run hit the
+        #: interpreter step limit and the pipeline fell back).
+        self.profile_source: Optional[str] = None
 
     # -- recording -------------------------------------------------------
 
@@ -115,14 +120,18 @@ class PipelineDiagnostics:
         error: Optional[BaseException] = None,
         reason: Optional[str] = None,
         duration_ms: float = 0.0,
+        error_type: Optional[str] = None,
     ) -> FunctionOutcome:
+        # ``error_type`` overrides for failures that crossed a process
+        # boundary, where only the exception's name survived the trip.
         return self.record(
             FunctionOutcome(
                 name,
                 FunctionOutcome.ROLLED_BACK,
                 stage=stage,
                 reason=reason or _first_line(error),
-                error_type=type(error).__name__ if error is not None else None,
+                error_type=error_type
+                or (type(error).__name__ if error is not None else None),
                 duration_ms=duration_ms,
             )
         )
@@ -183,6 +192,7 @@ class PipelineDiagnostics:
     def as_dict(self) -> Dict[str, object]:
         return {
             "summary": self.summary(),
+            "profile_source": self.profile_source,
             "functions": [o.as_dict() for o in self.outcomes.values()],
             "warnings": list(self.warnings),
             "bisection": self.bisection.as_dict() if self.bisection else None,

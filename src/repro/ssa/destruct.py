@@ -73,9 +73,7 @@ def _sequentialize(
     while pending:
         emitted = None
         for i, (dst, src) in enumerate(pending):
-            still_read = any(
-                s is dst for j, (d, s) in enumerate(pending) if j != i
-            )
+            still_read = any(s is dst for j, (d, s) in enumerate(pending) if j != i)
             if not still_read:
                 emitted = i
                 break

@@ -36,11 +36,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.dominance import DominatorTree
-from repro.analysis.idf import iterated_dominance_frontier
 from repro.ir import instructions as I
 from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function
 from repro.memory.resources import MemName, MemoryVar
+from repro.parallel import cache as analysis_cache
 
 
 def names_of_var(
@@ -108,7 +108,7 @@ def update_ssa_for_cloned_resources(
             raise ValueError(
                 f"mixed variables in SSA update: {name} is not a name of {var.name}"
             )
-    domtree = domtree or DominatorTree.compute(function)
+    domtree = domtree or analysis_cache.dominator_tree(function)
     positions = _positions(function)
 
     # ---- Step 1: batched phi placement -------------------------------
@@ -122,7 +122,7 @@ def update_ssa_for_cloned_resources(
 
     phi_targets: List[MemName] = []
     new_phis: Set[int] = set()
-    for block in iterated_dominance_frontier(domtree, init_def_blocks):
+    for block in analysis_cache.idf(function, domtree, init_def_blocks):
         existing = _phi_for_var(block, var)
         if existing is not None:
             stats.phis_reused += 1
@@ -140,9 +140,7 @@ def update_ssa_for_cloned_resources(
     block_defs = _block_def_index(function, all_def_ids, positions)
 
     def reaching_def(block: BasicBlock, position: int) -> MemName:
-        found = _compute_reaching_def(
-            domtree, block_defs, old_names, block, position
-        )
+        found = _compute_reaching_def(domtree, block_defs, old_names, block, position)
         if found is None:
             raise ValueError(
                 f"no reaching definition of {var.name} at {block.name}:{position}"

@@ -24,11 +24,16 @@ def test_measure_workload_row_fields():
 
 def test_pct_sign_convention():
     row = BenchmarkRow(
-        name="x", promoter="p",
-        static_loads_before=100, static_loads_after=114,
-        static_stores_before=100, static_stores_after=90,
-        dynamic_loads_before=1000, dynamic_loads_after=750,
-        dynamic_stores_before=0, dynamic_stores_after=0,
+        name="x",
+        promoter="p",
+        static_loads_before=100,
+        static_loads_after=114,
+        static_stores_before=100,
+        static_stores_after=90,
+        dynamic_loads_before=1000,
+        dynamic_loads_after=750,
+        dynamic_stores_before=0,
+        dynamic_stores_after=0,
         output_matches=True,
     )
     assert row.pct("static_loads") == -14.0  # count increased

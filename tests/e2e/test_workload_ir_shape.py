@@ -50,9 +50,7 @@ def test_go_scan_loop_body_is_memory_free(promoted):
     # The position loop's body blocks carry no singleton memory ops for
     # the promoted counters (the cold record_* branches may).
     loop_body = scan.find_block("fbody2")
-    assert not any(
-        isinstance(i, (I.Load, I.Store)) for i in loop_body.instructions
-    )
+    assert not any(isinstance(i, (I.Load, I.Store)) for i in loop_body.instructions)
 
 
 def test_ijpeg_quantize_inner_loop_memory_free(promoted):

@@ -1,7 +1,7 @@
 import pytest
 
 from repro.ir import instructions as I
-from repro.ir.values import Const, VReg
+from repro.ir.values import Const
 from repro.memory.resources import VarKind
 
 from tests.support import diamond, empty_function

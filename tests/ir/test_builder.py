@@ -1,6 +1,5 @@
 """Direct IRBuilder unit tests (beyond its pervasive indirect use)."""
 
-import pytest
 
 from repro.ir import instructions as I
 from repro.ir.builder import IRBuilder, as_value
@@ -22,8 +21,14 @@ def test_binop_wrappers():
     block = func.add_block("entry")
     b.at(block)
     ops = [
-        b.add(1, 2), b.sub(5, 3), b.mul(2, 2), b.div(9, 3),
-        b.lt(1, 2), b.le(2, 2), b.eq(3, 3), b.ne(3, 4),
+        b.add(1, 2),
+        b.sub(5, 3),
+        b.mul(2, 2),
+        b.div(9, 3),
+        b.lt(1, 2),
+        b.le(2, 2),
+        b.eq(3, 3),
+        b.ne(3, 4),
     ]
     b.ret(ops[-1])
     kinds = [i.op for i in block.instructions if isinstance(i, I.BinOp)]

@@ -43,7 +43,7 @@ def test_escaping():
     # Instruction text contains '<' nowhere, but phis print brackets;
     # braces and pipes must be escaped inside record labels.
     assert "\\{" not in dot or "{" in dot  # smoke: no crash, valid-ish
-    assert '%i = phi' in dot or 'phi' in dot
+    assert "%i = phi" in dot or "phi" in dot
 
 
 def test_module_to_dot_covers_all_functions():

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.ir import instructions as I
-from repro.ir.parser import parse_module
 from repro.ir.verify import VerificationError, verify_function
 from repro.memory.aliasing import AliasModel
 from repro.memory.memssa import build_memory_ssa

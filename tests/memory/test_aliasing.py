@@ -183,8 +183,6 @@ def test_modref_end_to_end_semantics():
     """
     baseline = run_module(compile_source(src))
     module = compile_source(src)
-    result = PromotionPipeline(
-        alias_model=AliasModel.with_modref_summaries
-    ).run(module)
+    result = PromotionPipeline(alias_model=AliasModel.with_modref_summaries).run(module)
     assert result.output_matches
     assert run_module(module).output == baseline.output == [(6,)]

@@ -1,0 +1,157 @@
+"""AnalysisCache: memoization, identity, and mutation invalidation."""
+
+from repro.analysis.dominance import DominatorTree
+from repro.analysis.liveness import Liveness
+from repro.ir.instructions import Load
+from repro.parallel.cache import (
+    AnalysisCache,
+    CacheStats,
+    activate,
+    active_cache,
+    dominator_tree,
+    idf,
+    liveness,
+)
+
+from tests.support import diamond, simple_loop
+
+
+def test_domtree_memoized_by_identity():
+    _, func = diamond()
+    cache = AnalysisCache()
+    first = cache.dominator_tree(func)
+    second = cache.dominator_tree(func)
+    assert first is second
+    assert cache.stats.hits["domtree"] == 1
+    assert cache.stats.misses["domtree"] == 1
+
+
+def test_domtree_matches_direct_computation():
+    _, func = diamond()
+    cached = AnalysisCache().dominator_tree(func)
+    direct = DominatorTree.compute(func)
+    assert {b.name: (p.name if p else None) for b, p in cached.idom.items()} == {
+        b.name: (p.name if p else None) for b, p in direct.idom.items()
+    }
+
+
+def test_cfg_mutation_invalidates_domtree():
+    _, func = diamond()
+    cache = AnalysisCache()
+    first = cache.dominator_tree(func)
+    # A new block changes the CFG fingerprint even before it gets edges.
+    func.new_block("extra")
+    second = cache.dominator_tree(func)
+    assert second is not first
+    assert cache.stats.misses["domtree"] == 2
+
+
+def test_idf_cached_per_def_block_set():
+    _, func = diamond()
+    cache = AnalysisCache()
+    domtree = cache.dominator_tree(func)
+    defs = [func.find_block("left"), func.find_block("right")]
+    first = cache.idf(func, domtree, defs)
+    second = cache.idf(func, domtree, list(reversed(defs)))
+    assert "join" in {b.name for b in first}
+    assert [b.name for b in first] == [b.name for b in second]
+    assert cache.stats.hits["idf"] == 1
+    # Returned lists are copies: callers may mutate them freely.
+    first.append(func.entry)
+    third = cache.idf(func, domtree, defs)
+    assert func.entry not in third
+
+
+def test_idf_with_foreign_domtree_bypasses_cache():
+    _, func = diamond()
+    cache = AnalysisCache()
+    foreign = DominatorTree.compute(func)
+    defs = [func.find_block("left"), func.find_block("right")]
+    cache.idf(func, foreign, defs)
+    cache.idf(func, foreign, defs)
+    assert cache.stats.hits["idf"] == 0
+    assert cache.stats.misses["idf"] == 2
+
+
+def test_liveness_invalidated_by_instruction_mutation():
+    module, func = simple_loop()
+    cache = AnalysisCache()
+    first = cache.liveness(func)
+    assert cache.liveness(func) is first
+    # Inserting an instruction leaves the CFG alone but changes the code
+    # fingerprint, so liveness must be recomputed.
+    block = func.find_block("exitb")
+    block.instructions.insert(0, Load(func.new_reg("t"), module.get_global("x")))
+    second = cache.liveness(func)
+    assert second is not first
+    assert cache.stats.misses["liveness"] == 2
+    assert cache.stats.hits["liveness"] == 1
+
+
+def test_liveness_matches_direct_computation():
+    _, func = simple_loop()
+    cached = AnalysisCache().liveness(func)
+    direct = Liveness.compute(func)
+    for block in func.blocks:
+        assert cached.live_in[block] == direct.live_in[block]
+        assert cached.live_out[block] == direct.live_out[block]
+
+
+def test_invalidate_clears_entries():
+    _, func = diamond()
+    cache = AnalysisCache()
+    first = cache.dominator_tree(func)
+    cache.invalidate(func)
+    second = cache.dominator_tree(func)
+    assert second is not first
+    cache.invalidate()
+    assert cache.dominator_tree(func) is not second
+    assert cache.stats.total_hits == 0
+
+
+def test_module_accessors_without_active_cache():
+    _, func = diamond()
+    assert active_cache() is None
+    tree = dominator_tree(func)
+    assert tree.idom[func.entry] is None
+    front = idf(func, tree, [func.find_block("left"), func.find_block("right")])
+    assert "join" in {b.name for b in front}
+    live = liveness(func)
+    assert live.live_in[func.entry] == set()
+
+
+def test_activate_scopes_the_ambient_cache():
+    _, func = diamond()
+    cache = AnalysisCache()
+    with activate(cache):
+        assert active_cache() is cache
+        dominator_tree(func)
+        dominator_tree(func)
+    assert active_cache() is None
+    assert cache.stats.hits["domtree"] == 1
+
+
+def test_activate_nests_and_restores():
+    outer, inner = AnalysisCache(), AnalysisCache()
+    with activate(outer):
+        with activate(inner):
+            assert active_cache() is inner
+        assert active_cache() is outer
+    assert active_cache() is None
+
+
+def test_cache_stats_absorb_and_dict():
+    a = CacheStats()
+    a.hit("domtree")
+    a.miss("liveness")
+    b = CacheStats()
+    b.hit("domtree")
+    b.hit("idf")
+    a.absorb(b)
+    assert a.total_hits == 3
+    assert a.total_misses == 1
+    assert a.hit_rate() == 0.75
+    doc = a.as_dict()
+    assert doc["total_hits"] == 3
+    assert doc["hits"]["domtree"] == 2
+    assert CacheStats().hit_rate() == 0.0

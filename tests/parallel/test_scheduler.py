@@ -1,0 +1,51 @@
+"""Scheduler units: job resolution, generic fan-out, worker results."""
+
+import os
+
+import pytest
+
+from repro.parallel.scheduler import FunctionResult, map_tasks, resolve_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def test_resolve_jobs_defaults_to_cpu_count():
+    expected = max(1, os.cpu_count() or 1)
+    assert resolve_jobs(None) == expected
+    assert resolve_jobs(0) == expected
+
+
+def test_resolve_jobs_passes_positive_counts_through():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(7) == 7
+
+
+def test_resolve_jobs_rejects_negative():
+    with pytest.raises(ValueError, match="jobs must be >= 0"):
+        resolve_jobs(-2)
+
+
+def test_map_tasks_serial_path():
+    assert map_tasks(_square, [(2,), (3,), (4,)], jobs=1) == [4, 9, 16]
+
+
+def test_map_tasks_single_task_stays_serial():
+    # One task never pays pool start-up cost, whatever jobs says.
+    assert map_tasks(_square, [(5,)], jobs=8) == [25]
+
+
+def test_map_tasks_parallel_path_preserves_order():
+    args = [(n,) for n in range(6)]
+    assert map_tasks(_square, args, jobs=2) == [n * n for n in range(6)]
+
+
+def test_function_result_defaults():
+    result = FunctionResult("f", FunctionResult.PROMOTED)
+    assert result.name == "f"
+    assert result.status == "promoted"
+    assert result.stage is None
+    assert result.payload is None
+    assert result.cache_stats is None
+    assert result.duration_ms == 0.0

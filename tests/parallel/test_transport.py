@@ -1,0 +1,101 @@
+"""FunctionPayload/ModulePayload round trips and profile re-keying."""
+
+import pytest
+
+from repro.ir.instructions import Load, Store
+from repro.ir.printer import print_module
+from repro.parallel.transport import (
+    FunctionPayload,
+    ModulePayload,
+    TransportError,
+    export_profile,
+    import_profile,
+)
+from repro.profile.profiles import ProfileData
+
+from tests.support import diamond, simple_loop
+
+
+def test_module_payload_round_trip():
+    module, _ = simple_loop()
+    restored = ModulePayload.capture(module).restore()
+    assert restored is not module
+    assert print_module(restored) == print_module(module)
+    # The copy owns its own global storage objects.
+    assert restored.get_global("x") is not module.get_global("x")
+
+
+def test_function_payload_round_trip_preserves_identity():
+    module, func = diamond()
+    copy = ModulePayload.capture(module).restore()
+    copy_func = copy.get_function("diamond")
+    # Perturb the copy so install visibly overwrites it.
+    copy_func.find_block("left").instructions.pop(0)
+    assert print_module(copy) != print_module(module)
+
+    payload = FunctionPayload.capture(func)
+    installed = payload.install(copy)
+    # Identity preserved: external references to the copy's Function and
+    # its blocks stay valid.
+    assert installed is copy_func
+    assert print_module(copy) == print_module(module)
+
+
+def test_installed_function_rebinds_globals_to_target_module():
+    module, func = diamond()
+    copy = ModulePayload.capture(module).restore()
+    FunctionPayload.capture(func).install(copy)
+    target_x = copy.get_global("x")
+    for inst in copy.get_function("diamond").instructions():
+        if isinstance(inst, (Load, Store)):
+            assert inst.var is target_x
+            assert inst.var is not module.get_global("x")
+
+
+def test_install_into_module_missing_function_fails():
+    module, func = diamond()
+    copy = ModulePayload.capture(module).restore()
+    payload = FunctionPayload.capture(func)
+    payload.name = "nonesuch"
+    with pytest.raises(TransportError, match="no function nonesuch"):
+        payload.install(copy)
+
+
+def test_install_with_unknown_global_fails():
+    module, func = diamond()
+    copy = ModulePayload.capture(module).restore()
+    del copy.globals["x"]
+    with pytest.raises(TransportError, match="unknown global @x"):
+        FunctionPayload.capture(func).install(copy)
+
+
+def test_profile_export_import_round_trip():
+    module, func = simple_loop()
+    profile = ProfileData()
+    for count, block in enumerate(func.blocks, start=1):
+        profile.set_freq(block, count * 10)
+
+    mapping = export_profile(profile, module)
+    assert set(mapping) == {"loop"}
+    assert mapping["loop"]["entry"] == 10
+
+    copy = ModulePayload.capture(module).restore()
+    imported = import_profile(mapping, copy)
+    for block in copy.get_function("loop").blocks:
+        assert imported.freq(block) == mapping["loop"][block.name]
+
+
+def test_profile_export_skips_detached_blocks():
+    module, func = simple_loop()
+    profile = ProfileData()
+    for block in func.blocks:
+        profile.set_freq(block, 5)
+    _, orphan_func = diamond()
+    profile.set_freq(orphan_func.entry, 99)
+    mapping = export_profile(profile, module)
+    assert set(mapping) == {"loop"}
+
+
+def test_export_none_profile_is_empty():
+    module, _ = simple_loop()
+    assert export_profile(None, module) == {}

@@ -1,0 +1,110 @@
+"""The compiled engine must match the classic dispatch loop exactly.
+
+``compiled=False`` is the executable specification; ``compiled=True`` is
+the optimization the timing harness measures. They must agree on every
+observable: output, return value, step accounting, operation counts, the
+block-count profile, and errors.
+"""
+
+import pytest
+
+from repro.bench.workloads import ORDER, WORKLOADS
+from repro.frontend.lower import compile_source
+from repro.ir.parser import parse_module
+from repro.profile.interp import Interpreter, InterpreterError, InterpreterLimitError
+
+from tests.support import nested_loops, simple_loop
+
+
+def _run_both(module, entry="main", args=(), **kwargs):
+    legacy = Interpreter(module, compiled=False, **kwargs).run(entry, args)
+    compiled = Interpreter(module, compiled=True, **kwargs).run(entry, args)
+    return legacy, compiled
+
+
+def _assert_equivalent(legacy, compiled):
+    assert compiled.output == legacy.output
+    assert compiled.return_value == legacy.return_value
+    assert compiled.steps == legacy.steps
+    assert compiled.loads == legacy.loads
+    assert compiled.stores == legacy.stores
+    assert compiled.ptr_loads == legacy.ptr_loads
+    assert compiled.ptr_stores == legacy.ptr_stores
+    assert compiled.array_loads == legacy.array_loads
+    assert compiled.array_stores == legacy.array_stores
+    assert compiled.calls == legacy.calls
+    assert compiled.copies == legacy.copies
+    # Block names repeat across functions; key the profile comparison by
+    # (function, block).
+    def by_name(result):
+        return {
+            (b.function.name, b.name): count
+            for b, count in result.block_counts.items()
+        }
+
+    assert by_name(compiled) == by_name(legacy)
+
+
+@pytest.mark.parametrize("name", ORDER)
+def test_engines_agree_on_every_workload(name):
+    workload = WORKLOADS[name]
+    legacy = Interpreter(compile_source(workload.source, name), compiled=False).run(
+        workload.entry, workload.args
+    )
+    compiled = Interpreter(compile_source(workload.source, name), compiled=True).run(
+        workload.entry, workload.args
+    )
+    _assert_equivalent(legacy, compiled)
+
+
+def test_engines_agree_on_loops():
+    for factory in (simple_loop, nested_loops):
+        module, func = factory()
+        legacy, compiled = _run_both(module, entry=func.name)
+        _assert_equivalent(legacy, compiled)
+
+
+def test_engines_agree_on_globals_snapshot():
+    module, func = simple_loop()
+    legacy, compiled = _run_both(module, entry=func.name)
+    assert compiled.globals_snapshot() == legacy.globals_snapshot()
+
+
+def test_engines_raise_the_same_runtime_error():
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          %q = ldp 5
+          ret %q
+        }
+        """
+    )
+    with pytest.raises(InterpreterError) as legacy_exc:
+        Interpreter(module, compiled=False).run()
+    with pytest.raises(InterpreterError) as compiled_exc:
+        Interpreter(module, compiled=True).run()
+    assert str(compiled_exc.value) == str(legacy_exc.value)
+
+
+def test_engines_enforce_the_same_step_limit():
+    module, func = simple_loop(trip_count=1000)
+    with pytest.raises(InterpreterLimitError):
+        Interpreter(module, max_steps=50, compiled=False).run(func.name)
+    with pytest.raises(InterpreterLimitError):
+        Interpreter(module, max_steps=50, compiled=True).run(func.name)
+
+
+def test_engines_agree_with_externals():
+    module = parse_module(
+        """
+        func @main() {
+        entry:
+          %a = call @ext(7)
+          print %a
+          ret %a
+        }
+        """
+    )
+    legacy, compiled = _run_both(module, externals={"ext": lambda x: x + 1})
+    _assert_equivalent(legacy, compiled)

@@ -122,9 +122,7 @@ def test_block_counts_cover_every_executed_block():
 
 
 def test_steps_monotone_with_work():
-    module_small = parse_module(
-        "func @main() {\nentry:\n  ret 0\n}"
-    )
+    module_small = parse_module("func @main() {\nentry:\n  ret 0\n}")
     module_large = parse_module(
         """
         func @main() {

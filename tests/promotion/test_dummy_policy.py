@@ -10,7 +10,6 @@ These tests run the promotion driver with cleanup suppressed so the
 dummies are observable.
 """
 
-from repro.analysis.dominance import DominatorTree
 from repro.analysis.intervals import normalize_for_promotion
 from repro.frontend.lower import compile_source
 from repro.ir import instructions as I

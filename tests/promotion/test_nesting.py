@@ -3,7 +3,6 @@ story ("relying on the recursive promotion of the outer interval to
 propagate these loads and stores to the appropriate interval")."""
 
 from repro.frontend.lower import compile_source
-from repro.ir import instructions as I
 from repro.profile.interp import run_module
 from repro.promotion.pipeline import PromotionPipeline
 

@@ -2,7 +2,6 @@
 estimator profile, modules without an entry point, mem2reg opt-out, and
 no-verify mode."""
 
-import pytest
 
 from repro.frontend.lower import compile_source
 from repro.ir.parser import parse_module

@@ -16,8 +16,7 @@ def _run(limit):
     result = PromotionPipeline(options=options).run(module)
     assert result.output_matches
     colors = max(
-        colors_needed(build_interference_graph(f))
-        for f in module.functions.values()
+        colors_needed(build_interference_graph(f)) for f in module.functions.values()
     )
     return result, colors
 

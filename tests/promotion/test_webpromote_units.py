@@ -153,18 +153,12 @@ def test_stores_inserted_before_aliased_loads():
 
 def test_dummy_requires_live_in_and_preheader():
     module, func, web, plan, promo = _setup()
-    before = sum(
-        1 for i in func.instructions() if isinstance(i, I.DummyAliasedLoad)
-    )
+    before = sum(1 for i in func.instructions() if isinstance(i, I.DummyAliasedLoad))
     promo.insert_dummy_aliased_load(None)  # root region: no preheader
-    after = sum(
-        1 for i in func.instructions() if isinstance(i, I.DummyAliasedLoad)
-    )
+    after = sum(1 for i in func.instructions() if isinstance(i, I.DummyAliasedLoad))
     assert before == after
     preheader = func.find_block("entry")
     promo.insert_dummy_aliased_load(preheader)
-    dummies = [
-        i for i in func.instructions() if isinstance(i, I.DummyAliasedLoad)
-    ]
+    dummies = [i for i in func.instructions() if isinstance(i, I.DummyAliasedLoad)]
     assert len(dummies) == 1
     assert dummies[0].mem_uses == [web.live_in]

@@ -1,4 +1,4 @@
-from repro.analysis.intervals import IntervalTree, normalize_for_promotion
+from repro.analysis.intervals import normalize_for_promotion
 from repro.ir import instructions as I
 from repro.ir.parser import parse_module
 from repro.memory.aliasing import AliasModel
@@ -155,15 +155,11 @@ def test_aliased_refs_classified():
     assert any(inst is call for inst, _ in xweb.aliased_load_refs)
     assert not xweb.aliased_store_refs
     other_webs = [w for w in webs if w.var.name == "x" and w is not xweb]
-    assert any(
-        inst is call for w in other_webs for inst, _ in w.aliased_store_refs
-    )
+    assert any(inst is call for w in other_webs for inst, _ in w.aliased_store_refs)
     # Returns count as aliased loads of globals.
     ret = next(i for i in func.instructions() if isinstance(i, I.Ret))
     all_webs_x = [w for w in webs if w.var.name == "x"]
-    assert any(
-        inst is ret for w in all_webs_x for inst, _ in w.aliased_load_refs
-    )
+    assert any(inst is ret for w in all_webs_x for inst, _ in w.aliased_load_refs)
     # Pointer ops show up as aliased refs of the exposed local @y.
     ywebs = [w for w in webs if w.var.name == "y"]
     assert any(w.aliased_load_refs for w in ywebs)

@@ -129,7 +129,9 @@ class ProgramGen:
         lines.extend("    " + l for l in self.block([], 0, allow_call=True))
         lines.append("    print(" + ", ".join(self.globals) + ");")
         if self.array is not None:
-            lines.append(f"    print({self.array}[0], {self.array}[{self.array_size - 1}]);")
+            lines.append(
+                f"    print({self.array}[0], {self.array}[{self.array_size - 1}]);"
+            )
         lines.append(f"    return ({self.expr(self.globals)}) % 1000;")
         lines.append("}")
         return "\n".join(lines)

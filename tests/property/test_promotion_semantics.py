@@ -6,7 +6,6 @@ leave the same final global state as the original — under the paper's
 algorithm and both baselines, with every option combination.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -106,7 +106,9 @@ def test_batched_and_css96_updates_agree(seed):
             for inst in block.instructions:
                 if isinstance(inst, I.Load):
                     definer = inst.mem_uses[0].def_inst
-                    loads.append((block.name, type(definer).__name__ if definer else "entry"))
+                    loads.append(
+                        (block.name, type(definer).__name__ if definer else "entry")
+                    )
         return phis, loads
 
     assert signature(func_a) == signature(func_b)

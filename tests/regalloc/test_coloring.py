@@ -91,9 +91,7 @@ def test_promotion_increases_colors_needed():
     }
     """
     module_before = parse_module(text)
-    before = colors_needed(
-        build_interference_graph(module_before.get_function("main"))
-    )
+    before = colors_needed(build_interference_graph(module_before.get_function("main")))
     module_after = parse_module(text)
     PromotionPipeline().run(module_after)
     after = colors_needed(build_interference_graph(module_after.get_function("main")))

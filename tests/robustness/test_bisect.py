@@ -128,13 +128,9 @@ def test_bisection_isolates_real_semantic_corruption():
     baseline = run_module(parse_module(TEXT))
     module = parse_module(TEXT)
 
-    pristine = {
-        name: snapshot_function(fn) for name, fn in module.functions.items()
-    }
+    pristine = {name: snapshot_function(fn) for name, fn in module.functions.items()}
     FaultInjector().apply("drop_compensating_store", module.functions["g"])
-    corrupted = {
-        name: capture_state(fn) for name, fn in module.functions.items()
-    }
+    corrupted = {name: capture_state(fn) for name, fn in module.functions.items()}
 
     def diverges(kept):
         kept_set = set(kept)
@@ -150,9 +146,7 @@ def test_bisection_isolates_real_semantic_corruption():
             or run.globals_snapshot() != baseline.globals_snapshot()
         )
 
-    culprits, tests_run, resolved = isolate_culprits(
-        list(module.functions), diverges
-    )
+    culprits, tests_run, resolved = isolate_culprits(list(module.functions), diverges)
     assert culprits == ["g"]
     assert resolved
 

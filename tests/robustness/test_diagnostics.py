@@ -71,6 +71,7 @@ def test_empty_diagnostics_serialize():
     data = json.loads(PipelineDiagnostics().to_json())
     assert data == {
         "summary": "0 promoted, 0 rolled back, 0 skipped",
+        "profile_source": None,
         "functions": [],
         "warnings": [],
         "bisection": None,

@@ -98,9 +98,7 @@ def test_exception_rolls_back_one_function():
 
 def test_non_transactional_mode_propagates_exceptions():
     module = parse_module(TEXT)
-    pipeline = PromotionPipeline(
-        alias_model=ExplodingAliasModel, transactional=False
-    )
+    pipeline = PromotionPipeline(alias_model=ExplodingAliasModel, transactional=False)
     with pytest.raises(RuntimeError, match="alias oracle exploded"):
         pipeline.run(module)
 
@@ -145,9 +143,7 @@ def test_promotion_error_names_web_and_interval(monkeypatch):
     def sabotaged(web, profile, domtree, count_tail_stores=False):
         if web.var.name == "b":
             raise KeyError("profit table corrupted")
-        return real_plan(
-            web, profile, domtree, count_tail_stores=count_tail_stores
-        )
+        return real_plan(web, profile, domtree, count_tail_stores=count_tail_stores)
 
     monkeypatch.setattr(driver_module, "plan_web", sabotaged)
 

@@ -1,6 +1,5 @@
 from repro.ir import instructions as I
 from repro.ir.parser import parse_module
-from repro.ir.printer import print_module
 from repro.ir.verify import verify_function
 from repro.profile.interp import run_module
 from repro.ssa.construct import construct_ssa, promotable_locals

@@ -193,15 +193,11 @@ def test_remove_dummy_loads():
     module, func = simple_loop()
     build_memory_ssa(func, AliasModel.conservative(module))
     x = module.get_global("x")
-    name = next(
-        n for i in func.instructions() for n in i.mem_uses if n.var is x
-    )
+    name = next(n for i in func.instructions() for n in i.mem_uses if n.var is x)
     func.entry.insert_at_front(I.DummyAliasedLoad(name))
     func.find_block("body").insert_at_front(I.DummyAliasedLoad(name))
     assert remove_dummy_loads(func) == 2
-    assert not any(
-        isinstance(i, I.DummyAliasedLoad) for i in func.instructions()
-    )
+    assert not any(isinstance(i, I.DummyAliasedLoad) for i in func.instructions())
 
 
 def test_passes_idempotent():

@@ -1,7 +1,6 @@
 """Loop unrolling built on the incremental SSA update (paper §4.4's
 suggested application)."""
 
-import pytest
 
 from repro.frontend.lower import compile_source
 from repro.ir import instructions as I
@@ -167,9 +166,7 @@ def test_unroll_then_promote_composes():
 
 
 def test_oversized_loops_skipped():
-    body = "\n".join(
-        f"if (i % {k + 3} == 0) a{k}++;" for k in range(12)
-    )
+    body = "\n".join(f"if (i % {k + 3} == 0) a{k}++;" for k in range(12))
     decls = "\n".join(f"int a{k} = 0;" for k in range(12))
     src = f"""
     {decls}
