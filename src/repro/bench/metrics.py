@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis.intervals import normalize_for_promotion
@@ -39,6 +39,13 @@ class BenchmarkRow:
     dynamic_stores_before: int
     dynamic_stores_after: int
     output_matches: bool
+    #: Resilient-executor outcome (all defaults when it did not run).
+    quarantined: List[str] = field(default_factory=list)
+    retries: int = 0
+    degraded: bool = False
+    #: The run's full ``PipelineDiagnostics.as_dict()``, for
+    #: ``--diagnostics-dir``; excluded from repr — it is large.
+    diagnostics: Optional[Dict[str, object]] = field(default=None, repr=False)
 
     @property
     def static_total_before(self) -> int:
@@ -80,12 +87,13 @@ def measure_workload(
     options: Optional[PromotionOptions] = None,
     jobs: int = 1,
     use_cache: bool = True,
+    resilience=None,
 ) -> BenchmarkRow:
     """Compile a workload, run a promoter, return the counts row.
 
-    ``jobs``/``use_cache`` configure the paper pipeline's execution
-    layer only; the baselines have no parallel path (and their counts
-    would be identical anyway).
+    ``jobs``/``use_cache``/``resilience`` configure the paper pipeline's
+    execution layer only; the baselines have no parallel path (and their
+    counts would be identical anyway).
     """
     module = compile_source(workload.source)
     factory = PROMOTERS[promoter]
@@ -96,10 +104,13 @@ def measure_workload(
             args=list(workload.args),
             jobs=jobs,
             use_cache=use_cache,
+            resilience=resilience,
         )
     else:
         pipeline = factory(entry=workload.entry, args=list(workload.args))
     result: PipelineResult = pipeline.run(module)
+    diags = result.diagnostics
+    counters = diags.resilience or {}
     return BenchmarkRow(
         name=workload.name,
         promoter=promoter,
@@ -112,6 +123,10 @@ def measure_workload(
         dynamic_stores_before=result.dynamic_before.stores,
         dynamic_stores_after=result.dynamic_after.stores,
         output_matches=result.output_matches,
+        quarantined=list(diags.quarantined_functions),
+        retries=int(counters.get("retries", 0) or 0),
+        degraded=diags.degraded,
+        diagnostics=diags.as_dict(),
     )
 
 

@@ -9,12 +9,19 @@ Usage::
     repro-report --jobs 4       # parallel promotion (identical tables)
     repro-report --timing BENCH_pipeline.json   # time the exec layers
     repro-report --timing out.json --perf-baseline benchmarks/BENCH_baseline.json
+    repro-report --jobs 2 --chaos "crash=0.15,seed=1234" --timeout 10
+
+Exit codes: 0 on success, 1 when a table-affecting failure occurred
+(behaviour diverged, perf gate failed), 2 on driver errors (bad flags,
+unreadable/malformed baseline), and 3 when every workload completed but
+only in degraded mode (quarantines, retries, or a serial fallback).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -28,19 +35,30 @@ from repro.bench.tables import (
 from repro.bench.workloads import ORDER, WORKLOADS
 
 
-def collect_rows(promoter: str = "sastry-ju", jobs: int = 1, use_cache: bool = True):
+def collect_rows(
+    promoter: str = "sastry-ju",
+    jobs: int = 1,
+    use_cache: bool = True,
+    resilience=None,
+):
     return [
-        measure_workload(WORKLOADS[name], promoter, jobs=jobs, use_cache=use_cache)
+        measure_workload(
+            WORKLOADS[name],
+            promoter,
+            jobs=jobs,
+            use_cache=use_cache,
+            resilience=resilience,
+        )
         for name in ORDER
     ]
 
 
-def collect_json(jobs: int = 1, use_cache: bool = True) -> dict:
+def collect_json(jobs: int = 1, use_cache: bool = True, resilience=None) -> dict:
     """All evaluation data as one JSON-serializable document."""
-    rows = collect_rows(jobs=jobs, use_cache=use_cache)
+    rows = collect_rows(jobs=jobs, use_cache=use_cache, resilience=resilience)
     doc: dict = {"workloads": {}, "pressure": []}
     for row in rows:
-        doc["workloads"][row.name] = {
+        entry = {
             "static": {
                 "loads_before": row.static_loads_before,
                 "loads_after": row.static_loads_after,
@@ -62,6 +80,13 @@ def collect_json(jobs: int = 1, use_cache: bool = True) -> dict:
             },
             "behaviour_preserved": row.output_matches,
         }
+        if resilience is not None:
+            entry["resilience"] = {
+                "quarantined": list(row.quarantined),
+                "retries": row.retries,
+                "degraded": row.degraded,
+            }
+        doc["workloads"][row.name] = entry
     for name in ORDER:
         for row in pressure_rows(WORKLOADS[name]):
             doc["pressure"].append(
@@ -100,6 +125,13 @@ def run_timing(out_path: str, jobs: int, perf_baseline: Optional[str] = None) ->
         except (OSError, ValueError) as exc:
             print(
                 f"repro-report: cannot read perf baseline {perf_baseline}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        if not isinstance(baseline, dict):
+            print(
+                f"repro-report: malformed perf baseline {perf_baseline}: "
+                f"expected a JSON object, got {type(baseline).__name__}",
                 file=sys.stderr,
             )
             return 2
@@ -144,8 +176,77 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="FILE",
         help="with --timing: fail if speedup regressed >25%% vs FILE",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-function deadline for the resilient executor "
+        "(requires --jobs != 1)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts before quarantine (default 2; requires "
+        "--jobs != 1)",
+    )
+    parser.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="inject seeded worker faults during promotion, e.g. "
+        "'crash=0.1,hang=0.1,transient=0.2,seed=42' (requires --jobs != 1)",
+    )
+    parser.add_argument(
+        "--diagnostics-dir",
+        metavar="DIR",
+        help="write each workload's pipeline diagnostics as DIR/<name>.json",
+    )
     options = parser.parse_args(argv)
     use_cache = not options.no_cache
+
+    resilience = None
+    wants_resilience = (
+        options.timeout is not None
+        or options.retries is not None
+        or options.chaos is not None
+    )
+    if wants_resilience:
+        if options.timing:
+            print(
+                "repro-report: --timeout/--retries/--chaos are incompatible "
+                "with --timing (the timing arms must stay deterministic)",
+                file=sys.stderr,
+            )
+            return 2
+        if options.jobs is None or options.jobs == 1:
+            print(
+                "repro-report: --timeout/--retries/--chaos require "
+                "--jobs != 1 (the resilient executor acts on worker "
+                "processes)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.robustness import ChaosConfig, ResilienceOptions
+
+        chaos = None
+        if options.chaos is not None:
+            try:
+                chaos = ChaosConfig.parse(options.chaos)
+            except ValueError as exc:
+                print(f"repro-report: --chaos: {exc}", file=sys.stderr)
+                return 2
+        try:
+            resilience = ResilienceOptions(
+                timeout_s=options.timeout,
+                retries=options.retries if options.retries is not None else 2,
+                seed=chaos.seed if chaos is not None else 0,
+                chaos=chaos,
+            )
+        except ValueError as exc:
+            print(f"repro-report: {exc}", file=sys.stderr)
+            return 2
 
     if options.timing:
         jobs = 4 if options.jobs is None else options.jobs
@@ -160,7 +261,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if options.json:
         print(
             json.dumps(
-                collect_json(jobs=jobs, use_cache=use_cache),
+                collect_json(jobs=jobs, use_cache=use_cache, resilience=resilience),
                 indent=2,
                 sort_keys=True,
             )
@@ -170,7 +271,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     sections: List[str] = []
     rows = None
     if options.table in ("1", "2", "all"):
-        rows = collect_rows(jobs=jobs, use_cache=use_cache)
+        rows = collect_rows(jobs=jobs, use_cache=use_cache, resilience=resilience)
         bad = [r.name for r in rows if not r.output_matches]
         if bad:
             print(f"WARNING: behaviour changed for {bad}", file=sys.stderr)
@@ -190,6 +291,38 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         )
     print("\n\n".join(sections))
+
+    if options.diagnostics_dir and rows is not None:
+        try:
+            os.makedirs(options.diagnostics_dir, exist_ok=True)
+            for row in rows:
+                if row.diagnostics is None:
+                    continue
+                path = os.path.join(options.diagnostics_dir, f"{row.name}.json")
+                with open(path, "w") as handle:
+                    json.dump(row.diagnostics, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+        except OSError as exc:
+            print(
+                f"repro-report: cannot write diagnostics to "
+                f"{options.diagnostics_dir}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+
+    if rows is not None and resilience is not None:
+        quarantined = sorted({name for row in rows for name in row.quarantined})
+        retries = sum(row.retries for row in rows)
+        degraded = [row.name for row in rows if row.degraded]
+        print(
+            f"repro-report: resilience: {len(quarantined)} function(s) "
+            f"quarantined, {retries} retries across "
+            f"{len(degraded)}/{len(rows)} degraded workload(s)"
+            + (f"; quarantined: {', '.join(quarantined)}" if quarantined else ""),
+            file=sys.stderr,
+        )
+        if degraded:
+            return 3
     return 0
 
 

@@ -179,9 +179,16 @@ def check_against_baseline(
             "serial and parallel arms produced different outputs "
             "(IR, tables, or diagnostics diverged)"
         )
-    for key, reference in (baseline.get("speedup") or {}).items():
+    reference_speedup = baseline.get("speedup")
+    if not isinstance(reference_speedup, dict):
+        reference_speedup = {}
+    for key, reference in reference_speedup.items():
         measured = (bench.get("speedup") or {}).get(key)
-        if measured is None or not reference:
+        # Malformed baselines may carry junk values; the gate only
+        # compares real numbers.
+        if not isinstance(reference, (int, float)) or not reference:
+            continue
+        if not isinstance(measured, (int, float)):
             continue
         if measured < reference * GATE_RATIO:
             failures.append(

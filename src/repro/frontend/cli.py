@@ -10,9 +10,17 @@ Usage::
     repro-minic program.c --promote --diagnostics out.json --strict
 
 Exit codes: the program's return value (masked to 0..255) on success, 2
-on driver errors (missing file, compile error, runtime error), and 1
-when ``--strict`` is given and the pipeline rolled back or skipped any
-function or could not preserve behaviour.
+on driver errors (missing file, compile error, bad flags, runtime
+error), 1 when ``--strict`` is given and the pipeline rolled back or
+skipped any function or could not preserve behaviour, and 3 when the
+run completed only in **degraded** mode — a function was quarantined by
+the resilient executor, the parallel layer fell back to serial, or
+retries/pool rebuilds were needed.  Precedence: 2 > 1 > 3 > the
+program's return value.
+
+The resilient executor (``--timeout``, ``--retries``, ``--chaos``)
+requires ``--promote`` with ``--jobs`` != 1; see docs/API.md
+"Resilience".
 """
 
 from __future__ import annotations
@@ -80,6 +88,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="disable the per-function analysis cache",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-function wall-clock deadline; a hung worker is killed "
+        "and the attempt retried (requires --jobs != 1)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts for transient failures before a function is "
+        "quarantined to its unpromoted IR (default 2; requires --jobs != 1)",
+    )
+    parser.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="inject seeded worker faults, e.g. "
+        "'crash=0.1,hang=0.1,transient=0.2,seed=42,hang_seconds=5' "
+        "(requires --jobs != 1)",
+    )
+    parser.add_argument(
         "--diagnostics",
         metavar="FILE",
         help="write the pipeline's per-function outcome report as JSON",
@@ -111,6 +142,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     if options.max_steps is not None:
         pipeline_kwargs["max_steps"] = options.max_steps
 
+    resilience = None
+    wants_resilience = (
+        options.timeout is not None
+        or options.retries is not None
+        or options.chaos is not None
+    )
+    if wants_resilience:
+        if not options.promote or options.baseline is not None:
+            return _error("--timeout/--retries/--chaos require --promote")
+        if options.jobs == 1:
+            return _error(
+                "--timeout/--retries/--chaos require --jobs != 1 (the "
+                "resilient executor acts on worker processes)"
+            )
+        from repro.robustness import ChaosConfig, ResilienceOptions
+
+        chaos = None
+        if options.chaos is not None:
+            try:
+                chaos = ChaosConfig.parse(options.chaos)
+            except ValueError as exc:
+                return _error(f"--chaos: {exc}")
+        try:
+            resilience = ResilienceOptions(
+                timeout_s=options.timeout,
+                retries=options.retries if options.retries is not None else 2,
+                seed=chaos.seed if chaos is not None else 0,
+                chaos=chaos,
+            )
+        except ValueError as exc:
+            return _error(str(exc))
+
     result = None
     if options.baseline is not None and (options.jobs != 1 or options.no_cache):
         print(
@@ -132,6 +195,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = PromotionPipeline(
             jobs=options.jobs,
             use_cache=not options.no_cache,
+            resilience=resilience,
             **pipeline_kwargs,
         ).run(module)
 
@@ -145,6 +209,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             result.diagnostics.write(options.diagnostics)
         except OSError as exc:
             return _error(f"cannot write {options.diagnostics}: {exc.strerror or exc}")
+        fallback = result.diagnostics.fallback_reason
+        if fallback:
+            where = f" in {fallback['function']!r}" if fallback.get("function") else ""
+            print(
+                "repro-minic: parallel fallback: "
+                f"{fallback.get('error_type')}: {fallback.get('detail')}{where}",
+                file=sys.stderr,
+            )
 
     strict_failed = (
         options.strict
@@ -158,15 +230,37 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{result.output_matches}",
             file=sys.stderr,
         )
+    degraded = result is not None and result.diagnostics.degraded
+    if degraded:
+        counters = result.diagnostics.resilience or {}
+        print(
+            "repro-minic: degraded: "
+            f"{len(result.diagnostics.quarantined_functions)} quarantined, "
+            f"{counters.get('retries', 0)} retries, "
+            f"{counters.get('pool_rebuilds', 0)} pool rebuilds"
+            + (
+                "; parallel fell back to serial"
+                if result.diagnostics.fallback_reason
+                else ""
+            ),
+            file=sys.stderr,
+        )
+
+    def _exit(code: int) -> int:
+        if strict_failed:
+            return 1
+        if degraded:
+            return 3
+        return code
 
     if options.emit_dot:
         from repro.ir.dot import module_to_dot
 
         print(module_to_dot(module), end="")
-        return 1 if strict_failed else 0
+        return _exit(0)
     if options.emit_ir:
         print(print_module(module), end="")
-        return 1 if strict_failed else 0
+        return _exit(0)
 
     interp_kwargs = {}
     if options.max_steps is not None:
@@ -177,9 +271,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _error(f"execution failed: {exc}")
     for values in run.output:
         print(" ".join(str(v) for v in values))
-    if strict_failed:
-        return 1
-    return run.return_value & 0xFF
+    return _exit(run.return_value & 0xFF)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,6 +13,12 @@ Three pieces:
   Import it directly (``from repro.parallel import scheduler``); it is not
   re-exported here because it imports promotion passes, which would make
   ``import repro.parallel`` drag in — and cycle with — the pipeline.
+
+When workers may misbehave (deadlines, crash recovery, retry/backoff,
+quarantine, chaos injection), the pipeline wraps this layer with
+:class:`repro.robustness.executor.ResilientExecutor`; enable it with
+``PromotionPipeline(resilience=ResilienceOptions(...))`` or the CLI's
+``--timeout``/``--retries``/``--chaos`` flags.
 """
 
 from repro.parallel.cache import (

@@ -94,13 +94,62 @@ class FunctionResult:
 
 
 class SchedulerError(RuntimeError):
-    """The pool could not be used; callers should fall back to serial."""
+    """The pool could not be used; callers should fall back to serial.
+
+    Carries the triggering failure in structured form — exception type,
+    first message line, and (when one task was identifiable) the
+    function whose result exposed the failure — so the pipeline can
+    record a ``fallback_reason`` instead of discarding the cause.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        error_type: Optional[str] = None,
+        detail: Optional[str] = None,
+        function: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+        self.detail = detail
+        self.function = function
+
+    @classmethod
+    def wrap(cls, exc: BaseException, function: Optional[str] = None) -> "SchedulerError":
+        detail = (str(exc) or type(exc).__name__).splitlines()[0]
+        where = f" (while collecting {function!r})" if function else ""
+        return cls(
+            f"parallel promotion unavailable ({type(exc).__name__}: {detail})"
+            f"{where}; falling back to serial execution",
+            error_type=type(exc).__name__,
+            detail=detail,
+            function=function,
+        )
+
+    def as_dict(self) -> Dict[str, Optional[str]]:
+        return {
+            "error_type": self.error_type,
+            "detail": self.detail,
+            "function": self.function,
+        }
 
 
 # -- worker side ----------------------------------------------------------
 
 #: Per-worker-process state, set once by the pool initializer.
 _WORKER_STATE: Optional[dict] = None
+
+#: Optional worker-side hook called as ``observer(name, stage)`` at every
+#: stage transition inside :func:`_promote_one`.  The resilient executor
+#: installs one so a function killed by the deadline watchdog can be
+#: attributed to the stage it hung in.
+_STAGE_OBSERVER: Optional[Callable[[str, str], None]] = None
+
+
+def _enter_stage(name: str, stage: str) -> str:
+    if _STAGE_OBSERVER is not None:
+        _STAGE_OBSERVER(name, stage)
+    return stage
 
 
 def _init_worker(
@@ -147,23 +196,23 @@ def _promote_one(name: str) -> FunctionResult:
 
     snap = snapshot_function(function)
     started = time.perf_counter()
-    stage = "memssa"
+    stage = _enter_stage(name, "memssa")
     with activate(cache):
         try:
             # The parent already normalized the CFG in phase 1; recompute
             # the (deterministic) interval tree on this copy.
             tree = IntervalTree.compute(function)
             mssa = build_memory_ssa(function, state["model"])
-            stage = "promote"
+            stage = _enter_stage(name, "promote")
             stats = promote_function(
                 function, mssa, state["profile"], tree, state["options"]
             )
-            stage = "cleanup"
+            stage = _enter_stage(name, "cleanup")
             remove_dummy_loads(function)
             propagate_copies(function)
             dead_code_elimination(function)
             dead_memory_elimination(function)
-            stage = "verify"
+            stage = _enter_stage(name, "verify")
             if state["verify"]:
                 verify_function(function, check_ssa=True, check_memssa=True)
         except Exception as exc:
@@ -222,12 +271,20 @@ def promote_functions_parallel(
             max_workers=jobs, initializer=_init_worker, initargs=init_args
         ) as pool:
             futures = {name: pool.submit(_promote_one, name) for name in names}
-            return [futures[name].result() for name in names]
+            results = []
+            for name in names:
+                try:
+                    results.append(futures[name].result())
+                except Exception as exc:
+                    # Attribute the failure to the task whose result
+                    # exposed it; the pipeline records this as the
+                    # structured fallback reason.
+                    raise SchedulerError.wrap(exc, function=name) from exc
+            return results
+    except SchedulerError:
+        raise
     except Exception as exc:
-        raise SchedulerError(
-            f"parallel promotion unavailable ({type(exc).__name__}: {exc}); "
-            "falling back to serial execution"
-        ) from exc
+        raise SchedulerError.wrap(exc) from exc
 
 
 def map_tasks(

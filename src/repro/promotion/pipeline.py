@@ -69,6 +69,12 @@ from repro.promotion.driver import (
 )
 from repro.robustness.bisect import isolate_culprits
 from repro.robustness.diagnostics import BisectionReport, PipelineDiagnostics
+from repro.robustness.executor import (
+    ResilienceOptions,
+    ResilientExecutor,
+    ResilientExecutorError,
+    ResilientOutcome,
+)
 from repro.robustness.snapshot import (
     FunctionSnapshot,
     FunctionState,
@@ -202,6 +208,15 @@ class PromotionPipeline:
     report failures as rollbacks, and phase-5 bisection needs the
     snapshots.  ``use_cache`` memoizes dominator trees, IDFs, and
     liveness across phases (per run, per worker).
+
+    ``resilience`` (a :class:`~repro.robustness.ResilienceOptions`)
+    additionally arms per-function deadlines, bounded retry with seeded
+    backoff, broken-pool recovery, poison-function quarantine, and
+    optional chaos injection around the worker pool; it requires
+    ``jobs != 1``.  A quarantined function keeps its pre-promotion IR —
+    behaviour-preserving by construction — and the run is reported as
+    *degraded* (``diagnostics.degraded``, CLI exit code 3) rather than
+    failed.
     """
 
     def __init__(
@@ -218,6 +233,7 @@ class PromotionPipeline:
         jobs: int = 1,
         use_cache: bool = True,
         compiled_interpreter: bool = True,
+        resilience: Optional[ResilienceOptions] = None,
     ) -> None:
         self.options = options or PromotionOptions()
         self.alias_model_factory = alias_model or AliasModel.conservative
@@ -238,6 +254,17 @@ class PromotionPipeline:
         #: False pins phases 2 and 5 to the interpreter's classic
         #: dispatch loop — the timing harness's baseline arm.
         self.compiled_interpreter = compiled_interpreter
+        #: When set, phases 3+4 run under the resilient executor:
+        #: per-function deadlines, retry with backoff, quarantine, and
+        #: (optionally) chaos injection.  Requires parallel execution —
+        #: deadlines and chaos act on worker processes, and a crashed or
+        #: hung in-process attempt could not be recovered.
+        if resilience is not None and jobs == 1:
+            raise ValueError(
+                "resilience options require parallel execution (jobs != 1): "
+                "deadlines, crash recovery, and chaos act on worker processes"
+            )
+        self.resilience = resilience
 
     def run(self, module: Module) -> PipelineResult:
         result = PipelineResult(module)
@@ -396,6 +423,10 @@ class PromotionPipeline:
     ) -> bool:
         """Phases 3+4 over a worker pool; False means fall back to serial
         (nothing was modified)."""
+        if self.resilience is not None:
+            return self._phase34_resilient(
+                module, result, prepared, snapshots, committed, jobs
+            )
         diags = result.diagnostics
         try:
             outcomes = promote_functions_parallel(
@@ -410,6 +441,7 @@ class PromotionPipeline:
             )
         except SchedulerError as exc:
             diags.warn(str(exc))
+            diags.fallback_reason = exc.as_dict()
             return False
         result.jobs_used = jobs
         for name, outcome in zip(prepared, outcomes):
@@ -452,6 +484,100 @@ class PromotionPipeline:
                 duration_ms=outcome.duration_ms,
                 webs_promoted=stats.webs_promoted,
             )
+        return True
+
+    def _phase34_resilient(
+        self,
+        module: Module,
+        result: PipelineResult,
+        prepared: List[str],
+        snapshots: Dict[str, FunctionSnapshot],
+        committed: Dict[str, FunctionState],
+        jobs: int,
+    ) -> bool:
+        """Phases 3+4 under the resilient executor: deadlines, retry with
+        backoff, crash recovery, and quarantine.  False means fall back
+        to serial (nothing was modified)."""
+        diags = result.diagnostics
+        executor = ResilientExecutor(
+            module,
+            prepared,
+            result.profile,
+            self.options,
+            self.alias_model_factory,
+            self.verify,
+            jobs,
+            self.use_cache,
+            self.resilience,
+        )
+        try:
+            outcomes, report = executor.run()
+        except ResilientExecutorError as exc:
+            diags.warn(str(exc))
+            diags.fallback_reason = {
+                "error_type": type(exc).__name__,
+                "detail": str(exc).splitlines()[0],
+                "function": None,
+            }
+            return False
+        result.jobs_used = jobs
+        diags.resilience = report.as_dict()
+        diags.resilience["options"] = self.resilience.as_dict()
+        for outcome in outcomes:
+            name = outcome.name
+            function = module.functions[name]
+            diags.attempt_histories[name] = outcome.history.as_dict()
+            if outcome.cache_stats is not None and result.cache_stats is not None:
+                result.cache_stats.absorb(outcome.cache_stats)
+            if outcome.status == ResilientOutcome.QUARANTINED:
+                # The worker copies never shipped a payload, so this
+                # module's function still holds its pre-promotion IR —
+                # degraded but sound by construction.
+                result.stats[name] = FunctionPromotionStats()
+                diags.record_quarantine(
+                    name,
+                    reason=outcome.reason,
+                    error_type=outcome.error_type,
+                    stage=outcome.stage,
+                    duration_ms=outcome.duration_ms,
+                    attempts=outcome.history.attempts,
+                )
+                continue
+            if outcome.status != ResilientOutcome.PROMOTED:
+                result.stats[name] = FunctionPromotionStats()
+                record = diags.record_rollback(
+                    name,
+                    stage=outcome.stage,
+                    reason=outcome.reason,
+                    error_type=outcome.error_type,
+                    duration_ms=outcome.duration_ms,
+                )
+                record.attempts = outcome.history.attempts
+                continue
+            snap = snapshot_function(function)
+            try:
+                outcome.payload.install(module)
+            except TransportError as exc:
+                snap.restore()
+                result.stats[name] = FunctionPromotionStats()
+                diags.record_rollback(
+                    name,
+                    stage="install",
+                    error=exc,
+                    duration_ms=outcome.duration_ms,
+                )
+                continue
+            stats = FunctionPromotionStats()
+            stats.absorb(outcome.stats)
+            result.stats[name] = stats
+            snapshots[name] = snap
+            committed[name] = capture_state(function)
+            record = diags.record_promoted(
+                name,
+                duration_ms=outcome.duration_ms,
+                webs_promoted=stats.webs_promoted,
+            )
+            record.attempts = outcome.history.attempts
         return True
 
     # -- phase 5 ---------------------------------------------------------

@@ -22,9 +22,19 @@ This package supplies the pieces:
 
 ``faults``
     A :class:`FaultInjector` that deliberately corrupts IR (one method
-    per corruption class) and an :class:`UnsoundAliasModel` wrapper,
-    used by tests to prove the verifier catches each corruption and the
-    pipeline recovers instead of crashing.
+    per corruption class), an :class:`UnsoundAliasModel` wrapper, and
+    :class:`ChaosConfig` — seeded worker-level chaos (crash, hang,
+    transient exception) for exercising the resilient executor
+    end-to-end.
+
+``executor`` / ``retry`` / ``quarantine``
+    The resilient promotion executor: per-function wall-clock deadlines
+    with a worker-heartbeat watchdog, bounded retry with seeded
+    exponential backoff (:class:`RetryPolicy`), broken-pool rebuild and
+    resubmission, and a poison-function :class:`Quarantine` that
+    degrades repeat offenders to their original unpromoted IR instead
+    of failing the module.  Enabled via
+    ``PromotionPipeline(resilience=ResilienceOptions(...))``.
 """
 
 from repro.robustness.bisect import isolate_culprits
@@ -33,7 +43,26 @@ from repro.robustness.diagnostics import (
     FunctionOutcome,
     PipelineDiagnostics,
 )
-from repro.robustness.faults import FaultInjector, UnsoundAliasModel
+from repro.robustness.executor import (
+    ExecutorReport,
+    ResilienceOptions,
+    ResilientExecutor,
+    ResilientExecutorError,
+    ResilientOutcome,
+)
+from repro.robustness.faults import (
+    ChaosConfig,
+    FaultInjector,
+    TransientFaultError,
+    UnsoundAliasModel,
+)
+from repro.robustness.quarantine import Quarantine, QuarantineEntry
+from repro.robustness.retry import (
+    AttemptHistory,
+    AttemptRecord,
+    RetryPolicy,
+    TRANSIENT_ERROR_TYPES,
+)
 from repro.robustness.snapshot import (
     FunctionSnapshot,
     FunctionState,
@@ -42,12 +71,25 @@ from repro.robustness.snapshot import (
 )
 
 __all__ = [
+    "AttemptHistory",
+    "AttemptRecord",
     "BisectionReport",
+    "ChaosConfig",
+    "ExecutorReport",
     "FaultInjector",
     "FunctionOutcome",
     "FunctionSnapshot",
     "FunctionState",
     "PipelineDiagnostics",
+    "Quarantine",
+    "QuarantineEntry",
+    "ResilienceOptions",
+    "ResilientExecutor",
+    "ResilientExecutorError",
+    "ResilientOutcome",
+    "RetryPolicy",
+    "TRANSIENT_ERROR_TYPES",
+    "TransientFaultError",
     "UnsoundAliasModel",
     "capture_state",
     "isolate_culprits",

@@ -1,10 +1,13 @@
 """Structured pipeline diagnostics.
 
 Every function the pipeline touches gets a :class:`FunctionOutcome`
-(promoted / rolled_back / skipped) with the pass stage, the reason, and
-the time spent.  :class:`PipelineDiagnostics` aggregates outcomes,
-free-form warnings, and the divergence-bisection report, and serializes
-the lot to JSON for the ``--diagnostics`` CLI flag and bench logs.
+(promoted / rolled_back / skipped / quarantined) with the pass stage,
+the reason, and the time spent.  :class:`PipelineDiagnostics` aggregates
+outcomes, free-form warnings, the divergence-bisection report, and —
+when the resilient executor ran — per-function attempt histories, the
+structured parallel-fallback reason, and the executor's retry/timeout/
+crash/quarantine counters, and serializes the lot to JSON for the
+``--diagnostics`` CLI flag and bench logs.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ class FunctionOutcome:
     PROMOTED = "promoted"
     ROLLED_BACK = "rolled_back"
     SKIPPED = "skipped"
+    QUARANTINED = "quarantined"
 
     def __init__(
         self,
@@ -29,17 +33,21 @@ class FunctionOutcome:
         error_type: Optional[str] = None,
         duration_ms: float = 0.0,
         webs_promoted: int = 0,
+        attempts: int = 0,
     ) -> None:
         self.name = name
         self.status = status
         #: Pipeline stage the outcome was decided in: ``prepare``,
-        #: ``memssa``, ``promote``, ``cleanup``, ``verify``, or
-        #: ``re-execution``.
+        #: ``memssa``, ``promote``, ``cleanup``, ``verify``,
+        #: ``re-execution``, or ``chaos`` (an injected worker fault).
         self.stage = stage
         self.reason = reason
         self.error_type = error_type
         self.duration_ms = duration_ms
         self.webs_promoted = webs_promoted
+        #: Executor attempts this outcome consumed (0 when the resilient
+        #: executor did not run).
+        self.attempts = attempts
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -50,6 +58,7 @@ class FunctionOutcome:
             "error_type": self.error_type,
             "duration_ms": round(self.duration_ms, 3),
             "webs_promoted": self.webs_promoted,
+            "attempts": self.attempts,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -94,6 +103,17 @@ class PipelineDiagnostics:
         #: missing), or ``estimator-fallback`` (the profiling run hit the
         #: interpreter step limit and the pipeline fell back).
         self.profile_source: Optional[str] = None
+        #: Structured cause of a parallel-to-serial fallback
+        #: (``{"error_type", "detail", "function"}``), ``None`` when the
+        #: pool ran fine or was never requested.
+        self.fallback_reason: Optional[Dict[str, Optional[str]]] = None
+        #: Per-function attempt histories from the resilient executor
+        #: (name -> ``AttemptHistory.as_dict()``); empty otherwise.
+        self.attempt_histories: Dict[str, Dict[str, object]] = {}
+        #: The resilient executor's counters (retries, timeouts,
+        #: worker_crashes, transient_faults, pool_rebuilds, quarantined)
+        #: plus its configuration; ``None`` when it did not run.
+        self.resilience: Optional[Dict[str, object]] = None
 
     # -- recording -------------------------------------------------------
 
@@ -155,6 +175,27 @@ class PipelineDiagnostics:
             )
         )
 
+    def record_quarantine(
+        self,
+        name: str,
+        reason: Optional[str] = None,
+        error_type: Optional[str] = None,
+        stage: Optional[str] = None,
+        duration_ms: float = 0.0,
+        attempts: int = 0,
+    ) -> FunctionOutcome:
+        return self.record(
+            FunctionOutcome(
+                name,
+                FunctionOutcome.QUARANTINED,
+                stage=stage,
+                reason=reason,
+                error_type=error_type,
+                duration_ms=duration_ms,
+                attempts=attempts,
+            )
+        )
+
     def warn(self, message: str) -> None:
         self.warnings.append(message)
 
@@ -176,16 +217,46 @@ class PipelineDiagnostics:
         return self._named(FunctionOutcome.SKIPPED)
 
     @property
+    def quarantined_functions(self) -> List[str]:
+        return self._named(FunctionOutcome.QUARANTINED)
+
+    @property
     def clean(self) -> bool:
-        """True when nothing was rolled back or skipped (``--strict``)."""
-        return not self.rolled_back_functions and not self.skipped_functions
+        """True when nothing was rolled back, skipped, or quarantined
+        (``--strict``)."""
+        return (
+            not self.rolled_back_functions
+            and not self.skipped_functions
+            and not self.quarantined_functions
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run completed only by degrading: a function was
+        quarantined, the parallel layer fell back to serial, or the
+        resilient executor had to retry/rebuild (the CLI's exit code 3)."""
+        if self.quarantined_functions or self.fallback_reason is not None:
+            return True
+        if self.resilience is None:
+            return False
+        return bool(
+            self.resilience.get("retries")
+            or self.resilience.get("timeouts")
+            or self.resilience.get("worker_crashes")
+            or self.resilience.get("transient_faults")
+            or self.resilience.get("pool_rebuilds")
+            or self.resilience.get("quarantined")
+        )
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{len(self.promoted_functions)} promoted, "
             f"{len(self.rolled_back_functions)} rolled back, "
             f"{len(self.skipped_functions)} skipped"
         )
+        if self.quarantined_functions:
+            text += f", {len(self.quarantined_functions)} quarantined"
+        return text
 
     # -- serialization ---------------------------------------------------
 
@@ -196,6 +267,11 @@ class PipelineDiagnostics:
             "functions": [o.as_dict() for o in self.outcomes.values()],
             "warnings": list(self.warnings),
             "bisection": self.bisection.as_dict() if self.bisection else None,
+            "fallback_reason": dict(self.fallback_reason)
+            if self.fallback_reason
+            else None,
+            "attempt_histories": dict(self.attempt_histories),
+            "resilience": dict(self.resilience) if self.resilience else None,
         }
 
     def to_json(self, indent: int = 2) -> str:

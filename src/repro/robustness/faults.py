@@ -13,11 +13,20 @@ compensation code), and :class:`UnsoundAliasModel` returns deliberately
 wrong alias answers so promotion caches values across aliased writes.
 Those corruptions survive verification by construction and are caught by
 the pipeline's re-execution oracle plus divergence bisection instead.
+
+:class:`ChaosConfig` is the third family: *worker-level* chaos for the
+resilient executor.  Instead of corrupting IR it kills, stalls, or
+trips the worker process itself — crash (``os._exit``), hang (sleep
+past the deadline), transient exception — at seeded, per-attempt rates,
+so the deadline/retry/quarantine machinery is testable end-to-end.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+import hashlib
+import os
+import time
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.ir import instructions as I
 from repro.ir.function import Function
@@ -189,6 +198,151 @@ class FaultInjector:
         block = target.block
         target.remove_from_block()
         return f"removed store to @{target.var.name} in {block.name}"
+
+
+class TransientFaultError(RuntimeError):
+    """An injected transient fault — the retryable chaos class."""
+
+
+#: Exit status a chaos-crashed worker dies with.  Distinctive on purpose:
+#: the executor's crash attribution separates "the worker chose to die"
+#: (this, or any real abort) from "the pool terminated an innocent
+#: bystander with SIGTERM".
+CHAOS_CRASH_EXIT_CODE = 113
+
+
+class ChaosConfig:
+    """Seeded worker-level fault injection for the resilient executor.
+
+    Each mode fires independently at its configured rate, decided by a
+    *pure* draw over ``(seed, function, attempt, mode)`` — no runtime
+    randomness, so a chaos run is exactly reproducible from its seed and
+    a retried attempt re-rolls (a transient fault on attempt 1 typically
+    clears by attempt 2, while a 1.0-rate fault is a poison function
+    that ends up quarantined).  When several modes fire for the same
+    attempt the first in ``MODES`` order wins.
+
+    ``functions`` optionally restricts injection to the named functions
+    (how tests poison exactly one victim).  ``hang_seconds`` is how long
+    a hang sleeps — point it past the executor deadline to exercise the
+    watchdog, or leave the deadline unset and the hang is just latency.
+    """
+
+    MODES = ("crash", "hang", "transient")
+
+    def __init__(
+        self,
+        crash: float = 0.0,
+        hang: float = 0.0,
+        transient: float = 0.0,
+        seed: int = 0,
+        hang_seconds: float = 30.0,
+        functions: Optional[Iterable[str]] = None,
+    ) -> None:
+        for mode, rate in (("crash", crash), ("hang", hang), ("transient", transient)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"chaos rate {mode}={rate} outside [0, 1]")
+        if hang_seconds < 0:
+            raise ValueError(f"hang_seconds must be >= 0, got {hang_seconds}")
+        self.crash = crash
+        self.hang = hang
+        self.transient = transient
+        self.seed = seed
+        self.hang_seconds = hang_seconds
+        self.functions: Optional[FrozenSet[str]] = (
+            frozenset(functions) if functions is not None else None
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.crash > 0 or self.hang > 0 or self.transient > 0
+
+    def rate(self, mode: str) -> float:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown chaos mode {mode!r}")
+        return getattr(self, mode)
+
+    def draw(self, name: str, attempt: int, mode: str) -> float:
+        """The deterministic uniform draw in ``[0, 1)`` for one decision."""
+        key = f"{self.seed}:{name}:{attempt}:{mode}".encode()
+        digest = hashlib.sha256(key).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def plan(self, name: str, attempt: int) -> Optional[str]:
+        """Which mode (if any) fires for this function attempt."""
+        if self.functions is not None and name not in self.functions:
+            return None
+        for mode in self.MODES:
+            rate = self.rate(mode)
+            if rate > 0 and self.draw(name, attempt, mode) < rate:
+                return mode
+        return None
+
+    def inject(self, name: str, attempt: int) -> Optional[str]:
+        """Execute the planned fault in the calling (worker) process:
+        crash never returns, hang sleeps then returns ``"hang"``,
+        transient raises :class:`TransientFaultError`."""
+        mode = self.plan(name, attempt)
+        if mode == "crash":
+            os._exit(CHAOS_CRASH_EXIT_CODE)
+        if mode == "hang":
+            time.sleep(self.hang_seconds)
+            return "hang"
+        if mode == "transient":
+            raise TransientFaultError(
+                f"injected transient fault in {name} (attempt {attempt})"
+            )
+        return None
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosConfig":
+        """Parse the CLI form, e.g.
+        ``"crash=0.1,hang=0.1,transient=0.2,seed=42,hang_seconds=5"``
+        (``only=f|g`` restricts injection to the named functions)."""
+        kwargs: Dict[str, object] = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ValueError(f"chaos spec item {item!r} is not key=value")
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key in ("crash", "hang", "transient", "hang_seconds"):
+                    kwargs[key] = float(value)
+                elif key == "seed":
+                    kwargs[key] = int(value)
+                elif key == "only":
+                    kwargs["functions"] = [
+                        name for name in value.split("|") if name
+                    ]
+                else:
+                    raise ValueError(f"unknown chaos spec key {key!r}")
+            except ValueError as exc:
+                if "chaos spec" in str(exc):
+                    raise
+                raise ValueError(
+                    f"chaos spec value {key}={value!r} is not a number"
+                ) from None
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "crash": self.crash,
+            "hang": self.hang,
+            "transient": self.transient,
+            "seed": self.seed,
+            "hang_seconds": self.hang_seconds,
+            "only": sorted(self.functions) if self.functions is not None else None,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChaosConfig(crash={self.crash}, hang={self.hang}, "
+            f"transient={self.transient}, seed={self.seed})"
+        )
 
 
 class UnsoundAliasModel(AliasModel):

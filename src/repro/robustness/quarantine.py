@@ -1,0 +1,107 @@
+"""The poison-function quarantine.
+
+A function that keeps failing — crashing its worker, hanging past its
+deadline, or raising transient faults attempt after attempt — must not
+be allowed to stall or fail the module.  After its attempt budget is
+exhausted the executor *quarantines* it: the function gracefully
+degrades to the IR it had before phases 3+4 (unpromoted, hence
+soundness-preserving by construction — promotion is an optimization,
+and not running it is always correct), the module build completes, and
+the quarantine entry records why so the run is diagnosable and
+reproducible.
+
+Quarantine is deliberately distinct from a rollback: a rollback is a
+*deterministic* per-function failure observed once (a verification
+error, a promotion bug); quarantine is the resilience layer giving up
+on a function whose failures looked transient but never stopped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class QuarantineEntry:
+    """Why one function was quarantined."""
+
+    __slots__ = ("name", "attempts", "reason", "last_error_type", "last_outcome")
+
+    def __init__(
+        self,
+        name: str,
+        attempts: int,
+        reason: str,
+        last_error_type: Optional[str] = None,
+        last_outcome: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.attempts = attempts
+        self.reason = reason
+        self.last_error_type = last_error_type
+        #: The final attempt's outcome class (``transient`` / ``timeout``
+        #: / ``worker-crash``) — what kind of failure exhausted the budget.
+        self.last_outcome = last_outcome
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "attempts": self.attempts,
+            "reason": self.reason,
+            "last_error_type": self.last_error_type,
+            "last_outcome": self.last_outcome,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QuarantineEntry({self.name!r}, attempts={self.attempts})"
+
+
+class Quarantine:
+    """Registry of poisoned functions for one executor run.
+
+    ``limit`` is the attempt budget: :meth:`exhausted` says whether a
+    function that has burned ``attempts`` tries is out of budget and
+    must be admitted instead of retried.
+    """
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError(f"quarantine limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._entries: Dict[str, QuarantineEntry] = {}
+
+    def exhausted(self, attempts: int) -> bool:
+        return attempts >= self.limit
+
+    def admit(
+        self,
+        name: str,
+        attempts: int,
+        reason: str,
+        last_error_type: Optional[str] = None,
+        last_outcome: Optional[str] = None,
+    ) -> QuarantineEntry:
+        entry = QuarantineEntry(name, attempts, reason, last_error_type, last_outcome)
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> Optional[QuarantineEntry]:
+        return self._entries.get(name)
+
+    @property
+    def members(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[QuarantineEntry]:
+        return iter(self._entries.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "limit": self.limit,
+            "functions": [self._entries[name].as_dict() for name in self.members],
+        }

@@ -1,0 +1,87 @@
+"""Parallel-to-serial fallback: the cause survives as structured data.
+
+A worker-side failure that makes the pool unusable must not lose its
+cause: the pipeline records a ``fallback_reason`` (exception type, first
+message line, the function whose result exposed it) in the diagnostics
+and completes serially.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.frontend.lower import compile_source
+from repro.memory.aliasing import AliasModel
+from repro.parallel.scheduler import SchedulerError
+from repro.promotion.pipeline import PromotionPipeline
+
+SOURCE = """
+int total = 0;
+int step(int k) {
+    for (int i = 0; i < 5; i++) total += k;
+    return total;
+}
+int main() {
+    int r = step(2);
+    print(r);
+    return r;
+}
+"""
+
+#: Recorded at import time in the parent.  Under the fork start method a
+#: worker inherits this value but has its own pid, so the factory below
+#: fails only inside workers — the parent's serial fallback still works.
+_PARENT_PID = os.getpid()
+
+
+def _worker_hostile_factory(module):
+    if os.getpid() != _PARENT_PID:
+        raise RuntimeError("alias model refuses to build in a worker")
+    return AliasModel.conservative(module)
+
+
+requires_fork = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="worker-only failure trick needs fork inheritance",
+)
+
+
+@requires_fork
+def test_fallback_reason_is_recorded_and_run_completes_serially():
+    module = compile_source(SOURCE)
+    result = PromotionPipeline(jobs=2, alias_model=_worker_hostile_factory).run(
+        module
+    )
+    diags = result.diagnostics
+
+    reason = diags.fallback_reason
+    assert reason is not None
+    # The initializer died, so the pool broke; the structured reason
+    # names the exception type and — when the breakage surfaced while
+    # collecting a task's result rather than at submit time — the
+    # function whose result exposed it.
+    assert reason["error_type"] == "BrokenProcessPool"
+    assert reason["detail"]
+    assert reason["function"] is None or reason["function"] in module.functions
+    assert diags.degraded
+
+    # The serial fallback finished the job with the parent-side factory.
+    assert sorted(diags.promoted_functions) == ["main", "step"]
+    assert result.output_matches
+    assert any("falling back to serial" in warning for warning in diags.warnings)
+
+
+def test_scheduler_error_wrap_carries_structure():
+    error = SchedulerError.wrap(
+        ValueError("first line\nsecond line"), function="step"
+    )
+    assert error.as_dict() == {
+        "error_type": "ValueError",
+        "detail": "first line",
+        "function": "step",
+    }
+    assert "while collecting 'step'" in str(error)
+    bare = SchedulerError.wrap(RuntimeError(""))
+    assert bare.as_dict()["detail"] == "RuntimeError"
+    assert bare.as_dict()["function"] is None

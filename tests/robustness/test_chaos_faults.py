@@ -1,0 +1,83 @@
+"""ChaosConfig units: seeded draws, planning, injection, CLI parsing."""
+
+import pytest
+
+from repro.robustness import ChaosConfig, TransientFaultError
+
+
+def test_draws_are_deterministic_and_decorrelated():
+    chaos = ChaosConfig(transient=0.5, seed=42)
+    again = ChaosConfig(transient=0.5, seed=42)
+    assert chaos.draw("f", 1, "transient") == again.draw("f", 1, "transient")
+    # Retried attempts re-roll, functions and modes decorrelate.
+    assert chaos.draw("f", 1, "transient") != chaos.draw("f", 2, "transient")
+    assert chaos.draw("f", 1, "transient") != chaos.draw("g", 1, "transient")
+    assert chaos.draw("f", 1, "crash") != chaos.draw("f", 1, "hang")
+    other_seed = ChaosConfig(transient=0.5, seed=43)
+    assert chaos.draw("f", 1, "transient") != other_seed.draw("f", 1, "transient")
+    assert 0.0 <= chaos.draw("f", 1, "transient") < 1.0
+
+
+def test_plan_respects_the_function_filter():
+    chaos = ChaosConfig(crash=1.0, functions={"poison"})
+    assert chaos.plan("poison", 1) == "crash"
+    assert chaos.plan("innocent", 1) is None
+
+
+def test_plan_mode_priority_is_modes_order():
+    chaos = ChaosConfig(crash=1.0, hang=1.0, transient=1.0)
+    assert chaos.plan("f", 1) == "crash"
+    no_crash = ChaosConfig(hang=1.0, transient=1.0)
+    assert no_crash.plan("f", 1) == "hang"
+
+
+def test_zero_rates_never_fire():
+    chaos = ChaosConfig()
+    assert not chaos.enabled
+    assert chaos.plan("f", 1) is None
+    assert chaos.inject("f", 1) is None
+
+
+def test_inject_transient_raises():
+    chaos = ChaosConfig(transient=1.0)
+    with pytest.raises(TransientFaultError, match=r"injected transient fault in f \(attempt 2\)"):
+        chaos.inject("f", 2)
+
+
+def test_inject_hang_sleeps_then_returns():
+    chaos = ChaosConfig(hang=1.0, hang_seconds=0.0)
+    assert chaos.inject("f", 1) == "hang"
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError, match=r"chaos rate crash=1.5 outside \[0, 1\]"):
+        ChaosConfig(crash=1.5)
+    with pytest.raises(ValueError, match="hang_seconds must be >= 0"):
+        ChaosConfig(hang_seconds=-1)
+    with pytest.raises(ValueError, match="unknown chaos mode"):
+        ChaosConfig().rate("flood")
+
+
+def test_parse_round_trips_the_cli_form():
+    chaos = ChaosConfig.parse(
+        "crash=0.1, hang=0.2,transient=0.3,seed=7,hang_seconds=2,only=f|g"
+    )
+    assert chaos.as_dict() == {
+        "crash": 0.1,
+        "hang": 0.2,
+        "transient": 0.3,
+        "seed": 7,
+        "hang_seconds": 2.0,
+        "only": ["f", "g"],
+    }
+
+
+def test_parse_rejects_bad_specs():
+    with pytest.raises(ValueError, match="unknown chaos spec key 'frob'"):
+        ChaosConfig.parse("frob=1")
+    with pytest.raises(ValueError, match="is not key=value"):
+        ChaosConfig.parse("crash")
+    with pytest.raises(ValueError, match="is not a number"):
+        ChaosConfig.parse("crash=lots")
+    with pytest.raises(ValueError, match=r"outside \[0, 1\]"):
+        ChaosConfig.parse("transient=2.0")

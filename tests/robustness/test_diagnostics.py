@@ -75,4 +75,42 @@ def test_empty_diagnostics_serialize():
         "functions": [],
         "warnings": [],
         "bisection": None,
+        "fallback_reason": None,
+        "attempt_histories": {},
+        "resilience": None,
     }
+
+
+def test_quarantine_outcome_and_summary_suffix():
+    diags = populated()
+    diags.record_quarantine(
+        "poison",
+        reason="3 failed attempt(s), last: worker-crash",
+        error_type="BrokenProcessPool",
+        attempts=3,
+    )
+    assert diags.summary() == "1 promoted, 1 rolled back, 1 skipped, 1 quarantined"
+    assert diags.quarantined_functions == ["poison"]
+    assert not diags.clean
+    entry = diags.as_dict()["functions"][-1]
+    assert entry["status"] == "quarantined"
+    assert entry["attempts"] == 3
+
+
+def test_degraded_property():
+    diags = PipelineDiagnostics()
+    assert not diags.degraded
+    diags.fallback_reason = {
+        "error_type": "PicklingError",
+        "detail": "cannot pickle lambda",
+        "function": None,
+    }
+    assert diags.degraded
+    diags.fallback_reason = None
+    diags.resilience = {"retries": 0, "timeouts": 0, "quarantined": []}
+    assert not diags.degraded
+    diags.resilience["retries"] = 1
+    assert diags.degraded
+    diags.resilience = None
+    diags.record_quarantine("poison")
+    assert diags.degraded

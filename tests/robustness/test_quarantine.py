@@ -1,0 +1,59 @@
+"""Quarantine units: attempt budget, admission, serialization."""
+
+import pytest
+
+from repro.robustness import Quarantine, QuarantineEntry
+
+
+def test_exhausted_tracks_the_attempt_budget():
+    quarantine = Quarantine(limit=3)
+    assert not quarantine.exhausted(0)
+    assert not quarantine.exhausted(2)
+    assert quarantine.exhausted(3)
+    assert quarantine.exhausted(4)
+
+
+def test_admit_and_membership():
+    quarantine = Quarantine(limit=2)
+    entry = quarantine.admit(
+        "poison",
+        attempts=2,
+        reason="2 failed attempt(s), last: worker-crash",
+        last_error_type="BrokenProcessPool",
+        last_outcome="worker-crash",
+    )
+    assert isinstance(entry, QuarantineEntry)
+    assert "poison" in quarantine
+    assert "clean" not in quarantine
+    assert len(quarantine) == 1
+    assert quarantine.get("poison") is entry
+    assert quarantine.get("clean") is None
+    assert [e.name for e in quarantine] == ["poison"]
+
+
+def test_members_are_sorted():
+    quarantine = Quarantine(limit=1)
+    quarantine.admit("zeta", 1, reason="boom")
+    quarantine.admit("alpha", 1, reason="boom")
+    assert quarantine.members == ["alpha", "zeta"]
+
+
+def test_as_dict_carries_entries_in_member_order():
+    quarantine = Quarantine(limit=2)
+    quarantine.admit("b", 2, reason="hang", last_outcome="timeout")
+    quarantine.admit("a", 2, reason="crash", last_outcome="worker-crash")
+    data = quarantine.as_dict()
+    assert data["limit"] == 2
+    assert [entry["name"] for entry in data["functions"]] == ["a", "b"]
+    assert data["functions"][1] == {
+        "name": "b",
+        "attempts": 2,
+        "reason": "hang",
+        "last_error_type": None,
+        "last_outcome": "timeout",
+    }
+
+
+def test_limit_validation():
+    with pytest.raises(ValueError, match="quarantine limit must be >= 1"):
+        Quarantine(limit=0)
