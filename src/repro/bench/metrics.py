@@ -88,12 +88,15 @@ def measure_workload(
     jobs: int = 1,
     use_cache: bool = True,
     resilience=None,
+    observability=None,
 ) -> BenchmarkRow:
     """Compile a workload, run a promoter, return the counts row.
 
-    ``jobs``/``use_cache``/``resilience`` configure the paper pipeline's
-    execution layer only; the baselines have no parallel path (and their
-    counts would be identical anyway).
+    ``jobs``/``use_cache``/``resilience``/``observability`` configure the
+    paper pipeline's execution layer only; the baselines have no parallel
+    path (and their counts would be identical anyway).  Passing one
+    ``observability`` bundle across several workloads accumulates their
+    traces (one ``pipeline`` root span per workload) and counters.
     """
     module = compile_source(workload.source)
     factory = PROMOTERS[promoter]
@@ -105,6 +108,7 @@ def measure_workload(
             jobs=jobs,
             use_cache=use_cache,
             resilience=resilience,
+            observability=observability,
         )
     else:
         pipeline = factory(entry=workload.entry, args=list(workload.args))

@@ -40,6 +40,7 @@ def collect_rows(
     jobs: int = 1,
     use_cache: bool = True,
     resilience=None,
+    observability=None,
 ):
     return [
         measure_workload(
@@ -48,14 +49,22 @@ def collect_rows(
             jobs=jobs,
             use_cache=use_cache,
             resilience=resilience,
+            observability=observability,
         )
         for name in ORDER
     ]
 
 
-def collect_json(jobs: int = 1, use_cache: bool = True, resilience=None) -> dict:
+def collect_json(
+    jobs: int = 1, use_cache: bool = True, resilience=None, observability=None
+) -> dict:
     """All evaluation data as one JSON-serializable document."""
-    rows = collect_rows(jobs=jobs, use_cache=use_cache, resilience=resilience)
+    rows = collect_rows(
+        jobs=jobs,
+        use_cache=use_cache,
+        resilience=resilience,
+        observability=observability,
+    )
     doc: dict = {"workloads": {}, "pressure": []}
     for row in rows:
         entry = {
@@ -102,9 +111,11 @@ def collect_json(jobs: int = 1, use_cache: bool = True, resilience=None) -> dict
 
 def run_timing(out_path: str, jobs: int, perf_baseline: Optional[str] = None) -> int:
     """``--timing``: benchmark the execution layers, optionally gate."""
+    from repro.bench.overhead import check_overhead, measure_overhead
     from repro.bench.timing import check_against_baseline, time_suite, write_bench
 
     bench = time_suite(jobs=jobs)
+    bench["overhead"] = measure_overhead(list(bench["suite"]))
     write_bench(out_path, bench)
     speedup = bench["speedup"]
     print(
@@ -112,11 +123,18 @@ def run_timing(out_path: str, jobs: int, perf_baseline: Optional[str] = None) ->
         f"serial {speedup['serial_vs_baseline']}x, "
         f"parallel {speedup['parallel_vs_baseline']}x vs baseline "
         f"(jobs={bench['jobs']}, cpus={bench['cpu_count']}); "
-        f"outputs identical: {bench['outputs_identical']}",
+        f"outputs identical: {bench['outputs_identical']}; "
+        f"instrumentation overhead (disabled, estimated): "
+        f"{bench['overhead']['worst_estimated_overhead_pct']}% worst-case",
         file=sys.stderr,
     )
     if not bench["outputs_identical"]:
         print("repro-report: timing: arm outputs diverged", file=sys.stderr)
+        return 1
+    overhead_failures = check_overhead(bench["overhead"])
+    for failure in overhead_failures:
+        print(f"repro-report: overhead gate: {failure}", file=sys.stderr)
+    if overhead_failures:
         return 1
     if perf_baseline is not None:
         try:
@@ -199,12 +217,77 @@ def main(argv: Optional[List[str]] = None) -> int:
         "'crash=0.1,hang=0.1,transient=0.2,seed=42' (requires --jobs != 1)",
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the suite's span trace (Chrome trace-event JSON; a "
+        ".jsonl suffix writes the event log; one pipeline root per workload)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the suite's aggregated metrics registry as JSON",
+    )
+    parser.add_argument(
         "--diagnostics-dir",
         metavar="DIR",
         help="write each workload's pipeline diagnostics as DIR/<name>.json",
     )
     options = parser.parse_args(argv)
     use_cache = not options.no_cache
+
+    observability = None
+    if options.trace_out or options.metrics_out:
+        if options.timing:
+            print(
+                "repro-report: --trace-out/--metrics-out are incompatible "
+                "with --timing (instrumented arms would skew the measurement)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.observability import Observability
+
+        observability = Observability.recording()
+
+    def export_observability(jobs: int) -> None:
+        # Best-effort by design: a failed artifact write reports on
+        # stderr but never changes the exit code (it must not mask a
+        # degraded exit 3 or manufacture a failure).
+        if observability is None:
+            return
+        from repro.observability import build_metadata, write_metrics, write_trace
+
+        metadata = build_metadata(
+            profile_source=None,
+            config={
+                "jobs": jobs,
+                "use_cache": use_cache,
+                "resilience": None if resilience is None else resilience.as_dict(),
+            },
+            tool="repro-report",
+        )
+        if options.trace_out:
+            try:
+                write_trace(
+                    options.trace_out,
+                    observability.tracer,
+                    observability.metrics,
+                    metadata,
+                )
+            except OSError as exc:
+                print(
+                    f"repro-report: warning: cannot write trace to "
+                    f"{options.trace_out}: {exc.strerror or exc}",
+                    file=sys.stderr,
+                )
+        if options.metrics_out:
+            try:
+                write_metrics(options.metrics_out, observability.metrics, metadata)
+            except OSError as exc:
+                print(
+                    f"repro-report: warning: cannot write metrics to "
+                    f"{options.metrics_out}: {exc.strerror or exc}",
+                    file=sys.stderr,
+                )
 
     resilience = None
     wants_resilience = (
@@ -261,17 +344,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     if options.json:
         print(
             json.dumps(
-                collect_json(jobs=jobs, use_cache=use_cache, resilience=resilience),
+                collect_json(
+                    jobs=jobs,
+                    use_cache=use_cache,
+                    resilience=resilience,
+                    observability=observability,
+                ),
                 indent=2,
                 sort_keys=True,
             )
         )
+        export_observability(jobs)
         return 0
 
     sections: List[str] = []
     rows = None
     if options.table in ("1", "2", "all"):
-        rows = collect_rows(jobs=jobs, use_cache=use_cache, resilience=resilience)
+        rows = collect_rows(
+            jobs=jobs,
+            use_cache=use_cache,
+            resilience=resilience,
+            observability=observability,
+        )
         bad = [r.name for r in rows if not r.output_matches]
         if bad:
             print(f"WARNING: behaviour changed for {bad}", file=sys.stderr)
@@ -309,6 +403,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+
+    export_observability(jobs)
 
     if rows is not None and resilience is not None:
         quarantined = sorted({name for row in rows for name in row.quarantined})

@@ -16,7 +16,10 @@ skipped any function or could not preserve behaviour, and 3 when the
 run completed only in **degraded** mode — a function was quarantined by
 the resilient executor, the parallel layer fell back to serial, or
 retries/pool rebuilds were needed.  Precedence: 2 > 1 > 3 > the
-program's return value.
+program's return value.  ``--trace-out``/``--metrics-out`` export
+failures are reported on stderr but never change the exit code —
+observability is best-effort and must not mask (or manufacture) a
+degraded or strict exit.
 
 The resilient executor (``--timeout``, ``--retries``, ``--chaos``)
 requires ``--promote`` with ``--jobs`` != 1; see docs/API.md
@@ -111,6 +114,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(requires --jobs != 1)",
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the run's span trace (Chrome trace-event JSON; a "
+        ".jsonl suffix writes the event log instead; requires --promote)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the run's metrics registry as JSON (requires --promote)",
+    )
+    parser.add_argument(
         "--diagnostics",
         metavar="FILE",
         help="write the pipeline's per-function outcome report as JSON",
@@ -174,7 +188,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ValueError as exc:
             return _error(str(exc))
 
+    observability = None
+    if options.trace_out or options.metrics_out:
+        if not options.promote or options.baseline is not None:
+            return _error("--trace-out/--metrics-out require --promote")
+        from repro.observability import Observability
+
+        observability = Observability.recording()
+
     result = None
+    pipeline = None
     if options.baseline is not None and (options.jobs != 1 or options.no_cache):
         print(
             "repro-minic: note: --jobs/--no-cache only apply to --promote; "
@@ -192,15 +215,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif options.promote:
         from repro.promotion.pipeline import PromotionPipeline
 
-        result = PromotionPipeline(
+        pipeline = PromotionPipeline(
             jobs=options.jobs,
             use_cache=not options.no_cache,
             resilience=resilience,
+            observability=observability,
             **pipeline_kwargs,
-        ).run(module)
+        )
+        result = pipeline.run(module)
 
     if options.stats and result is not None:
         print(result.report(), file=sys.stderr)
+
+    if observability is not None and pipeline is not None and result is not None:
+        # Exporting is best-effort: observability must never change the
+        # run's semantics, so a failed write reports on stderr and leaves
+        # the exit code (and its 2 > 1 > 3 precedence) untouched.
+        from repro.observability import build_metadata, write_metrics, write_trace
+
+        metadata = build_metadata(
+            profile_source=result.diagnostics.profile_source,
+            config=pipeline.config_stamp(),
+        )
+        if options.trace_out:
+            try:
+                write_trace(
+                    options.trace_out, observability.tracer, observability.metrics,
+                    metadata,
+                )
+            except OSError as exc:
+                print(
+                    f"repro-minic: warning: cannot write trace to "
+                    f"{options.trace_out}: {exc.strerror or exc}",
+                    file=sys.stderr,
+                )
+        if options.metrics_out:
+            try:
+                write_metrics(options.metrics_out, observability.metrics, metadata)
+            except OSError as exc:
+                print(
+                    f"repro-minic: warning: cannot write metrics to "
+                    f"{options.metrics_out}: {exc.strerror or exc}",
+                    file=sys.stderr,
+                )
 
     if options.diagnostics:
         if result is None:

@@ -1,0 +1,98 @@
+"""Pipeline tracing and metrics (the observability layer).
+
+One :class:`Observability` bundle — a hierarchical span tracer plus a
+metrics registry — threads through a pipeline run:
+
+* enabled (``Observability.recording()``): spans and counters record
+  in-memory and export to Chrome-trace / JSONL / metrics-JSON artifacts
+  (:mod:`repro.observability.export`);
+* disabled (:data:`NULL_OBSERVABILITY`, the default): every
+  instrumentation point hits a true null object — no conditionals at
+  call sites, no allocation, overhead bounded by the bench overhead gate
+  (:mod:`repro.bench.overhead`).
+
+Deep modules report through the ambient registry
+(:func:`repro.observability.metrics.ambient`); worker processes record
+locally and ship picklable snapshots that the parent merges in module
+order, so enabled-mode aggregates are identical between serial and
+parallel runs.
+"""
+
+from repro.observability.counting import OpCounts
+from repro.observability.export import (
+    SCHEMA_VERSION,
+    build_metadata,
+    chrome_trace_document,
+    metrics_document,
+    text_summary,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics,
+    write_trace,
+)
+from repro.observability.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetrics,
+    ambient,
+)
+from repro.observability.metrics import activate as activate_metrics
+from repro.observability.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullSpan,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+)
+
+
+class Observability:
+    """A tracer and a metrics registry that travel together."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, tracer, metrics) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics.enabled
+
+    @classmethod
+    def recording(cls) -> "Observability":
+        """A fresh enabled bundle (one per run or per worker task)."""
+        return cls(Tracer(), MetricsRegistry())
+
+
+#: The disabled bundle: shared, stateless, safe to pass everywhere.
+NULL_OBSERVABILITY = Observability(NULL_TRACER, NULL_METRICS)
+
+__all__ = [
+    "NULL_METRICS",
+    "NULL_OBSERVABILITY",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullSpan",
+    "NullTracer",
+    "Observability",
+    "OpCounts",
+    "SCHEMA_VERSION",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "activate_metrics",
+    "ambient",
+    "build_metadata",
+    "chrome_trace_document",
+    "metrics_document",
+    "text_summary",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+    "write_trace",
+]

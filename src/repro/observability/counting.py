@@ -1,0 +1,76 @@
+"""The one shared load/store counting helper.
+
+Tables 1 and 2, the ``PipelineResult`` report, and the exported run
+metrics all quote load/store counts.  Before this module each consumer
+walked the IR (or read the interpreter's counters) independently, so a
+drift in one walk could make the bench tables and the run metrics
+disagree.  Now every count funnels through :class:`OpCounts`:
+
+* :func:`OpCounts.of_function` / :func:`OpCounts.of_module` — the static
+  (textual) walk, Table 1's metric;
+* :func:`OpCounts.of_execution` — the interpreter's executed-operation
+  counters, Table 2's metric.
+
+``StaticCounts`` and ``DynamicCounts`` in
+:mod:`repro.promotion.pipeline` are thin views over these, and the
+metrics exporter reads the same values, so the two can never disagree.
+"""
+
+from __future__ import annotations
+
+from repro.ir import instructions as I
+
+
+class OpCounts:
+    """Loads and stores, wherever they were counted."""
+
+    __slots__ = ("loads", "stores")
+
+    def __init__(self, loads: int = 0, stores: int = 0) -> None:
+        self.loads = loads
+        self.stores = stores
+
+    @property
+    def total(self) -> int:
+        return self.loads + self.stores
+
+    def add(self, other: "OpCounts") -> "OpCounts":
+        self.loads += other.loads
+        self.stores += other.stores
+        return self
+
+    @classmethod
+    def of_function(cls, function) -> "OpCounts":
+        """Static (textual) loads/stores in one function's IR."""
+        counts = cls()
+        for inst in function.instructions():
+            if isinstance(inst, I.Load):
+                counts.loads += 1
+            elif isinstance(inst, I.Store):
+                counts.stores += 1
+        return counts
+
+    @classmethod
+    def of_module(cls, module) -> "OpCounts":
+        """Static (textual) loads/stores across every module function."""
+        counts = cls()
+        for function in module.functions.values():
+            counts.add(cls.of_function(function))
+        return counts
+
+    @classmethod
+    def of_execution(cls, result) -> "OpCounts":
+        """Executed loads/stores from one interpreter run
+        (:class:`repro.profile.interp.ExecutionResult`)."""
+        return cls(result.loads, result.stores)
+
+    def as_dict(self) -> dict:
+        return {"loads": self.loads, "stores": self.stores, "total": self.total}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OpCounts):
+            return NotImplemented
+        return self.loads == other.loads and self.stores == other.stores
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OpCounts(loads={self.loads}, stores={self.stores})"

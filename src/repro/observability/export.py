@@ -1,0 +1,209 @@
+"""Exporters for recorded traces and metrics.
+
+Three artifact formats, all stamped with the same self-describing
+metadata block (schema version, ``profile_source``, and the pipeline
+configuration — jobs, cache, chaos seed, timeout/retries):
+
+* :func:`write_chrome_trace` — the Chrome trace-event format
+  (``chrome://tracing`` / Perfetto's *Open trace file*): one complete
+  (``"ph": "X"``) event per span, with the recording process id as the
+  Chrome ``pid`` so parent and worker lanes render separately;
+* :func:`write_jsonl` — a line-per-event log (metadata line, then span
+  lines in record order, then metric lines) for ad-hoc ``jq``/grep;
+* :func:`write_metrics` — the metrics registry as one JSON document;
+* :func:`text_summary` — a human-readable span tree plus metric table.
+
+``--trace-out`` picks the trace format by suffix: ``.jsonl`` writes the
+event log, anything else the Chrome trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.observability.tracer import SpanRecord, Tracer
+
+#: Version of the exported artifact schema *and* of the ``observability``
+#: section in ``PipelineDiagnostics`` — bump together.
+SCHEMA_VERSION = 1
+
+
+def build_metadata(
+    profile_source: Optional[str] = None,
+    config: Optional[Dict[str, object]] = None,
+    **extra: object,
+) -> Dict[str, object]:
+    """The stamp shared by every exported artifact."""
+    metadata: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "generator": "repro-observability",
+        "profile_source": profile_source,
+        "config": dict(config or {}),
+    }
+    metadata.update(extra)
+    return metadata
+
+
+# -- Chrome trace ----------------------------------------------------------
+
+
+def chrome_trace_document(
+    tracer: Tracer, metadata: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """The trace as a Chrome trace-event JSON object document."""
+    records = tracer.records
+    base_s = min((r.start_s for r in records), default=0.0)
+    events: List[Dict[str, object]] = []
+    pids = []
+    for record in records:
+        if record.pid not in pids:
+            pids.append(record.pid)
+    parent_pid = pids[0] if pids else 0
+    for pid in pids:
+        label = "pipeline" if pid == parent_pid else f"worker pid {pid}"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+    for record in records:
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.category,
+                "ph": "X",
+                "ts": round((record.start_s - base_s) * 1e6, 3),
+                "dur": round(record.duration_ms * 1e3, 3),
+                "pid": record.pid,
+                "tid": 0,
+                "args": dict(record.attrs),
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": metadata or build_metadata(),
+    }
+
+
+def write_chrome_trace(
+    path: str, tracer: Tracer, metadata: Optional[Dict[str, object]] = None
+) -> None:
+    with open(path, "w") as handle:
+        json.dump(chrome_trace_document(tracer, metadata), handle, indent=2)
+        handle.write("\n")
+
+
+# -- JSONL event log -------------------------------------------------------
+
+
+def jsonl_lines(
+    tracer: Tracer,
+    metrics=None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> List[str]:
+    lines = [json.dumps({"type": "metadata", **(metadata or build_metadata())})]
+    for record in tracer.records:
+        lines.append(json.dumps({"type": "span", **record.as_dict()}))
+    if metrics is not None:
+        for name, doc in metrics.as_dict().items():
+            # The instrument doc's own "type" (counter/gauge/histogram)
+            # must not clobber the event type; it becomes "kind".
+            event = {"type": "metric", "name": name}
+            event.update(
+                ("kind", v) if k == "type" else (k, v) for k, v in doc.items()
+            )
+            lines.append(json.dumps(event))
+    return lines
+
+
+def write_jsonl(
+    path: str,
+    tracer: Tracer,
+    metrics=None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    with open(path, "w") as handle:
+        for line in jsonl_lines(tracer, metrics, metadata):
+            handle.write(line + "\n")
+
+
+def write_trace(
+    path: str,
+    tracer: Tracer,
+    metrics=None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Suffix-dispatched trace export: ``.jsonl`` → event log, else
+    Chrome trace."""
+    if path.endswith(".jsonl"):
+        write_jsonl(path, tracer, metrics, metadata)
+    else:
+        write_chrome_trace(path, tracer, metadata)
+
+
+# -- metrics ---------------------------------------------------------------
+
+
+def metrics_document(
+    metrics, metadata: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "metadata": metadata or build_metadata(),
+        "metrics": metrics.as_dict(),
+    }
+
+
+def write_metrics(
+    path: str, metrics, metadata: Optional[Dict[str, object]] = None
+) -> None:
+    with open(path, "w") as handle:
+        json.dump(metrics_document(metrics, metadata), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# -- text summary ----------------------------------------------------------
+
+
+def text_summary(tracer: Tracer, metrics=None, max_depth: int = 4) -> str:
+    """A terminal-friendly span tree (durations in ms) plus the metric
+    values — the quick look before reaching for Perfetto."""
+    lines: List[str] = []
+
+    by_parent: Dict[Optional[int], List[SpanRecord]] = {}
+    for record in tracer.records:
+        by_parent.setdefault(record.parent, []).append(record)
+
+    def walk(record: SpanRecord, depth: int) -> None:
+        indent = "  " * depth
+        attrs = ""
+        if record.attrs:
+            shown = ", ".join(f"{k}={v}" for k, v in sorted(record.attrs.items()))
+            attrs = f"  [{shown}]"
+        lines.append(f"{indent}{record.name}  {record.duration_ms:.2f}ms{attrs}")
+        if depth + 1 >= max_depth:
+            return
+        for child in by_parent.get(record.id, ()):
+            walk(child, depth + 1)
+
+    if tracer.records:
+        lines.append("spans:")
+        for root in by_parent.get(None, ()):
+            walk(root, 1)
+    if metrics is not None and len(metrics):
+        lines.append("metrics:")
+        for name, doc in metrics.as_dict().items():
+            if doc["type"] == "histogram":
+                lines.append(
+                    f"  {name}: n={doc['count']} sum={doc['sum']}{doc['unit']}"
+                    f" min={doc['min']} max={doc['max']}"
+                )
+            else:
+                lines.append(f"  {name}: {doc['value']} {doc['unit']}")
+    return "\n".join(lines)

@@ -65,6 +65,8 @@ class FunctionResult:
         "stats",
         "payload",
         "cache_stats",
+        "spans",
+        "metrics",
     )
 
     PROMOTED = "promoted"
@@ -81,6 +83,8 @@ class FunctionResult:
         stats: Optional[Dict[str, int]] = None,
         payload: Optional[FunctionPayload] = None,
         cache_stats: Optional[CacheStats] = None,
+        spans: Optional[List[Dict[str, object]]] = None,
+        metrics: Optional[Dict[str, Dict[str, object]]] = None,
     ) -> None:
         self.name = name
         self.status = status
@@ -91,6 +95,13 @@ class FunctionResult:
         self.stats = stats
         self.payload = payload
         self.cache_stats = cache_stats
+        #: Exported worker span records (``Tracer.export``) when the run
+        #: was observed; the parent merges them into its own trace with
+        #: this worker's pid as the lane.  ``None`` when tracing was off.
+        self.spans = spans
+        #: The worker-local metrics snapshot (``MetricsRegistry.as_dict``)
+        #: to absorb in module order; ``None`` when tracing was off.
+        self.metrics = metrics
 
 
 class SchedulerError(RuntimeError):
@@ -159,6 +170,7 @@ def _init_worker(
     alias_model_factory: Callable,
     verify: bool,
     use_cache: bool,
+    observe: bool = False,
 ) -> None:
     global _WORKER_STATE
     payload = ModulePayload(module_bytes)
@@ -170,6 +182,7 @@ def _init_worker(
         "options": options,
         "verify": verify,
         "use_cache": use_cache,
+        "observe": observe,
     }
 
 
@@ -179,6 +192,7 @@ def _promote_one(name: str) -> FunctionResult:
     # import would be circular.
     from repro.ir.verify import verify_function
     from repro.memory.memssa import build_memory_ssa
+    from repro.observability import NULL_OBSERVABILITY, Observability, activate_metrics
     from repro.passes.copyprop import propagate_copies
     from repro.passes.dce import (
         dead_code_elimination,
@@ -193,32 +207,40 @@ def _promote_one(name: str) -> FunctionResult:
     module = state["module"]
     function = module.functions[name]
     cache = AnalysisCache() if state["use_cache"] else None
+    obs = Observability.recording() if state["observe"] else NULL_OBSERVABILITY
 
     snap = snapshot_function(function)
     started = time.perf_counter()
     stage = _enter_stage(name, "memssa")
-    with activate(cache):
+    with activate(cache), activate_metrics(
+        obs.metrics if obs.enabled else None
+    ), obs.tracer.span("function:" + name, category="promote") as fn_span:
         try:
             # The parent already normalized the CFG in phase 1; recompute
             # the (deterministic) interval tree on this copy.
-            tree = IntervalTree.compute(function)
-            mssa = build_memory_ssa(function, state["model"])
+            with obs.tracer.span("stage:memssa", category="promote"):
+                tree = IntervalTree.compute(function)
+                mssa = build_memory_ssa(function, state["model"])
             stage = _enter_stage(name, "promote")
-            stats = promote_function(
-                function, mssa, state["profile"], tree, state["options"]
-            )
+            with obs.tracer.span("stage:promote", category="promote"):
+                stats = promote_function(
+                    function, mssa, state["profile"], tree, state["options"]
+                )
             stage = _enter_stage(name, "cleanup")
-            remove_dummy_loads(function)
-            propagate_copies(function)
-            dead_code_elimination(function)
-            dead_memory_elimination(function)
+            with obs.tracer.span("stage:cleanup", category="promote"):
+                remove_dummy_loads(function)
+                propagate_copies(function)
+                dead_code_elimination(function)
+                dead_memory_elimination(function)
             stage = _enter_stage(name, "verify")
-            if state["verify"]:
-                verify_function(function, check_ssa=True, check_memssa=True)
+            with obs.tracer.span("stage:verify", category="promote"):
+                if state["verify"]:
+                    verify_function(function, check_ssa=True, check_memssa=True)
         except Exception as exc:
             snap.restore()
+            fn_span.set("status", "rolled_back").set("stage", stage)
             text = str(exc) or type(exc).__name__
-            return FunctionResult(
+            result = FunctionResult(
                 name,
                 FunctionResult.ROLLED_BACK,
                 stage=stage,
@@ -227,14 +249,21 @@ def _promote_one(name: str) -> FunctionResult:
                 duration_ms=(time.perf_counter() - started) * 1e3,
                 cache_stats=cache.stats if cache else None,
             )
-    return FunctionResult(
-        name,
-        FunctionResult.PROMOTED,
-        duration_ms=(time.perf_counter() - started) * 1e3,
-        stats=stats.as_dict(),
-        payload=FunctionPayload.capture(function),
-        cache_stats=cache.stats if cache else None,
-    )
+        else:
+            fn_span.set("status", "promoted")
+            fn_span.set("webs_promoted", stats.webs_promoted)
+            result = FunctionResult(
+                name,
+                FunctionResult.PROMOTED,
+                duration_ms=(time.perf_counter() - started) * 1e3,
+                stats=stats.as_dict(),
+                payload=FunctionPayload.capture(function),
+                cache_stats=cache.stats if cache else None,
+            )
+    if obs.enabled:
+        result.spans = obs.tracer.export()
+        result.metrics = obs.metrics.as_dict()
+    return result
 
 
 # -- parent side ----------------------------------------------------------
@@ -249,8 +278,12 @@ def promote_functions_parallel(
     verify: bool,
     jobs: int,
     use_cache: bool = True,
+    observe: bool = False,
 ) -> List[FunctionResult]:
     """Fan phases 3+4 out over a process pool; results in ``names`` order.
+
+    ``observe`` makes each worker record spans and metrics for its task
+    and ship them back on the :class:`FunctionResult`.
 
     Raises :class:`SchedulerError` when the pool cannot be used at all
     (e.g. an unpicklable alias-model factory); the caller falls back to
@@ -265,6 +298,7 @@ def promote_functions_parallel(
         alias_model_factory,
         verify,
         use_cache,
+        observe,
     )
     try:
         with ProcessPoolExecutor(

@@ -34,12 +34,17 @@ import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.intervals import IntervalTree, normalize_for_promotion
-from repro.ir import instructions as I
-from repro.ir.function import Function
 from repro.ir.module import Module
 from repro.ir.verify import verify_function, verify_module
 from repro.memory.aliasing import AliasModel
 from repro.memory.memssa import build_memory_ssa
+from repro.observability import (
+    NULL_OBSERVABILITY,
+    Observability,
+    OpCounts,
+    activate_metrics,
+)
+from repro.observability.export import SCHEMA_VERSION
 from repro.parallel.cache import AnalysisCache, CacheStats, activate
 from repro.parallel.scheduler import (
     FunctionResult,
@@ -84,46 +89,24 @@ from repro.robustness.snapshot import (
 from repro.ssa.construct import construct_ssa
 
 
-class StaticCounts:
-    """Static (textual) operation counts — Table 1's metric."""
+class StaticCounts(OpCounts):
+    """Static (textual) operation counts — Table 1's metric.
 
-    def __init__(self, loads: int = 0, stores: int = 0) -> None:
-        self.loads = loads
-        self.stores = stores
+    A thin view over :class:`repro.observability.OpCounts`, the one
+    shared counting helper — the bench tables and the exported run
+    metrics read the same walk and can never disagree.
+    """
 
-    @property
-    def total(self) -> int:
-        return self.loads + self.stores
-
-    @classmethod
-    def of_module(cls, module: Module) -> "StaticCounts":
-        counts = cls()
-        for function in module.functions.values():
-            for inst in function.instructions():
-                if isinstance(inst, I.Load):
-                    counts.loads += 1
-                elif isinstance(inst, I.Store):
-                    counts.stores += 1
-        return counts
+    __slots__ = ()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"StaticCounts(loads={self.loads}, stores={self.stores})"
 
 
-class DynamicCounts:
-    """Executed operation counts — Table 2's metric."""
+class DynamicCounts(OpCounts):
+    """Executed operation counts — Table 2's metric (same shared helper)."""
 
-    def __init__(self, loads: int = 0, stores: int = 0) -> None:
-        self.loads = loads
-        self.stores = stores
-
-    @property
-    def total(self) -> int:
-        return self.loads + self.stores
-
-    @classmethod
-    def of_execution(cls, result: ExecutionResult) -> "DynamicCounts":
-        return cls(result.loads, result.stores)
+    __slots__ = ()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"DynamicCounts(loads={self.loads}, stores={self.stores})"
@@ -155,6 +138,10 @@ class PipelineResult:
         #: run and (in parallel mode, in module order) every worker.
         #: ``None`` when caching was disabled.
         self.cache_stats: Optional[CacheStats] = None
+        #: The tracer + metrics bundle the run recorded into
+        #: (:data:`~repro.observability.NULL_OBSERVABILITY` when
+        #: tracing was off) — exporters read the trace from here.
+        self.observability: Observability = NULL_OBSERVABILITY
 
     def totals(self) -> FunctionPromotionStats:
         total = FunctionPromotionStats()
@@ -234,6 +221,7 @@ class PromotionPipeline:
         use_cache: bool = True,
         compiled_interpreter: bool = True,
         resilience: Optional[ResilienceOptions] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         self.options = options or PromotionOptions()
         self.alias_model_factory = alias_model or AliasModel.conservative
@@ -265,98 +253,184 @@ class PromotionPipeline:
                 "deadlines, crash recovery, and chaos act on worker processes"
             )
         self.resilience = resilience
+        #: The tracer + metrics bundle; :data:`NULL_OBSERVABILITY` (the
+        #: default) makes every instrumentation point a no-op.
+        self.observability = observability or NULL_OBSERVABILITY
 
     def run(self, module: Module) -> PipelineResult:
         result = PipelineResult(module)
+        result.observability = self.observability
+        obs = self.observability
         cache = AnalysisCache() if self.use_cache else None
         if cache is not None:
             result.cache_stats = CacheStats()
-        with activate(cache):
+        with activate(cache), activate_metrics(
+            obs.metrics if obs.enabled else None
+        ), obs.tracer.span(
+            "pipeline", module=module.name, jobs=self.jobs
+        ):
             self._run_phases(module, result)
         if cache is not None:
             result.cache_stats.absorb(cache.stats)
+        if obs.enabled:
+            self._finalize_observability(result)
         return result
+
+    def config_stamp(self) -> Dict[str, object]:
+        """The pipeline configuration as stamped into every exported
+        trace/metrics artifact and the diagnostics ``observability``
+        section, so artifacts are self-describing."""
+        resilience = self.resilience
+        stamp: Dict[str, object] = {
+            "entry": self.entry,
+            "jobs": self.jobs,
+            "use_cache": self.use_cache,
+            "compiled_interpreter": self.compiled_interpreter,
+            "transactional": self.transactional,
+            "max_steps": self.max_steps,
+            "resilience": None if resilience is None else resilience.as_dict(),
+        }
+        return stamp
+
+    def _finalize_observability(self, result: PipelineResult) -> None:
+        """Publish run aggregates into the metrics registry and the
+        diagnostics ``observability`` section.
+
+        The load/store gauges and ``promotion.*`` counters are set from
+        the :class:`PipelineResult` itself — the exported metrics read
+        the same :class:`OpCounts` the report prints, so they can never
+        disagree.  Only called when tracing is enabled; when disabled the
+        diagnostics section stays ``None`` so timing-harness fingerprints
+        are identical with and without this layer.
+        """
+        metrics = self.observability.metrics
+        for prefix, counts in (
+            ("pipeline.static_before", result.static_before),
+            ("pipeline.static_after", result.static_after),
+            ("pipeline.dynamic_before", result.dynamic_before),
+            ("pipeline.dynamic_after", result.dynamic_after),
+        ):
+            metrics.set(prefix + ".loads", counts.loads, unit="ops")
+            metrics.set(prefix + ".stores", counts.stores, unit="ops")
+        metrics.set("pipeline.jobs_used", result.jobs_used, unit="workers")
+        metrics.set(
+            "pipeline.output_matches", int(result.output_matches), unit="bool"
+        )
+        for field, value in result.totals().as_dict().items():
+            metrics.inc("promotion." + field, value)
+        if result.cache_stats is not None:
+            for kind, hits in result.cache_stats.hits.items():
+                metrics.inc(f"cache.{kind}.hits", hits)
+            for kind, misses in result.cache_stats.misses.items():
+                metrics.inc(f"cache.{kind}.misses", misses)
+        diags = result.diagnostics
+        diags.observability = {
+            "version": SCHEMA_VERSION,
+            "profile_source": diags.profile_source,
+            "config": self.config_stamp(),
+            "spans": len(self.observability.tracer.records),
+            "metrics": metrics.as_dict(),
+        }
 
     def _run_phases(self, module: Module, result: PipelineResult) -> None:
         diags = result.diagnostics
+        tracer = self.observability.tracer
 
         # Phase 1: prepare every function (transaction: skip on failure).
         trees: Dict[str, IntervalTree] = {}
         prepared: List[str] = []
-        for function in list(module.functions.values()):
-            if not self.transactional:
-                if self.run_mem2reg:
-                    construct_ssa(function)
-                trees[function.name] = normalize_for_promotion(function)
-                prepared.append(function.name)
-                continue
-            started = time.perf_counter()
-            pre = snapshot_function(function)
-            try:
-                if self.run_mem2reg:
-                    construct_ssa(function)
-                trees[function.name] = normalize_for_promotion(function)
-                if self.verify:
-                    verify_function(function, check_ssa=True)
-            except Exception as exc:
-                pre.restore()
-                trees.pop(function.name, None)
-                diags.record_skip(
-                    function.name,
-                    stage="prepare",
-                    error=exc,
-                    duration_ms=(time.perf_counter() - started) * 1e3,
-                )
-            else:
-                prepared.append(function.name)
-        if self.verify and not self.transactional:
-            verify_module(module, check_ssa=True)
+        with tracer.span("phase:prepare", category="phase"):
+            for function in list(module.functions.values()):
+                if not self.transactional:
+                    with tracer.span("prepare:" + function.name, category="prepare"):
+                        if self.run_mem2reg:
+                            construct_ssa(function)
+                        trees[function.name] = normalize_for_promotion(function)
+                    prepared.append(function.name)
+                    continue
+                started = time.perf_counter()
+                pre = snapshot_function(function)
+                with tracer.span(
+                    "prepare:" + function.name, category="prepare"
+                ) as prep_span:
+                    try:
+                        if self.run_mem2reg:
+                            construct_ssa(function)
+                        trees[function.name] = normalize_for_promotion(function)
+                        if self.verify:
+                            verify_function(function, check_ssa=True)
+                    except Exception as exc:
+                        pre.restore()
+                        trees.pop(function.name, None)
+                        prep_span.set("status", "skipped")
+                        prep_span.set("error_type", type(exc).__name__)
+                        diags.record_skip(
+                            function.name,
+                            stage="prepare",
+                            error=exc,
+                            duration_ms=(time.perf_counter() - started) * 1e3,
+                        )
+                    else:
+                        prepared.append(function.name)
+            if self.verify and not self.transactional:
+                verify_module(module, check_ssa=True)
 
         result.static_before = StaticCounts.of_module(module)
 
         # Phase 2: profile (step-limit exhaustion falls back to the
         # static estimate instead of aborting the run).
         before_run: Optional[ExecutionResult] = None
-        if self.use_interpreter_profile and self.entry in module.functions:
-            try:
-                before_run = Interpreter(
-                    module,
-                    max_steps=self.max_steps,
-                    compiled=self.compiled_interpreter,
-                ).run(self.entry, self.args)
-            except InterpreterLimitError as exc:
-                diags.warn(
-                    f"profiling run hit the interpreter limit ({exc}); "
-                    "falling back to the static profile estimate"
-                )
-                result.profile = estimate_profile(module)
-                diags.profile_source = "estimator-fallback"
+        with tracer.span("phase:profile", category="phase") as profile_span:
+            if self.use_interpreter_profile and self.entry in module.functions:
+                try:
+                    before_run = Interpreter(
+                        module,
+                        max_steps=self.max_steps,
+                        compiled=self.compiled_interpreter,
+                    ).run(self.entry, self.args)
+                except InterpreterLimitError as exc:
+                    diags.warn(
+                        f"profiling run hit the interpreter limit ({exc}); "
+                        "falling back to the static profile estimate"
+                    )
+                    result.profile = estimate_profile(module)
+                    diags.profile_source = "estimator-fallback"
+                else:
+                    result.profile = ProfileData.from_execution(before_run)
+                    result.dynamic_before = DynamicCounts.of_execution(before_run)
+                    diags.profile_source = "interpreter"
             else:
-                result.profile = ProfileData.from_execution(before_run)
-                result.dynamic_before = DynamicCounts.of_execution(before_run)
-                diags.profile_source = "interpreter"
-        else:
-            result.profile = estimate_profile(module)
-            diags.profile_source = "estimator"
+                result.profile = estimate_profile(module)
+                diags.profile_source = "estimator"
+            profile_span.set("profile_source", diags.profile_source)
 
         # Phases 3+4: memory SSA, promotion, and cleanup — one
         # transaction per function, verified before committing.
         snapshots: Dict[str, FunctionSnapshot] = {}
         committed: Dict[str, FunctionState] = {}
         jobs = 1 if self.jobs == 1 else resolve_jobs(self.jobs)
-        ran_parallel = False
-        if jobs > 1 and len(prepared) > 1:
-            ran_parallel = self._phase34_parallel(
-                module, result, prepared, snapshots, committed, jobs
-            )
-        if not ran_parallel:
-            self._phase34_serial(module, result, trees, prepared, snapshots, committed)
+        with tracer.span("phase:promote", category="phase") as promote_span:
+            ran_parallel = False
+            if jobs > 1 and len(prepared) > 1:
+                ran_parallel = self._phase34_parallel(
+                    module, result, prepared, snapshots, committed, jobs
+                )
+            if not ran_parallel:
+                self._phase34_serial(
+                    module, result, trees, prepared, snapshots, committed
+                )
+            promote_span.set("jobs_used", result.jobs_used)
+            promote_span.set("functions", len(prepared))
 
         result.static_after = StaticCounts.of_module(module)
 
         # Phase 5: re-execute, compare behaviour, and bisect divergence.
         if before_run is not None:
-            self._check_behaviour(module, result, before_run, snapshots, committed)
+            with tracer.span("phase:re-execute", category="phase") as rerun_span:
+                self._check_behaviour(
+                    module, result, before_run, snapshots, committed
+                )
+                rerun_span.set("output_matches", result.output_matches)
 
     # -- phases 3+4 ------------------------------------------------------
 
@@ -370,47 +444,60 @@ class PromotionPipeline:
         committed: Dict[str, FunctionState],
     ) -> None:
         diags = result.diagnostics
+        tracer = self.observability.tracer
         model = self.alias_model_factory(module)
         for name in prepared:
             function = module.functions[name]
             snap = snapshot_function(function) if self.transactional else None
             started = time.perf_counter()
             stage = "memssa"
-            try:
-                mssa = build_memory_ssa(function, model)
-                stage = "promote"
-                stats = promote_function(
-                    function, mssa, result.profile, trees[name], self.options
-                )
-                stage = "cleanup"
-                remove_dummy_loads(function)
-                propagate_copies(function)
-                dead_code_elimination(function)
-                dead_memory_elimination(function)
-                stage = "verify"
-                if self.verify:
-                    verify_function(function, check_ssa=True, check_memssa=True)
-            except Exception as exc:
-                if snap is None:
-                    raise
-                snap.restore()
-                result.stats[name] = FunctionPromotionStats()
-                diags.record_rollback(
-                    name,
-                    stage=stage,
-                    error=exc,
-                    duration_ms=(time.perf_counter() - started) * 1e3,
-                )
-            else:
-                result.stats[name] = stats
-                if snap is not None:
-                    snapshots[name] = snap
-                    committed[name] = capture_state(function)
-                diags.record_promoted(
-                    name,
-                    duration_ms=(time.perf_counter() - started) * 1e3,
-                    webs_promoted=stats.webs_promoted,
-                )
+            # Span names mirror the worker path (scheduler._promote_one)
+            # exactly, so serial and parallel runs produce the same tree.
+            with tracer.span("function:" + name, category="promote") as fn_span:
+                try:
+                    with tracer.span("stage:memssa", category="promote"):
+                        mssa = build_memory_ssa(function, model)
+                    stage = "promote"
+                    with tracer.span("stage:promote", category="promote"):
+                        stats = promote_function(
+                            function, mssa, result.profile, trees[name], self.options
+                        )
+                    stage = "cleanup"
+                    with tracer.span("stage:cleanup", category="promote"):
+                        remove_dummy_loads(function)
+                        propagate_copies(function)
+                        dead_code_elimination(function)
+                        dead_memory_elimination(function)
+                    stage = "verify"
+                    with tracer.span("stage:verify", category="promote"):
+                        if self.verify:
+                            verify_function(
+                                function, check_ssa=True, check_memssa=True
+                            )
+                except Exception as exc:
+                    if snap is None:
+                        raise
+                    snap.restore()
+                    fn_span.set("status", "rolled_back").set("stage", stage)
+                    result.stats[name] = FunctionPromotionStats()
+                    diags.record_rollback(
+                        name,
+                        stage=stage,
+                        error=exc,
+                        duration_ms=(time.perf_counter() - started) * 1e3,
+                    )
+                else:
+                    fn_span.set("status", "promoted")
+                    fn_span.set("webs_promoted", stats.webs_promoted)
+                    result.stats[name] = stats
+                    if snap is not None:
+                        snapshots[name] = snap
+                        committed[name] = capture_state(function)
+                    diags.record_promoted(
+                        name,
+                        duration_ms=(time.perf_counter() - started) * 1e3,
+                        webs_promoted=stats.webs_promoted,
+                    )
 
     def _phase34_parallel(
         self,
@@ -428,6 +515,7 @@ class PromotionPipeline:
                 module, result, prepared, snapshots, committed, jobs
             )
         diags = result.diagnostics
+        obs = self.observability
         try:
             outcomes = promote_functions_parallel(
                 module,
@@ -438,14 +526,28 @@ class PromotionPipeline:
                 self.verify,
                 jobs,
                 use_cache=self.use_cache,
+                observe=obs.enabled,
             )
         except SchedulerError as exc:
             diags.warn(str(exc))
             diags.fallback_reason = exc.as_dict()
+            obs.tracer.add_record(
+                "event:serial-fallback",
+                category="event",
+                error_type=exc.error_type,
+                detail=exc.detail,
+                function=exc.function,
+            )
+            obs.metrics.inc("pipeline.serial_fallbacks")
             return False
         result.jobs_used = jobs
         for name, outcome in zip(prepared, outcomes):
             function = module.functions[name]
+            # Graft the worker's spans (its pid is the trace lane) and
+            # absorb its metrics — in module order, so the aggregate is
+            # identical to a serial run.
+            obs.tracer.merge(outcome.spans)
+            obs.metrics.absorb(outcome.metrics)
             if outcome.cache_stats is not None and result.cache_stats is not None:
                 result.cache_stats.absorb(outcome.cache_stats)
             if outcome.status != FunctionResult.PROMOTED:
@@ -499,6 +601,7 @@ class PromotionPipeline:
         backoff, crash recovery, and quarantine.  False means fall back
         to serial (nothing was modified)."""
         diags = result.diagnostics
+        obs = self.observability
         executor = ResilientExecutor(
             module,
             prepared,
@@ -509,6 +612,7 @@ class PromotionPipeline:
             jobs,
             self.use_cache,
             self.resilience,
+            observe=obs.enabled,
         )
         try:
             outcomes, report = executor.run()
@@ -519,6 +623,13 @@ class PromotionPipeline:
                 "detail": str(exc).splitlines()[0],
                 "function": None,
             }
+            obs.tracer.add_record(
+                "event:serial-fallback",
+                category="event",
+                error_type=type(exc).__name__,
+                detail=str(exc).splitlines()[0],
+            )
+            obs.metrics.inc("pipeline.serial_fallbacks")
             return False
         result.jobs_used = jobs
         diags.resilience = report.as_dict()
@@ -527,6 +638,25 @@ class PromotionPipeline:
             name = outcome.name
             function = module.functions[name]
             diags.attempt_histories[name] = outcome.history.as_dict()
+            # One synthetic span per attempt (reconstructed from the
+            # retry history — earlier attempts left no live spans), then
+            # the final attempt's real worker spans.
+            for rec in outcome.history.records:
+                obs.tracer.add_record(
+                    "attempt:" + name,
+                    category="attempt",
+                    duration_ms=rec.duration_ms,
+                    attempt=rec.attempt,
+                    outcome=rec.outcome,
+                    error_type=rec.error_type,
+                    reason=rec.reason,
+                    backoff_s=rec.backoff_s,
+                )
+                obs.metrics.inc("resilience.attempts")
+                if rec.outcome not in ("promoted", "rolled_back"):
+                    obs.metrics.inc("resilience." + rec.outcome.replace("-", "_"))
+            obs.tracer.merge(outcome.spans)
+            obs.metrics.absorb(outcome.metrics)
             if outcome.cache_stats is not None and result.cache_stats is not None:
                 result.cache_stats.absorb(outcome.cache_stats)
             if outcome.status == ResilientOutcome.QUARANTINED:
@@ -534,6 +664,7 @@ class PromotionPipeline:
                 # module's function still holds its pre-promotion IR —
                 # degraded but sound by construction.
                 result.stats[name] = FunctionPromotionStats()
+                obs.metrics.inc("resilience.quarantines")
                 diags.record_quarantine(
                     name,
                     reason=outcome.reason,

@@ -114,6 +114,11 @@ class PipelineDiagnostics:
         #: worker_crashes, transient_faults, pool_rebuilds, quarantined)
         #: plus its configuration; ``None`` when it did not run.
         self.resilience: Optional[Dict[str, object]] = None
+        #: Versioned observability section (``{"version", "profile_source",
+        #: "config", "spans", "metrics"}``) written at the end of an
+        #: *observed* run; stays ``None`` when tracing is disabled so a
+        #: disabled run's diagnostics are byte-identical to pre-layer ones.
+        self.observability: Optional[Dict[str, object]] = None
 
     # -- recording -------------------------------------------------------
 
@@ -272,6 +277,7 @@ class PipelineDiagnostics:
             else None,
             "attempt_histories": dict(self.attempt_histories),
             "resilience": dict(self.resilience) if self.resilience else None,
+            "observability": dict(self.observability) if self.observability else None,
         }
 
     def to_json(self, indent: int = 2) -> str:

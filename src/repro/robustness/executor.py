@@ -124,6 +124,8 @@ class ResilientOutcome:
         cache_stats: Optional[CacheStats] = None,
         history: Optional[AttemptHistory] = None,
         quarantine: Optional[QuarantineEntry] = None,
+        spans: Optional[List[Dict[str, object]]] = None,
+        metrics: Optional[Dict[str, Dict[str, object]]] = None,
     ) -> None:
         self.name = name
         self.status = status
@@ -136,6 +138,11 @@ class ResilientOutcome:
         self.cache_stats = cache_stats
         self.history = history or AttemptHistory(name)
         self.quarantine = quarantine
+        #: Worker span records / metrics snapshot from the *final*
+        #: attempt (earlier attempts are reconstructed from ``history``);
+        #: ``None`` when tracing was off or no attempt ran to completion.
+        self.spans = spans
+        self.metrics = metrics
 
 
 class ExecutorReport:
@@ -186,13 +193,20 @@ def _init_resilient_worker(
     alias_model_factory: Callable,
     verify: bool,
     use_cache: bool,
+    observe: bool,
     board,
     chaos: Optional[ChaosConfig],
 ) -> None:
     from repro.parallel import scheduler
 
     scheduler._init_worker(
-        module_bytes, profile_map, options, alias_model_factory, verify, use_cache
+        module_bytes,
+        profile_map,
+        options,
+        alias_model_factory,
+        verify,
+        use_cache,
+        observe,
     )
     _EXEC_STATE["board"] = board
     _EXEC_STATE["chaos"] = chaos
@@ -285,6 +299,7 @@ class ResilientExecutor:
         jobs: int,
         use_cache: bool,
         resilience: ResilienceOptions,
+        observe: bool = False,
     ) -> None:
         from repro.parallel.transport import ModulePayload, export_profile
 
@@ -302,6 +317,7 @@ class ResilientExecutor:
             alias_model_factory,
             verify,
             use_cache,
+            observe,
         )
 
     def run(self) -> Tuple[List[ResilientOutcome], ExecutorReport]:
@@ -463,6 +479,8 @@ class ResilientExecutor:
                 payload=result.payload,
                 cache_stats=result.cache_stats,
                 history=state.history,
+                spans=result.spans,
+                metrics=result.metrics,
             )
             return
         if self.resilience.retry_policy.is_transient(result.error_type):
@@ -497,6 +515,8 @@ class ResilientExecutor:
             duration_ms=result.duration_ms,
             cache_stats=result.cache_stats,
             history=state.history,
+            spans=result.spans,
+            metrics=result.metrics,
         )
 
     def _register_failure(

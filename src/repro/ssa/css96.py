@@ -21,6 +21,7 @@ from typing import List, Sequence
 from repro.analysis.dominance import DominatorTree
 from repro.ir.function import Function
 from repro.memory.resources import MemName
+from repro.observability.metrics import ambient
 from repro.ssa.incremental import (
     UpdateStats,
     names_of_var,
@@ -56,4 +57,13 @@ def css96_update(
             )
         )
         known_old.append(cloned)
+
+    # The per-step updates above also bump ``ssa.incremental.*`` (this
+    # comparator drives the same machinery); the ``ssa.css96.*`` counters
+    # isolate what the one-at-a-time discipline did in total.
+    metrics = ambient()
+    metrics.inc("ssa.css96.updates", len(stats))
+    metrics.inc("ssa.css96.phis_placed", sum(s.phis_placed for s in stats))
+    metrics.inc("ssa.css96.phis_reused", sum(s.phis_reused for s in stats))
+    metrics.inc("ssa.css96.uses_renamed", sum(s.uses_renamed for s in stats))
     return stats

@@ -40,6 +40,7 @@ from repro.ir import instructions as I
 from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function
 from repro.memory.resources import MemName, MemoryVar
+from repro.observability.metrics import ambient
 from repro.parallel import cache as analysis_cache
 
 
@@ -194,6 +195,14 @@ def update_ssa_for_cloned_resources(
 
     # ---- Step 4: delete dead definitions ---------------------------------
     stats.defs_deleted, stats.phis_deleted = _delete_dead_defs(function, all_defs)
+
+    metrics = ambient()
+    metrics.inc("ssa.incremental.updates")
+    metrics.inc("ssa.incremental.phis_placed", stats.phis_placed)
+    metrics.inc("ssa.incremental.phis_reused", stats.phis_reused)
+    metrics.inc("ssa.incremental.uses_renamed", stats.uses_renamed)
+    metrics.inc("ssa.incremental.defs_deleted", stats.defs_deleted)
+    metrics.inc("ssa.incremental.phis_deleted", stats.phis_deleted)
     return stats
 
 

@@ -1,0 +1,50 @@
+"""The shared OpCounts helper and its pipeline-facing views."""
+
+from repro.frontend.lower import compile_source
+from repro.observability import OpCounts
+from repro.promotion.pipeline import PromotionPipeline, StaticCounts
+
+SOURCE = """
+int g = 0;
+int main() {
+    for (int i = 0; i < 3; i++) g = g + i;
+    print(g);
+    return g;
+}
+"""
+
+
+def test_of_module_is_sum_of_functions():
+    module = compile_source(SOURCE)
+    total = OpCounts()
+    for function in module.functions.values():
+        total.add(OpCounts.of_function(function))
+    assert OpCounts.of_module(module) == total
+    assert total.total == total.loads + total.stores
+
+
+def test_of_execution_reads_interpreter_counters():
+    from repro.profile.interp import Interpreter
+
+    module = compile_source(SOURCE)
+    run = Interpreter(module).run("main", [])
+    counts = OpCounts.of_execution(run)
+    assert (counts.loads, counts.stores) == (run.loads, run.stores)
+
+
+def test_pipeline_counts_are_opcounts_views():
+    module = compile_source(SOURCE)
+    result = PromotionPipeline().run(module)
+    assert isinstance(result.static_before, OpCounts)
+    assert isinstance(result.dynamic_after, OpCounts)
+    # The classmethod walk and the pipeline's own count agree (they are
+    # the same code path now).
+    assert StaticCounts.of_module(module) == result.static_after
+
+
+def test_as_dict_and_equality():
+    a = OpCounts(2, 3)
+    assert a.as_dict() == {"loads": 2, "stores": 3, "total": 5}
+    assert a == OpCounts(2, 3)
+    assert a != OpCounts(3, 2)
+    assert (a == object()) is False

@@ -1,0 +1,114 @@
+"""Trace determinism: parallel runs replay the serial span tree, and
+chaos runs replay identical event sequences from the same seed."""
+
+from repro.frontend.lower import compile_source
+from repro.observability import Observability
+from repro.promotion.pipeline import PromotionPipeline
+from repro.robustness import ChaosConfig, ResilienceOptions
+
+SOURCE = """
+int a = 0;
+int b = 0;
+int left(int k) {
+    for (int i = 0; i < 4; i++) a += k;
+    return a;
+}
+int right(int k) {
+    for (int i = 0; i < 3; i++) b += k;
+    return b;
+}
+int main() {
+    print(left(2) + right(3));
+    return 0;
+}
+"""
+
+#: Metrics that legitimately differ between serial and parallel runs:
+#: cache hit/miss counts depend on process boundaries, and the lane/job
+#: gauges describe the execution layer itself.
+EXECUTION_LAYER_METRICS = ("cache.", "pipeline.jobs_used")
+
+
+def _span_tree(tracer):
+    """(name, children) shape of the trace — no ids, times, or lanes."""
+    by_parent = {}
+    for record in tracer.records:
+        by_parent.setdefault(record.parent, []).append(record)
+
+    def walk(record):
+        return (record.name, [walk(c) for c in by_parent.get(record.id, [])])
+
+    return [walk(r) for r in by_parent.get(None, [])]
+
+
+def _comparable_metrics(metrics):
+    return {
+        name: doc
+        for name, doc in metrics.as_dict().items()
+        if not name.startswith(EXECUTION_LAYER_METRICS[0])
+        and name != EXECUTION_LAYER_METRICS[1]
+    }
+
+
+def _run(jobs, resilience=None):
+    obs = Observability.recording()
+    module = compile_source(SOURCE)
+    result = PromotionPipeline(
+        jobs=jobs, resilience=resilience, observability=obs
+    ).run(module)
+    return obs, result
+
+
+def test_parallel_trace_replays_the_serial_span_tree():
+    obs_serial, res_serial = _run(1)
+    obs_parallel, res_parallel = _run(4)
+    assert res_parallel.jobs_used > 1, "parallel run fell back to serial"
+    assert _span_tree(obs_parallel.tracer) == _span_tree(obs_serial.tracer)
+
+
+def test_parallel_metrics_match_serial_modulo_execution_layer():
+    obs_serial, _ = _run(1)
+    obs_parallel, _ = _run(4)
+    assert _comparable_metrics(obs_parallel.metrics) == _comparable_metrics(
+        obs_serial.metrics
+    )
+
+
+def test_worker_lanes_are_preserved_in_the_merged_trace():
+    obs, result = _run(2)
+    assert result.jobs_used == 2
+    parent_pid = obs.tracer.records[0].pid
+    worker_pids = {
+        r.pid
+        for r in obs.tracer.records
+        if r.name.startswith(("function:", "stage:"))
+    }
+    assert worker_pids and parent_pid not in worker_pids
+
+
+def test_chaos_replays_identical_event_sequences_from_the_same_seed():
+    def chaos_run():
+        resilience = ResilienceOptions(
+            retries=2,
+            seed=77,
+            chaos=ChaosConfig.parse("transient=0.5,seed=77"),
+        )
+        obs, result = _run(2, resilience=resilience)
+        events = [
+            (r.name, r.attrs.get("attempt"), r.attrs.get("outcome"))
+            for r in obs.tracer.records
+            if r.name.startswith("attempt:")
+        ]
+        resilience_metrics = {
+            k: v
+            for k, v in obs.metrics.as_dict().items()
+            if k.startswith("resilience.")
+        }
+        return events, resilience_metrics, _span_tree(obs.tracer)
+
+    first = chaos_run()
+    second = chaos_run()
+    assert first == second
+    events = first[0]
+    assert events, "chaos at p=0.5 should have produced attempt events"
+    assert any(outcome == "transient" for _, _, outcome in events)

@@ -1,0 +1,87 @@
+"""Exporters: Chrome trace shape, JSONL log, metrics doc, text summary."""
+
+import json
+
+from repro.observability import (
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    Tracer,
+    build_metadata,
+    chrome_trace_document,
+    metrics_document,
+    text_summary,
+    write_metrics,
+    write_trace,
+)
+
+
+def _sample():
+    tracer = Tracer()
+    with tracer.span("pipeline", module="m"):
+        with tracer.span("phase:promote", category="phase"):
+            pass
+    metrics = MetricsRegistry()
+    metrics.inc("promotion.webs_promoted", 2)
+    metrics.observe("duration", 1.5)
+    return tracer, metrics
+
+
+def test_chrome_trace_document_shape():
+    tracer, _ = _sample()
+    doc = chrome_trace_document(tracer, build_metadata(profile_source="interpreter"))
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert meta and meta[0]["args"]["name"] == "pipeline"
+    assert [e["name"] for e in complete] == ["pipeline", "phase:promote"]
+    # Timestamps are relative to the trace base, in microseconds.
+    assert min(e["ts"] for e in complete) == 0.0
+    assert all(e["dur"] >= 0 for e in complete)
+    assert doc["otherData"]["schema_version"] == SCHEMA_VERSION
+    assert doc["otherData"]["profile_source"] == "interpreter"
+    json.dumps(doc)  # must be serializable as-is
+
+
+def test_write_trace_dispatches_on_suffix(tmp_path):
+    tracer, metrics = _sample()
+    chrome = tmp_path / "t.json"
+    log = tmp_path / "t.jsonl"
+    write_trace(str(chrome), tracer, metrics)
+    write_trace(str(log), tracer, metrics)
+    assert "traceEvents" in json.loads(chrome.read_text())
+    lines = [json.loads(line) for line in log.read_text().splitlines()]
+    assert lines[0]["type"] == "metadata"
+    assert [ln["name"] for ln in lines if ln["type"] == "span"] == [
+        "pipeline",
+        "phase:promote",
+    ]
+    assert any(ln["type"] == "metric" for ln in lines)
+
+
+def test_metrics_document_and_writer(tmp_path):
+    _, metrics = _sample()
+    doc = metrics_document(metrics)
+    assert doc["schema_version"] == SCHEMA_VERSION
+    assert doc["metrics"]["promotion.webs_promoted"]["value"] == 2
+    path = tmp_path / "m.json"
+    write_metrics(str(path), metrics, build_metadata(config={"jobs": 2}))
+    loaded = json.loads(path.read_text())
+    assert loaded["metadata"]["config"] == {"jobs": 2}
+
+
+def test_text_summary_renders_tree_and_metrics():
+    tracer, metrics = _sample()
+    text = text_summary(tracer, metrics)
+    assert "pipeline" in text
+    assert "phase:promote" in text
+    assert "promotion.webs_promoted: 2" in text
+    assert "duration: n=1" in text
+
+
+def test_metadata_is_self_describing():
+    meta = build_metadata(
+        profile_source="estimator", config={"jobs": 2, "seed": 7}, tool="x"
+    )
+    assert meta["schema_version"] == SCHEMA_VERSION
+    assert meta["config"]["seed"] == 7
+    assert meta["tool"] == "x"

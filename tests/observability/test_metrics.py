@@ -1,0 +1,82 @@
+"""Metrics registry: instruments, absorb semantics, ambient installer."""
+
+import pytest
+
+from repro.observability.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    activate,
+    ambient,
+)
+
+
+def test_counter_gauge_histogram_record():
+    reg = MetricsRegistry()
+    reg.inc("loads.deleted", 3)
+    reg.inc("loads.deleted")
+    reg.set("jobs", 4, unit="workers")
+    reg.observe("duration", 2.0)
+    reg.observe("duration", 6.0)
+    doc = reg.as_dict()
+    assert doc["loads.deleted"] == {"type": "counter", "unit": "count", "value": 4}
+    assert doc["jobs"]["value"] == 4
+    hist = doc["duration"]
+    assert (hist["count"], hist["sum"], hist["min"], hist["max"]) == (2, 8.0, 2.0, 6.0)
+    assert reg.ops == 5
+    assert reg.value("loads.deleted") == 4
+    assert reg.value("missing") is None
+
+
+def test_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.inc("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_absorb_adds_counters_pools_histograms_overwrites_gauges():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.inc("c", 2)
+    a.set("g", 1)
+    a.observe("h", 10.0)
+    b.inc("c", 5)
+    b.set("g", 9)
+    b.observe("h", 1.0)
+    a.absorb(b.as_dict())
+    assert a.value("c") == 7
+    assert a.value("g") == 9
+    hist = a.as_dict()["h"]
+    assert (hist["count"], hist["min"], hist["max"]) == (2, 1.0, 10.0)
+
+
+def test_absorb_none_and_empty_are_noops():
+    reg = MetricsRegistry()
+    reg.absorb(None)
+    reg.absorb({})
+    assert len(reg) == 0
+
+
+def test_ambient_defaults_to_null_registry():
+    assert ambient() is NULL_METRICS
+
+
+def test_activate_installs_even_an_empty_registry():
+    # Regression: an empty registry is falsy (len() == 0); ambient() must
+    # still return it rather than the null object.
+    reg = MetricsRegistry()
+    with activate(reg):
+        assert ambient() is reg
+        ambient().inc("seen")
+    assert reg.value("seen") == 1
+    assert ambient() is NULL_METRICS
+
+
+def test_null_metrics_is_inert():
+    assert not NULL_METRICS.enabled
+    NULL_METRICS.inc("x")
+    NULL_METRICS.set("x", 1)
+    NULL_METRICS.observe("x", 1.0)
+    NULL_METRICS.counter("x").inc()
+    assert NULL_METRICS.as_dict() == {}
+    assert len(NULL_METRICS) == 0
+    assert NULL_METRICS.ops == 0

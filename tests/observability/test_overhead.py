@@ -1,0 +1,37 @@
+"""The disabled-path overhead estimate and its gate."""
+
+from repro.bench.overhead import (
+    OVERHEAD_GATE_PCT,
+    check_overhead,
+    measure_null_op_cost,
+    measure_workload_overhead,
+)
+from repro.bench.workloads import WORKLOADS
+
+
+def test_null_op_cost_is_sub_microsecond_scale():
+    cost = measure_null_op_cost(iterations=20_000)
+    assert 0 < cost < 50e-6  # generous even for a loaded CI box
+
+
+def test_workload_probe_reports_the_gate_inputs():
+    row = measure_workload_overhead(WORKLOADS["li"], null_op_cost_s=1e-7)
+    assert row["workload"] == "li"
+    assert row["instrumentation_events"] > 0
+    assert row["disabled_seconds"] > 0
+    assert row["estimated_overhead_pct"] >= 0
+
+
+def test_gate_passes_under_and_fails_over_the_bound():
+    assert check_overhead({"worst_estimated_overhead_pct": 0.5}) == []
+    failures = check_overhead(
+        {"worst_estimated_overhead_pct": OVERHEAD_GATE_PCT + 1}
+    )
+    assert len(failures) == 1
+    assert "gate" in failures[0]
+
+
+def test_real_probe_stays_within_the_gate():
+    cost = measure_null_op_cost(iterations=50_000)
+    row = measure_workload_overhead(WORKLOADS["li"], cost)
+    assert row["estimated_overhead_pct"] <= OVERHEAD_GATE_PCT

@@ -1,0 +1,113 @@
+"""Span tracer: nesting, records, merge, and the null objects."""
+
+import os
+
+import pytest
+
+from repro.observability.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    SpanRecord,
+    Tracer,
+)
+
+
+def test_spans_nest_and_record_in_enter_order():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("child-a"):
+            pass
+        with tracer.span("child-b", category="phase", k=1):
+            pass
+    assert [r.name for r in tracer.records] == ["root", "child-a", "child-b"]
+    root_rec = tracer.records[0]
+    assert root_rec.parent is None
+    assert all(r.parent == root_rec.id for r in tracer.records[1:])
+    assert tracer.records[2].category == "phase"
+    assert tracer.records[2].attrs == {"k": 1}
+    assert root is not None
+
+
+def test_span_set_chains_and_duration_closes_on_exit():
+    tracer = Tracer()
+    with tracer.span("s") as span:
+        span.set("a", 1).set("b", 2)
+        assert tracer.records[0].duration_ms == 0.0
+    record = tracer.records[0]
+    assert record.attrs == {"a": 1, "b": 2}
+    assert record.duration_ms > 0.0
+    assert record.pid == os.getpid()
+
+
+def test_exception_sets_error_type_and_unwinds_stack():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                raise ValueError("boom")
+    inner = tracer.records[1]
+    assert inner.attrs["error_type"] == "ValueError"
+    # The stack fully unwound: a new span is a root again.
+    with tracer.span("after"):
+        pass
+    assert tracer.records[2].parent is None
+
+
+def test_merge_renumbers_and_reparents_roots():
+    worker = Tracer()
+    with worker.span("function:f"):
+        with worker.span("stage:memssa"):
+            pass
+    exported = worker.export()
+
+    parent = Tracer()
+    with parent.span("phase:promote"):
+        merged = parent.merge(exported)
+    assert [r.name for r in parent.records] == [
+        "phase:promote",
+        "function:f",
+        "stage:memssa",
+    ]
+    phase, fn, stage = parent.records
+    assert fn.parent == phase.id
+    assert stage.parent == fn.id
+    assert len({r.id for r in parent.records}) == 3
+    assert len(merged) == 2
+
+
+def test_merge_without_open_span_makes_roots():
+    worker = Tracer()
+    with worker.span("function:f"):
+        pass
+    parent = Tracer()
+    parent.merge(worker.export())
+    assert parent.records[0].parent is None
+
+
+def test_add_record_parents_under_open_span():
+    tracer = Tracer()
+    with tracer.span("phase:promote"):
+        rec = tracer.add_record("attempt:f", duration_ms=5.0, attempt=1)
+    assert rec.parent == tracer.records[0].id
+    assert rec.duration_ms == 5.0
+    assert rec.attrs["attempt"] == 1
+
+
+def test_record_round_trips_through_dict():
+    record = SpanRecord(3, 1, "n", "c", 12.5, 7.25, 99, {"x": "y"})
+    clone = SpanRecord.from_dict(record.as_dict())
+    assert (clone.id, clone.parent, clone.name, clone.category) == (3, 1, "n", "c")
+    assert clone.pid == 99
+    assert clone.attrs == {"x": "y"}
+
+
+def test_null_tracer_is_inert():
+    assert not NULL_TRACER.enabled
+    span = NULL_TRACER.span("anything", category="x", attr=1)
+    assert span is NULL_SPAN
+    with span as s:
+        assert s.set("k", "v") is s
+    assert NULL_TRACER.export() == []
+    assert NULL_TRACER.merge([{"id": 1}]) == []
+    assert NULL_TRACER.add_record("x") is None
+    assert NULL_TRACER.records == []

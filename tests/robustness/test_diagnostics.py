@@ -78,6 +78,7 @@ def test_empty_diagnostics_serialize():
         "fallback_reason": None,
         "attempt_histories": {},
         "resilience": None,
+        "observability": None,
     }
 
 
