@@ -112,7 +112,12 @@ def collect_json(
 def run_timing(out_path: str, jobs: int, perf_baseline: Optional[str] = None) -> int:
     """``--timing``: benchmark the execution layers, optionally gate."""
     from repro.bench.overhead import check_overhead, measure_overhead
-    from repro.bench.timing import check_against_baseline, time_suite, write_bench
+    from repro.bench.timing import (
+        check_against_baseline,
+        parallel_gate_skip_reason,
+        time_suite,
+        write_bench,
+    )
 
     bench = time_suite(jobs=jobs)
     bench["overhead"] = measure_overhead(list(bench["suite"]))
@@ -153,6 +158,22 @@ def run_timing(out_path: str, jobs: int, perf_baseline: Optional[str] = None) ->
                 file=sys.stderr,
             )
             return 2
+        baseline_cpus = baseline.get("cpu_count")
+        if baseline_cpus is not None and not isinstance(baseline_cpus, int):
+            print(
+                f"repro-report: malformed perf baseline {perf_baseline}: "
+                f"cpu_count must be an integer, got "
+                f"{type(baseline_cpus).__name__}",
+                file=sys.stderr,
+            )
+            return 2
+        skip_reason = parallel_gate_skip_reason(bench, baseline)
+        if skip_reason:
+            print(
+                f"repro-report: perf gate: skipping parallel speedup checks: "
+                f"{skip_reason}",
+                file=sys.stderr,
+            )
         failures = check_against_baseline(bench, baseline)
         for failure in failures:
             print(f"repro-report: perf gate: {failure}", file=sys.stderr)

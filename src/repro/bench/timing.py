@@ -164,6 +164,29 @@ def _ratio(reference: float, measured: float) -> float:
     return round(reference / measured, 3) if measured else 0.0
 
 
+def parallel_gate_skip_reason(
+    bench: Dict[str, object], baseline: Dict[str, object]
+) -> Optional[str]:
+    """Why parallel speedup gating would be meaningless here, or None.
+
+    A document recorded on a machine with fewer than 2 CPUs ran its
+    "parallel" arm serially — its parallel-vs-* ratios measure process
+    overhead, not parallelism, so comparing against (or from) them is
+    noise, not signal.  Either side of the comparison being single-core
+    disables the parallel keys; a *missing* ``cpu_count`` (documents
+    from before the field existed) is unknown, not single-core, and
+    does not skip.
+    """
+    for label, doc in (("this runner", bench), ("the committed baseline", baseline)):
+        cpus = doc.get("cpu_count")
+        if isinstance(cpus, int) and cpus < 2:
+            return (
+                f"{label} recorded cpu_count={cpus}, so its parallel arm "
+                "ran serially and parallel speedup ratios carry no signal"
+            )
+    return None
+
+
 def check_against_baseline(
     bench: Dict[str, object], baseline: Dict[str, object]
 ) -> List[str]:
@@ -171,7 +194,9 @@ def check_against_baseline(
 
     Gates on output identity and on *speedup ratios* against the
     committed baseline — absolute seconds do not transfer between
-    machines, relative speedups approximately do.
+    machines, relative speedups approximately do.  Parallel-arm ratios
+    are only gated when both sides actually had parallelism available
+    (:func:`parallel_gate_skip_reason`).
     """
     failures: List[str] = []
     if not bench.get("outputs_identical", False):
@@ -179,10 +204,13 @@ def check_against_baseline(
             "serial and parallel arms produced different outputs "
             "(IR, tables, or diagnostics diverged)"
         )
+    skip_parallel = parallel_gate_skip_reason(bench, baseline) is not None
     reference_speedup = baseline.get("speedup")
     if not isinstance(reference_speedup, dict):
         reference_speedup = {}
     for key, reference in reference_speedup.items():
+        if skip_parallel and key.startswith("parallel"):
+            continue
         measured = (bench.get("speedup") or {}).get(key)
         # Malformed baselines may carry junk values; the gate only
         # compares real numbers.

@@ -9,3 +9,23 @@ class CompileError(ValueError):
     def __init__(self, message: str, line: int = 0) -> None:
         self.line = line
         super().__init__(f"line {line}: {message}" if line else message)
+
+
+class FrontendLimitError(CompileError):
+    """An untrusted-input resource limit tripped.
+
+    Raised when source size, token count, or nesting depth exceeds the
+    active :class:`~repro.frontend.limits.InputLimits` — *before* the
+    frontend would hit a raw ``RecursionError`` or exhaust memory.  A
+    structured subclass of :class:`CompileError` so existing handlers
+    keep working (CLI exit code 2), while servers can distinguish a
+    resource-limit rejection (a clean 4xx) from a syntax error.
+    """
+
+    def __init__(self, limit: str, actual: int, maximum: int, line: int = 0) -> None:
+        self.limit = limit
+        self.actual = actual
+        self.maximum = maximum
+        super().__init__(
+            f"input exceeds the {limit} limit ({actual} > {maximum})", line
+        )

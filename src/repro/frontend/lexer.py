@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import List, NamedTuple
+from typing import List, NamedTuple, Optional
 
 from repro.frontend.errors import CompileError
+from repro.frontend.limits import DEFAULT_LIMITS, InputLimits
 
 # fmt: off
 KEYWORDS = {
@@ -32,12 +33,19 @@ class Token(NamedTuple):
         return f"{self.kind}:{self.text}@{self.line}"
 
 
-def tokenize(source: str) -> List[Token]:
+def tokenize(source: str, limits: Optional[InputLimits] = None) -> List[Token]:
+    limits = limits or DEFAULT_LIMITS
+    limits.check_source(source)
     tokens: List[Token] = []
     i = 0
     line = 1
     n = len(source)
     while i < n:
+        # Checked inside the scan loop so a pathological input is
+        # rejected as soon as it crosses the cap, not after buffering
+        # every token.
+        if len(tokens) >= limits.max_tokens:
+            limits.check_tokens(len(tokens) + 1, line)
         ch = source[i]
         if ch == "\n":
             line += 1

@@ -28,9 +28,14 @@ from repro.ir.values import Const, Value
 from repro.memory.resources import MemoryVar, VarKind
 
 
-def compile_source(source: str, module_name: str = "minic") -> Module:
-    """Parse, analyze, and lower mini-C source to an IR module."""
-    return lower_program(parse_program(source), module_name)
+def compile_source(source: str, module_name: str = "minic", limits=None) -> Module:
+    """Parse, analyze, and lower mini-C source to an IR module.
+
+    ``limits`` (an :class:`~repro.frontend.limits.InputLimits`) caps
+    source size, token count, and nesting depth for untrusted input;
+    ``None`` applies the generous defaults.
+    """
+    return lower_program(parse_program(source, limits), module_name)
 
 
 def lower_program(program: A.Program, module_name: str = "minic") -> Module:

@@ -22,6 +22,7 @@ from typing import List, Optional
 from repro.frontend import cast as A
 from repro.frontend.errors import CompileError
 from repro.frontend.lexer import Token, tokenize
+from repro.frontend.limits import DEFAULT_LIMITS, InputLimits
 
 _ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
 
@@ -47,14 +48,28 @@ _OP_NAMES = {
 # fmt: on
 
 
-def parse_program(source: str) -> A.Program:
-    return _Parser(tokenize(source)).program()
+def parse_program(source: str, limits: Optional[InputLimits] = None) -> A.Program:
+    limits = limits or DEFAULT_LIMITS
+    return _Parser(tokenize(source, limits), limits).program()
 
 
 class _Parser:
-    def __init__(self, tokens: List[Token]) -> None:
+    def __init__(self, tokens: List[Token], limits: Optional[InputLimits] = None) -> None:
         self.tokens = tokens
+        self.limits = limits or DEFAULT_LIMITS
         self.pos = 0
+        #: Combined statement + expression nesting depth.  Guarded in
+        #: every recursive production so a hostile input fails with a
+        #: structured FrontendLimitError long before Python's own
+        #: RecursionError (each depth unit costs ~a dozen frames in the
+        #: precedence climb).  Lowering recurses over the AST this
+        #: parser built, so the same cap bounds its stack too.
+        self.depth = 0
+
+    def _descend(self) -> None:
+        self.depth += 1
+        if self.depth > self.limits.max_depth:
+            self.limits.check_depth(self.depth, self.tok.line)
 
     # -- token helpers ----------------------------------------------------
 
@@ -203,6 +218,13 @@ class _Parser:
         return [self.statement()]
 
     def statement(self) -> A.Stmt:
+        self._descend()
+        try:
+            return self._statement()
+        finally:
+            self.depth -= 1
+
+    def _statement(self) -> A.Stmt:
         tok = self.tok
         if self.check("int"):
             return self.local_decl()
@@ -332,7 +354,11 @@ class _Parser:
     # -- expressions ------------------------------------------------------
 
     def expression(self) -> A.Expr:
-        return self._binary(0)
+        self._descend()
+        try:
+            return self._binary(0)
+        finally:
+            self.depth -= 1
 
     def _binary(self, level: int) -> A.Expr:
         if level >= len(_BINARY_LEVELS):
@@ -348,6 +374,15 @@ class _Parser:
         return lhs
 
     def unary(self) -> A.Expr:
+        # Unary chains recurse without passing through expression(), so
+        # they carry their own depth guard.
+        self._descend()
+        try:
+            return self._unary()
+        finally:
+            self.depth -= 1
+
+    def _unary(self) -> A.Expr:
         tok = self.tok
         if self.accept("-"):
             return A.Unary(line=tok.line, op="neg", operand=self.unary())

@@ -64,6 +64,21 @@ class CacheStats:
             self.hits[kind] += other.hits[kind]
             self.misses[kind] += other.misses[kind]
 
+    def copy(self) -> "CacheStats":
+        dup = CacheStats()
+        dup.absorb(self)
+        return dup
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """The counter delta accumulated after ``earlier`` was copied —
+        how one run reports per-run stats against a long-lived shared
+        cache whose counters span many runs."""
+        delta = CacheStats()
+        for kind in self.KINDS:
+            delta.hits[kind] = self.hits[kind] - earlier.hits[kind]
+            delta.misses[kind] = self.misses[kind] - earlier.misses[kind]
+        return delta
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "hits": dict(self.hits),

@@ -222,6 +222,7 @@ class PromotionPipeline:
         compiled_interpreter: bool = True,
         resilience: Optional[ResilienceOptions] = None,
         observability: Optional[Observability] = None,
+        analysis_cache: Optional[AnalysisCache] = None,
     ) -> None:
         self.options = options or PromotionOptions()
         self.alias_model_factory = alias_model or AliasModel.conservative
@@ -256,14 +257,25 @@ class PromotionPipeline:
         #: The tracer + metrics bundle; :data:`NULL_OBSERVABILITY` (the
         #: default) makes every instrumentation point a no-op.
         self.observability = observability or NULL_OBSERVABILITY
+        #: A caller-owned cache to use instead of a fresh per-run one —
+        #: how a long-lived service keeps analyses warm across requests.
+        #: Entries are fingerprint-validated on every lookup, so reuse
+        #: can only change speed, never results.  Implies ``use_cache``.
+        self.analysis_cache = analysis_cache
 
     def run(self, module: Module) -> PipelineResult:
         result = PipelineResult(module)
         result.observability = self.observability
         obs = self.observability
-        cache = AnalysisCache() if self.use_cache else None
+        if self.analysis_cache is not None:
+            cache = self.analysis_cache
+        else:
+            cache = AnalysisCache() if self.use_cache else None
         if cache is not None:
             result.cache_stats = CacheStats()
+        # A shared (cross-run) cache carries cumulative counters; report
+        # only this run's delta.
+        stats_before = cache.stats.copy() if cache is not None else None
         with activate(cache), activate_metrics(
             obs.metrics if obs.enabled else None
         ), obs.tracer.span(
@@ -271,7 +283,7 @@ class PromotionPipeline:
         ):
             self._run_phases(module, result)
         if cache is not None:
-            result.cache_stats.absorb(cache.stats)
+            result.cache_stats.absorb(cache.stats.since(stats_before))
         if obs.enabled:
             self._finalize_observability(result)
         return result

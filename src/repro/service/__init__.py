@@ -1,0 +1,49 @@
+"""Promotion-as-a-service: a fault-tolerant async daemon.
+
+The pipeline, the resilient executor, and the analysis cache already
+exist as library layers; this package puts a long-lived process in
+front of them.  See :mod:`repro.service.daemon` for the architecture
+and ``docs/SERVICE.md`` for the wire protocol.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.breaker import CircuitBreaker
+from repro.service.chaos import ServiceChaosConfig
+from repro.service.client import ChaosTraffic, ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.daemon import PromotionDaemon, run_daemon
+from repro.service.engine import EngineCrashError, PromotionEngine
+from repro.service.errors import (
+    AdmissionRejectedError,
+    DeadlineExceededError,
+    JobInputError,
+    JobValidationError,
+    PayloadTooLargeError,
+    RequestTimeoutError,
+    ServiceError,
+    ServiceUnavailableError,
+)
+from repro.service.jobs import JobRequest, JobResult
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejectedError",
+    "ChaosTraffic",
+    "CircuitBreaker",
+    "DeadlineExceededError",
+    "EngineCrashError",
+    "JobInputError",
+    "JobRequest",
+    "JobResult",
+    "JobValidationError",
+    "PayloadTooLargeError",
+    "PromotionDaemon",
+    "PromotionEngine",
+    "RequestTimeoutError",
+    "ServiceChaosConfig",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceUnavailableError",
+    "run_daemon",
+]

@@ -1,0 +1,143 @@
+"""Admission control: a bounded queue with load shedding.
+
+The controller owns two numbers — ``capacity`` concurrent in-flight
+jobs and ``max_queue`` admissions allowed to *wait* for a slot — and
+enforces them with an :class:`asyncio.Semaphore`.  A request that would
+push the waiting count past the bound is shed immediately with a
+:class:`~repro.service.errors.AdmissionRejectedError` carrying a
+retry-after hint, instead of joining an unbounded line: under overload
+the service degrades to fast, honest rejections rather than silently
+growing latency until clients time out anyway.
+
+The retry-after hint is an exponentially-weighted moving average of
+recent job durations scaled by the queue depth ahead of the newcomer,
+clamped to a sane band — an estimate, not a promise, but one derived
+from what the service is actually doing right now.
+
+``drain()`` flips the controller into rejection mode (every new ``slot``
+raises ``ServiceUnavailableError(reason="draining")``) and waits for
+in-flight jobs to finish, bounded by a grace period — the heart of
+graceful SIGTERM shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import AsyncIterator, Dict, Optional
+
+from repro.service.errors import AdmissionRejectedError, ServiceUnavailableError
+
+_RETRY_AFTER_MIN_S = 0.1
+_RETRY_AFTER_MAX_S = 30.0
+#: EWMA smoothing for observed job durations.
+_ALPHA = 0.3
+
+
+class AdmissionController:
+    """Bounded concurrent admissions with honest rejection.
+
+    Create *inside* a running event loop (the semaphore binds to it).
+    """
+
+    def __init__(self, capacity: int, max_queue: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.capacity = capacity
+        self.max_queue = max_queue
+        self._slots = asyncio.Semaphore(capacity)
+        self.waiting = 0
+        self.inflight = 0
+        self.draining = False
+        self.admitted_total = 0
+        self.shed_total = 0
+        #: EWMA of recent job durations, seconds; seeds at 1s so the very
+        #: first rejection still carries a plausible hint.
+        self.avg_duration_s = 1.0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # -- accounting ------------------------------------------------------
+
+    def observe_duration(self, seconds: float) -> None:
+        """Feed a completed job's duration into the retry-after EWMA."""
+        if seconds >= 0:
+            self.avg_duration_s = (
+                _ALPHA * seconds + (1.0 - _ALPHA) * self.avg_duration_s
+            )
+
+    def retry_after_s(self) -> float:
+        """How long a shed client should wait: roughly the time for the
+        queue ahead of it to clear, clamped to [0.1, 30] seconds."""
+        depth = self.waiting + self.inflight
+        estimate = self.avg_duration_s * max(1.0, depth / self.capacity)
+        return min(_RETRY_AFTER_MAX_S, max(_RETRY_AFTER_MIN_S, estimate))
+
+    # -- admission -------------------------------------------------------
+
+    @contextlib.asynccontextmanager
+    async def slot(self) -> AsyncIterator[None]:
+        """Admit one job: shed if the wait line is full, reject if
+        draining, otherwise hold a slot for the body of the ``with``."""
+        if self.draining:
+            raise ServiceUnavailableError(
+                "service is draining for shutdown", reason="draining"
+            )
+        if self.waiting >= self.max_queue:
+            self.shed_total += 1
+            raise AdmissionRejectedError(
+                f"admission queue full ({self.waiting} waiting, "
+                f"{self.inflight} in flight)",
+                retry_after_s=self.retry_after_s(),
+            )
+        self.waiting += 1
+        try:
+            await self._slots.acquire()
+        finally:
+            self.waiting -= 1
+        # Re-check after the (possibly long) wait: a drain that started
+        # while we queued must still win.
+        if self.draining:
+            self._slots.release()
+            raise ServiceUnavailableError(
+                "service is draining for shutdown", reason="draining"
+            )
+        self.inflight += 1
+        self._idle.clear()
+        self.admitted_total += 1
+        try:
+            yield
+        finally:
+            self.inflight -= 1
+            if self.inflight == 0:
+                self._idle.set()
+            self._slots.release()
+
+    # -- shutdown --------------------------------------------------------
+
+    async def drain(self, grace_s: Optional[float] = None) -> bool:
+        """Stop admitting and wait for in-flight jobs; True if they all
+        finished within the grace period."""
+        self.draining = True
+        if self.inflight == 0:
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=grace_s)
+        except asyncio.TimeoutError:
+            return False
+        return True
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "max_queue": self.max_queue,
+            "waiting": self.waiting,
+            "inflight": self.inflight,
+            "draining": self.draining,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+            "avg_duration_s": round(self.avg_duration_s, 4),
+            "retry_after_s": round(self.retry_after_s(), 3),
+        }

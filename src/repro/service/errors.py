@@ -1,0 +1,119 @@
+"""The service error taxonomy.
+
+Every rejection the daemon produces is one of these, each with a stable
+machine-readable ``code`` and an HTTP status, so clients can branch on
+the code instead of scraping messages.  The split mirrors who is at
+fault:
+
+* 4xx — the request: malformed envelope (400), input over the frontend
+  limits or uncompilable source (422), oversized body (413), a body
+  that trickled in slower than the slow-loris guard allows (408);
+* 429 — the *service* load: the bounded admission queue is full and the
+  job was shed, with a ``retry_after_s`` hint;
+* 503 — the service state: draining for shutdown, or the circuit
+  breaker is open after a crash storm;
+* 504 — the job's own deadline expired before promotion finished.
+
+Shedding and degradation are never silent: a rejected job gets a
+structured body, never a dropped connection or an unbounded queue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class ServiceError(Exception):
+    """Base class: a structured, client-visible rejection."""
+
+    code = "internal-error"
+    http_status = 500
+
+    def __init__(self, message: str, retry_after_s: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+    def as_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "error": self.code,
+            "message": str(self),
+        }
+        if self.retry_after_s is not None:
+            doc["retry_after_s"] = round(self.retry_after_s, 3)
+        return doc
+
+
+class JobValidationError(ServiceError):
+    """The job envelope is not a valid request (bad JSON shape, unknown
+    keys, wrong types, out-of-range options)."""
+
+    code = "invalid-job"
+    http_status = 400
+
+
+class JobInputError(ServiceError):
+    """The payload parsed but its *source* was rejected — a compile
+    error or a frontend resource limit.  ``limit`` is set for the
+    latter so clients can tell a hostile input from a typo."""
+
+    code = "invalid-source"
+    http_status = 422
+
+    def __init__(self, message: str, limit: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.limit = limit
+
+    def as_dict(self) -> Dict[str, object]:
+        doc = super().as_dict()
+        if self.limit is not None:
+            doc["limit"] = self.limit
+        return doc
+
+
+class PayloadTooLargeError(ServiceError):
+    code = "payload-too-large"
+    http_status = 413
+
+
+class RequestTimeoutError(ServiceError):
+    """The client fed the request too slowly (slow-loris guard)."""
+
+    code = "request-timeout"
+    http_status = 408
+
+
+class AdmissionRejectedError(ServiceError):
+    """Load shed: the bounded queue is full.  Always carries a
+    retry-after estimate derived from recent job durations."""
+
+    code = "overloaded"
+    http_status = 429
+
+
+class ServiceUnavailableError(ServiceError):
+    """The daemon is alive but not accepting: draining for shutdown or
+    the circuit breaker is open."""
+
+    code = "unavailable"
+    http_status = 503
+
+    def __init__(
+        self,
+        message: str,
+        reason: str,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(message, retry_after_s=retry_after_s)
+        self.reason = reason
+
+    def as_dict(self) -> Dict[str, object]:
+        doc = super().as_dict()
+        doc["reason"] = self.reason
+        return doc
+
+
+class DeadlineExceededError(ServiceError):
+    """The job's wall-clock deadline expired before promotion finished."""
+
+    code = "deadline-exceeded"
+    http_status = 504

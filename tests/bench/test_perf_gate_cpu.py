@@ -1,0 +1,128 @@
+"""The perf gate's cpu_count blind spot.
+
+The committed baseline records the machine it was measured on; a runner
+with a single CPU executes the "parallel" arm serially, so gating its
+parallel speedup ratios against a multi-core baseline (or vice versa)
+only measures process overhead.  The gate must skip the parallel keys —
+with a one-line notice — instead of failing spuriously, while still
+gating the serial ratio and output identity.
+"""
+
+import json
+
+import repro.bench.overhead as overhead
+import repro.bench.timing as timing
+from repro.bench.report import main
+from repro.bench.timing import check_against_baseline, parallel_gate_skip_reason
+
+
+def bench_doc(cpu_count=4, **speedup):
+    doc = {
+        "suite": ["go"],
+        "jobs": 2,
+        "arms": {},
+        "speedup": {
+            "serial_vs_baseline": 1.5,
+            "parallel_vs_baseline": 2.0,
+            "parallel_vs_serial": 1.3,
+        },
+        "outputs_identical": True,
+    }
+    if cpu_count is not None:
+        doc["cpu_count"] = cpu_count
+    doc["speedup"].update(speedup)
+    return doc
+
+
+def test_no_skip_when_both_sides_have_cores():
+    assert parallel_gate_skip_reason(bench_doc(4), bench_doc(8)) is None
+
+
+def test_missing_cpu_count_is_unknown_not_single_core():
+    assert parallel_gate_skip_reason(bench_doc(None), bench_doc(None)) is None
+
+
+def test_single_core_runner_names_itself():
+    reason = parallel_gate_skip_reason(bench_doc(1), bench_doc(4))
+    assert reason is not None
+    assert "this runner" in reason
+    assert "cpu_count=1" in reason
+
+
+def test_single_core_baseline_names_the_baseline():
+    reason = parallel_gate_skip_reason(bench_doc(4), bench_doc(1))
+    assert reason is not None
+    assert "the committed baseline" in reason
+
+
+def test_parallel_keys_skipped_on_single_core_runner():
+    bench = bench_doc(1, parallel_vs_baseline=0.4, parallel_vs_serial=0.4)
+    baseline = bench_doc(4)
+    assert check_against_baseline(bench, baseline) == []
+
+
+def test_serial_key_still_gated_on_single_core_runner():
+    bench = bench_doc(1, serial_vs_baseline=0.5)
+    baseline = bench_doc(4, serial_vs_baseline=2.0)
+    failures = check_against_baseline(bench, baseline)
+    assert len(failures) == 1
+    assert "serial_vs_baseline regressed" in failures[0]
+
+
+def test_parallel_keys_gated_normally_with_cores():
+    bench = bench_doc(4, parallel_vs_baseline=0.4)
+    baseline = bench_doc(4, parallel_vs_baseline=4.0)
+    failures = check_against_baseline(bench, baseline)
+    assert len(failures) == 1
+    assert "parallel_vs_baseline regressed" in failures[0]
+
+
+def _stub_measurement(monkeypatch, cpu_count):
+    monkeypatch.setattr(
+        timing, "time_suite", lambda jobs: bench_doc(cpu_count)
+    )
+    monkeypatch.setattr(
+        overhead,
+        "measure_overhead",
+        lambda names: {"worst_estimated_overhead_pct": 0.0},
+    )
+    monkeypatch.setattr(overhead, "check_overhead", lambda doc: [])
+
+
+def _run(tmp_path, baseline_doc):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(baseline_doc))
+    return main(
+        ["--timing", str(tmp_path / "bench.json"), "--perf-baseline", str(path)]
+    )
+
+
+def test_report_prints_skip_notice_and_passes(tmp_path, capsys, monkeypatch):
+    _stub_measurement(monkeypatch, cpu_count=1)
+    # A regressed parallel ratio that would fail the gate on a real
+    # multi-core runner must be waived, with the notice explaining why.
+    code = _run(tmp_path, bench_doc(4, parallel_vs_baseline=50.0))
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "skipping parallel speedup checks" in captured.err
+    assert "cpu_count=1" in captured.err
+    assert "perf gate passed" in captured.err
+
+
+def test_report_gates_parallel_when_cores_available(tmp_path, capsys, monkeypatch):
+    _stub_measurement(monkeypatch, cpu_count=4)
+    code = _run(tmp_path, bench_doc(4, parallel_vs_baseline=50.0))
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "skipping parallel speedup checks" not in captured.err
+    assert "parallel_vs_baseline regressed" in captured.err
+
+
+def test_report_rejects_non_integer_baseline_cpu_count(
+    tmp_path, capsys, monkeypatch
+):
+    _stub_measurement(monkeypatch, cpu_count=4)
+    code = _run(tmp_path, bench_doc("four"))
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "cpu_count must be an integer, got str" in captured.err

@@ -1,0 +1,221 @@
+"""Exit-code precedence across the CLI tools: 2 > 1 > 3 > return value.
+
+Driver errors (2) beat strict failures (1), which beat degraded
+completions (3), which beat the program's own return value — and
+best-effort observability exports must never reshuffle that order: a
+degraded run with an unwritable ``--trace-out`` still exits 3.
+"""
+
+import json
+
+import pytest
+
+import repro.bench.overhead as overhead
+import repro.bench.report as report
+import repro.bench.timing as timing
+from repro.bench.metrics import BenchmarkRow
+from repro.frontend.cli import main as minic_main
+
+# A poison function: chaos with crash=1.0 scoped to `step` crashes every
+# attempt, so the resilient executor quarantines it and the run
+# completes degraded (behaviour preserved — quarantine is the
+# pre-promotion IR).
+POISON_PROGRAM = """
+int acc = 0;
+int step(int k) { acc += k; return acc; }
+int main() {
+    for (int i = 0; i < 25; i++) step(i);
+    print(acc);
+    return 5;
+}
+"""
+
+CHAOS = "crash=1.0,only=step,seed=1"
+DEGRADED_FLAGS = ["--promote", "--jobs", "2", "--retries", "1", "--chaos", CHAOS]
+
+
+@pytest.fixture
+def poison_file(tmp_path):
+    path = tmp_path / "poison.c"
+    path.write_text(POISON_PROGRAM)
+    return str(path)
+
+
+# -- repro-minic -----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "flags,expected",
+    [
+        pytest.param([], 5, id="plain-run-returns-value"),
+        pytest.param(["--promote"], 5, id="clean-promote-returns-value"),
+        pytest.param(DEGRADED_FLAGS, 3, id="degraded-beats-return-value"),
+        pytest.param(
+            DEGRADED_FLAGS + ["--strict"], 1, id="strict-beats-degraded"
+        ),
+        pytest.param(
+            ["--promote", "--jobs", "1", "--chaos", CHAOS, "--strict"],
+            2,
+            id="driver-error-beats-strict",
+        ),
+    ],
+)
+def test_minic_precedence(poison_file, capsys, flags, expected):
+    code = minic_main([poison_file] + flags)
+    captured = capsys.readouterr()
+    assert code == expected
+    if expected in (1, 3, 5):
+        assert captured.out == "300\n"
+    if expected == 3:
+        assert "repro-minic: degraded" in captured.err
+    if expected == 1:
+        assert "repro-minic: strict" in captured.err
+    if expected == 2:
+        assert "repro-minic: error" in captured.err
+
+
+def test_minic_unwritable_trace_out_keeps_degraded_exit(poison_file, capsys):
+    code = minic_main(
+        [poison_file]
+        + DEGRADED_FLAGS
+        + ["--trace-out", "/nonexistent-dir/trace.json"],
+    )
+    captured = capsys.readouterr()
+    assert code == 3
+    assert captured.out == "300\n"
+    assert "cannot write trace" in captured.err
+    assert "repro-minic: degraded" in captured.err
+
+
+def test_minic_missing_source_is_a_driver_error(capsys):
+    assert minic_main(["/nonexistent-dir/prog.c"]) == 2
+    assert "repro-minic: error" in capsys.readouterr().err
+
+
+# -- repro-report ----------------------------------------------------------
+
+
+def fake_row(name, quarantined=(), retries=0, degraded=False):
+    return BenchmarkRow(
+        name=name,
+        promoter="sastry-ju",
+        static_loads_before=10,
+        static_loads_after=5,
+        static_stores_before=8,
+        static_stores_after=6,
+        dynamic_loads_before=100,
+        dynamic_loads_after=60,
+        dynamic_stores_before=80,
+        dynamic_stores_after=70,
+        output_matches=True,
+        quarantined=list(quarantined),
+        retries=retries,
+        degraded=degraded,
+        diagnostics={"summary": "stub"},
+    )
+
+
+@pytest.fixture
+def degraded_suite(monkeypatch):
+    row = fake_row("go", quarantined=["poison"], retries=1, degraded=True)
+    monkeypatch.setattr(report, "measure_workload", lambda *a, **k: row)
+    monkeypatch.setattr(report, "ORDER", ["go"])
+
+
+def test_report_degraded_exits_3(degraded_suite, capsys):
+    code = report.main(["--table", "2", "--jobs", "2", "--chaos", CHAOS])
+    assert code == 3
+    assert "repro-report: resilience" in capsys.readouterr().err
+
+
+def test_report_unwritable_trace_out_keeps_degraded_exit(degraded_suite, capsys):
+    code = report.main(
+        [
+            "--table",
+            "2",
+            "--jobs",
+            "2",
+            "--chaos",
+            CHAOS,
+            "--trace-out",
+            "/nonexistent-dir/trace.json",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 3
+    assert "cannot write trace" in captured.err
+
+
+def test_report_unwritable_diagnostics_dir_beats_degraded(
+    degraded_suite, tmp_path, capsys
+):
+    # The diagnostics report is a requested artifact (not best-effort
+    # observability), so failing to write it is a driver error: 2 > 3.
+    blocker = tmp_path / "file"
+    blocker.write_text("not a directory")
+    code = report.main(
+        [
+            "--table",
+            "2",
+            "--jobs",
+            "2",
+            "--chaos",
+            CHAOS,
+            "--diagnostics-dir",
+            str(blocker / "sub"),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "cannot write diagnostics" in captured.err
+
+
+def test_report_clean_resilient_run_exits_0(monkeypatch, capsys):
+    monkeypatch.setattr(report, "measure_workload", lambda *a, **k: fake_row("go"))
+    monkeypatch.setattr(report, "ORDER", ["go"])
+    assert report.main(["--table", "2", "--jobs", "2", "--timeout", "60"]) == 0
+
+
+def test_report_unreadable_baseline_beats_gate_failure(
+    tmp_path, capsys, monkeypatch
+):
+    # The bench would fail the gate (exit 1) against any baseline, but
+    # an unreadable baseline is a driver error and 2 wins.
+    bench = {
+        "suite": ["go"],
+        "jobs": 2,
+        "cpu_count": 4,
+        "arms": {},
+        "speedup": {
+            "serial_vs_baseline": 0.1,
+            "parallel_vs_baseline": 0.1,
+            "parallel_vs_serial": 0.1,
+        },
+        "outputs_identical": True,
+    }
+    monkeypatch.setattr(timing, "time_suite", lambda jobs: bench)
+    monkeypatch.setattr(
+        overhead,
+        "measure_overhead",
+        lambda names: {"worst_estimated_overhead_pct": 0.0},
+    )
+    monkeypatch.setattr(overhead, "check_overhead", lambda doc: [])
+    missing = tmp_path / "missing.json"
+    code = report.main(
+        [
+            "--timing",
+            str(tmp_path / "bench.json"),
+            "--perf-baseline",
+            str(missing),
+        ]
+    )
+    assert code == 2
+    assert "cannot read perf baseline" in capsys.readouterr().err
+
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps({"cpu_count": 4, "speedup": {"serial_vs_baseline": 2.0}}))
+    code = report.main(
+        ["--timing", str(tmp_path / "bench.json"), "--perf-baseline", str(good)]
+    )
+    assert code == 1
+    assert "serial_vs_baseline regressed" in capsys.readouterr().err

@@ -1,0 +1,157 @@
+"""Admission control: bounded queueing, honest shedding, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.service.admission import AdmissionController
+from repro.service.errors import AdmissionRejectedError, ServiceUnavailableError
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(capacity=0, max_queue=1)
+    with pytest.raises(ValueError):
+        AdmissionController(capacity=1, max_queue=-1)
+
+
+def test_slot_tracks_inflight():
+    async def body():
+        ctrl = AdmissionController(capacity=2, max_queue=2)
+        async with ctrl.slot():
+            assert ctrl.inflight == 1
+        assert ctrl.inflight == 0
+        assert ctrl.admitted_total == 1
+
+    asyncio.run(body())
+
+
+def test_sheds_when_the_wait_line_is_full():
+    async def body():
+        ctrl = AdmissionController(capacity=1, max_queue=1)
+        release = asyncio.Event()
+        started = asyncio.Event()
+
+        async def hold():
+            async with ctrl.slot():
+                started.set()
+                await release.wait()
+
+        async def queued():
+            async with ctrl.slot():
+                pass
+
+        holder = asyncio.ensure_future(hold())
+        await started.wait()
+        waiter = asyncio.ensure_future(queued())
+        await asyncio.sleep(0)  # let the waiter join the line
+        assert ctrl.waiting == 1
+
+        with pytest.raises(AdmissionRejectedError) as excinfo:
+            async with ctrl.slot():
+                pass
+        assert excinfo.value.http_status == 429
+        assert excinfo.value.retry_after_s is not None
+        assert excinfo.value.retry_after_s > 0
+
+        release.set()
+        await asyncio.gather(holder, waiter)
+        assert ctrl.shed_total == 1
+        assert ctrl.admitted_total == 2
+
+    asyncio.run(body())
+
+
+def test_draining_rejects_immediately():
+    async def body():
+        ctrl = AdmissionController(capacity=1, max_queue=4)
+        assert await ctrl.drain(0.1) is True
+        with pytest.raises(ServiceUnavailableError) as excinfo:
+            async with ctrl.slot():
+                pass
+        assert excinfo.value.reason == "draining"
+        assert excinfo.value.http_status == 503
+
+    asyncio.run(body())
+
+
+def test_drain_that_starts_while_a_waiter_queues_still_wins():
+    async def body():
+        ctrl = AdmissionController(capacity=1, max_queue=2)
+        release = asyncio.Event()
+        started = asyncio.Event()
+
+        async def hold():
+            async with ctrl.slot():
+                started.set()
+                await release.wait()
+
+        async def queued():
+            async with ctrl.slot():
+                pass
+
+        holder = asyncio.ensure_future(hold())
+        await started.wait()
+        waiter = asyncio.ensure_future(queued())
+        await asyncio.sleep(0)
+        drain = asyncio.ensure_future(ctrl.drain(5.0))
+        await asyncio.sleep(0)
+        release.set()
+        results = await asyncio.gather(
+            holder, waiter, drain, return_exceptions=True
+        )
+        assert results[0] is None
+        # The queued admission acquired its slot after the drain began,
+        # so it must be rejected, not silently run.
+        assert isinstance(results[1], ServiceUnavailableError)
+        assert results[2] is True
+
+    asyncio.run(body())
+
+
+def test_drain_times_out_on_stuck_inflight():
+    async def body():
+        ctrl = AdmissionController(capacity=1, max_queue=1)
+        release = asyncio.Event()
+        started = asyncio.Event()
+
+        async def hold():
+            async with ctrl.slot():
+                started.set()
+                await release.wait()
+
+        holder = asyncio.ensure_future(hold())
+        await started.wait()
+        assert await ctrl.drain(0.05) is False
+        release.set()
+        await holder
+
+    asyncio.run(body())
+
+
+def test_retry_after_tracks_durations_and_clamps():
+    async def body():
+        ctrl = AdmissionController(capacity=2, max_queue=2)
+        assert ctrl.retry_after_s() == pytest.approx(1.0)  # EWMA seed
+        ctrl.observe_duration(9.0)
+        assert ctrl.avg_duration_s == pytest.approx(0.3 * 9.0 + 0.7 * 1.0)
+        ctrl.observe_duration(-5.0)  # nonsense durations are ignored
+        assert ctrl.avg_duration_s == pytest.approx(3.4)
+        ctrl.avg_duration_s = 1000.0
+        assert ctrl.retry_after_s() == 30.0  # clamp high
+        ctrl.avg_duration_s = 0.0001
+        assert ctrl.retry_after_s() == 0.1  # clamp low
+
+    asyncio.run(body())
+
+
+def test_as_dict_shape():
+    async def body():
+        ctrl = AdmissionController(capacity=2, max_queue=3)
+        doc = ctrl.as_dict()
+        assert doc["capacity"] == 2
+        assert doc["max_queue"] == 3
+        assert doc["draining"] is False
+        assert doc["retry_after_s"] > 0
+
+    asyncio.run(body())

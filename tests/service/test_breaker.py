@@ -1,0 +1,128 @@
+"""Circuit breaker state machine, driven by an injected clock."""
+
+import pytest
+
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class Clock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(threshold=3, reset_s=5.0, clock=clock)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(reset_s=0)
+
+
+def test_stays_closed_below_threshold(breaker):
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+    assert breaker.retry_after_s() == 0.0
+
+
+def test_success_resets_the_failure_streak(breaker):
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+
+
+def test_trips_at_threshold_and_refuses(breaker):
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.trips == 1
+    assert not breaker.allow()
+    assert breaker.retry_after_s() == pytest.approx(5.0)
+
+
+def test_half_opens_after_backoff_admitting_one_probe(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow()  # the probe
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow()  # one probe at a time
+
+
+def test_probe_success_closes_and_resets_backoff(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.as_dict()["backoff_s"] == pytest.approx(5.0)
+
+
+def test_probe_failure_reopens_with_doubled_backoff(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.retry_after_s() == pytest.approx(10.0)
+    clock.advance(5.0)
+    assert not breaker.allow()  # still inside the doubled backoff
+    clock.advance(5.0)
+    assert breaker.allow()
+
+
+def test_backoff_multiplier_caps_at_16x(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    for _ in range(8):  # far more probe failures than the cap
+        clock.advance(breaker.as_dict()["backoff_s"])
+        assert breaker.allow()
+        breaker.record_failure()
+    assert breaker.as_dict()["backoff_s"] == pytest.approx(5.0 * 16)
+
+
+def test_neutral_releases_the_probe_slot_without_closing(breaker, clock):
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow()
+    breaker.record_neutral()  # client-caused outcome: proves nothing
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow()  # the slot is free for the next probe
+    breaker.record_success()
+    assert breaker.state == CLOSED
+
+
+def test_neutral_in_closed_state_is_harmless(breaker):
+    breaker.record_failure()
+    breaker.record_neutral()
+    assert breaker.state == CLOSED
+    assert breaker.consecutive_failures == 1
+
+
+def test_as_dict_shape(breaker):
+    doc = breaker.as_dict()
+    assert doc["state"] == CLOSED
+    assert doc["threshold"] == 3
+    assert doc["trips"] == 0

@@ -1,0 +1,77 @@
+"""Seeded service-level chaos plans: pure, replayable, parseable."""
+
+import pytest
+
+from repro.service.chaos import ServiceChaosConfig
+
+
+def test_plans_are_a_pure_function_of_the_seed():
+    first = ServiceChaosConfig(drop=0.3, slow=0.3, disconnect=0.3, seed=26)
+    second = ServiceChaosConfig(drop=0.3, slow=0.3, disconnect=0.3, seed=26)
+    plans = [first.plan(i) for i in range(64)]
+    assert plans == [second.plan(i) for i in range(64)]
+
+
+def test_different_seeds_give_different_schedules():
+    a = ServiceChaosConfig(drop=0.5, seed=1)
+    b = ServiceChaosConfig(drop=0.5, seed=2)
+    assert [a.plan(i) for i in range(64)] != [b.plan(i) for i in range(64)]
+
+
+def test_zero_rates_never_fire():
+    chaos = ServiceChaosConfig(seed=7)
+    assert not chaos.enabled
+    assert all(chaos.plan(i) is None for i in range(32))
+
+
+def test_certain_rates_always_fire_in_mode_order():
+    chaos = ServiceChaosConfig(drop=1.0, malformed=1.0, seed=3)
+    # Both fire; the first mode in MODES order wins.
+    assert all(chaos.plan(i) == "drop" for i in range(16))
+
+
+def test_rates_roughly_track_over_many_requests():
+    chaos = ServiceChaosConfig(malformed=0.5, seed=11)
+    fired = sum(1 for i in range(200) if chaos.plan(i) == "malformed")
+    assert 50 < fired < 150
+
+
+def test_draw_is_in_unit_interval():
+    chaos = ServiceChaosConfig(seed=5)
+    for i in range(16):
+        for mode in ServiceChaosConfig.MODES:
+            assert 0.0 <= chaos.draw(i, mode) < 1.0
+
+
+def test_parse_round_trips_the_cli_spec():
+    chaos = ServiceChaosConfig.parse(
+        "drop=0.2,slow=0.15,disconnect=0.2,malformed=0.2,seed=26,slow_delay_s=2"
+    )
+    assert chaos.as_dict() == {
+        "drop": 0.2,
+        "slow": 0.15,
+        "disconnect": 0.2,
+        "malformed": 0.2,
+        "seed": 26,
+        "slow_delay_s": 2.0,
+    }
+    assert chaos.enabled
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "drop",  # not key=value
+        "warp=0.5",  # unknown key
+        "drop=lots",  # not a number
+        "drop=1.5",  # outside [0, 1]
+    ],
+)
+def test_bad_specs_raise(spec):
+    with pytest.raises(ValueError):
+        ServiceChaosConfig.parse(spec)
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        ServiceChaosConfig(seed=1).rate("warp")

@@ -1,0 +1,307 @@
+"""In-process end-to-end tests of the HTTP daemon.
+
+A real listener on a real socket, driven by raw asyncio connections in
+the same loop — covering routing, structured rejections, deadlines,
+load shedding, the circuit breaker, streaming, and graceful drain.
+"""
+
+import asyncio
+import contextlib
+import json
+
+import pytest
+
+from repro.frontend.lower import compile_source
+from repro.ir.printer import print_module
+from repro.profile.interp import Interpreter
+from repro.promotion.pipeline import PromotionPipeline
+from repro.service.config import ServiceConfig
+from repro.service.daemon import PromotionDaemon
+
+PROGRAM = """
+int total = 0;
+int bump(int k) { total += k; return total; }
+int main() {
+    for (int i = 0; i < 40; i++) bump(i);
+    print(total);
+    return total % 251;
+}
+"""
+
+BUSY_PROGRAM = """
+int sink = 0;
+int main() {
+    for (int i = 0; i < 800; i++) {
+        for (int j = 0; j < 300; j++) sink += j;
+    }
+    return sink % 17;
+}
+"""
+
+
+def reference(source):
+    module = compile_source(source)
+    PromotionPipeline(entry="main", args=[]).run(module)
+    run = Interpreter(module).run("main", [])
+    return (
+        print_module(module),
+        [" ".join(str(v) for v in values) for values in run.output],
+        run.return_value & 0xFF,
+    )
+
+
+@contextlib.asynccontextmanager
+async def running_daemon(**overrides):
+    daemon = PromotionDaemon(ServiceConfig(**overrides))
+    host, port = await daemon.start()
+    try:
+        yield daemon, host, port
+    finally:
+        await daemon.drain_and_stop()
+
+
+async def request(host, port, method, path, body=None, raw_body=None):
+    """One HTTP/1.1 exchange; returns (status, decoded-JSON-or-lines)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = raw_body
+    if payload is None:
+        payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("ascii")
+    writer.write(head + payload)
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    head_bytes, _, body_bytes = raw.partition(b"\r\n\r\n")
+    status = int(head_bytes.split(b" ", 2)[1])
+    if b"application/x-ndjson" in head_bytes:
+        return status, [
+            json.loads(line)
+            for line in body_bytes.decode("utf-8").splitlines()
+            if line.strip()
+        ]
+    return status, json.loads(body_bytes) if body_bytes else None
+
+
+def post_job(host, port, source, options=None, path="/v1/jobs"):
+    payload = {"kind": "minic", "source": source}
+    if options:
+        payload["options"] = options
+    return request(host, port, "POST", path, body=payload)
+
+
+def test_health_ready_metrics():
+    async def body():
+        async with running_daemon(workers=1) as (daemon, host, port):
+            status, doc = await request(host, port, "GET", "/healthz")
+            assert status == 200
+            assert doc["status"] == "ok"
+            assert doc["breaker"]["state"] == "closed"
+            assert doc["admission"]["capacity"] == 1
+            assert doc["engine"]["jobs_total"] == 0
+
+            status, doc = await request(host, port, "GET", "/readyz")
+            assert status == 200
+            assert doc == {"ready": True}
+
+            status, doc = await request(host, port, "GET", "/metrics")
+            assert status == 200
+            assert set(doc) == {"admission", "breaker", "engine"}
+        assert daemon.drained_clean is True
+
+    asyncio.run(body())
+
+
+def test_job_is_byte_identical_and_then_cached():
+    ir, output, rv = reference(PROGRAM)
+
+    async def body():
+        async with running_daemon(workers=1) as (_, host, port):
+            status, doc = await post_job(host, port, PROGRAM)
+            assert status == 200
+            assert doc["status"] == "ok"
+            assert doc["ir"] == ir
+            assert doc["output"] == output
+            assert doc["return_value"] == rv
+            assert doc["cached"] is False
+
+            status, doc = await post_job(host, port, PROGRAM)
+            assert status == 200
+            assert doc["cached"] is True
+            assert doc["ir"] == ir
+
+    asyncio.run(body())
+
+
+def test_structured_rejections():
+    async def body():
+        async with running_daemon(workers=1) as (_, host, port):
+            status, doc = await request(host, port, "GET", "/nope")
+            assert status == 404 and doc["error"] == "not-found"
+
+            status, doc = await request(
+                host, port, "POST", "/v1/jobs", raw_body=b"{not json"
+            )
+            assert status == 400 and doc["error"] == "invalid-job"
+
+            status, doc = await post_job(
+                host, port, PROGRAM, options={"warp": 9}
+            )
+            assert status == 400 and "unknown job option" in doc["message"]
+
+            status, doc = await post_job(host, port, "int main( {")
+            assert status == 422 and doc["error"] == "invalid-source"
+
+            status, doc = await request(
+                host, port, "PUT", "/v1/jobs", body={"source": PROGRAM}
+            )
+            assert status == 404
+
+    asyncio.run(body())
+
+
+def test_oversized_body_bounces_with_413():
+    async def body():
+        async with running_daemon(workers=1, max_body_bytes=64) as (
+            _,
+            host,
+            port,
+        ):
+            status, doc = await post_job(host, port, PROGRAM)
+            assert status == 413
+            assert doc["error"] == "payload-too-large"
+
+    asyncio.run(body())
+
+
+def test_deadline_exceeded_is_a_504():
+    async def body():
+        async with running_daemon(workers=1, drain_grace_s=30.0) as (
+            daemon,
+            host,
+            port,
+        ):
+            status, doc = await post_job(
+                host,
+                port,
+                BUSY_PROGRAM,
+                options={"deadline_s": 0.05, "max_steps": 5_000_000},
+            )
+            assert status == 504
+            assert doc["error"] == "deadline-exceeded"
+            # The abandoned thread must finish and accounting recover
+            # before drain, or shutdown would block on it.
+            while daemon.engine.abandoned:
+                await asyncio.sleep(0.05)
+
+    asyncio.run(body())
+
+
+def test_burst_sheds_with_429_and_retry_after():
+    async def body():
+        async with running_daemon(workers=1, max_queue=1) as (_, host, port):
+            # Distinct sources defeat the result cache so every job
+            # really occupies the single worker for a while.
+            sources = [
+                BUSY_PROGRAM.replace("% 17", f"% {19 + i}") for i in range(4)
+            ]
+            outcomes = await asyncio.gather(
+                *(post_job(host, port, src) for src in sources)
+            )
+            statuses = sorted(status for status, _ in outcomes)
+            assert 200 in statuses
+            assert 429 in statuses
+            for status, doc in outcomes:
+                if status == 429:
+                    assert doc["error"] == "overloaded"
+                    assert doc["retry_after_s"] > 0
+
+    asyncio.run(body())
+
+
+def test_breaker_opens_after_a_crash_storm():
+    async def body():
+        async with running_daemon(workers=1, breaker_threshold=2) as (
+            daemon,
+            host,
+            port,
+        ):
+            def boom(job, deadline_s, job_id, started, observability=None):
+                raise RuntimeError("engine on fire")
+
+            daemon.engine._run_pipeline = boom
+            for _ in range(2):
+                status, doc = await post_job(host, port, PROGRAM)
+                assert status == 500
+                assert doc["error"] == "engine-failure"
+
+            status, doc = await post_job(host, port, PROGRAM)
+            assert status == 503
+            assert doc["reason"] == "circuit-open"
+            assert doc["retry_after_s"] > 0
+
+            status, doc = await request(host, port, "GET", "/readyz")
+            assert status == 503
+            assert doc["reason"] == "circuit-open"
+
+    asyncio.run(body())
+
+
+def test_streaming_emits_spans_then_the_result():
+    ir, output, rv = reference(PROGRAM)
+
+    async def body():
+        async with running_daemon(workers=1) as (_, host, port):
+            status, lines = await post_job(
+                host, port, PROGRAM, path="/v1/jobs?stream=1"
+            )
+            assert status == 200
+            assert lines, "stream produced no events"
+            spans = [line for line in lines if line["event"] == "span"]
+            assert spans, "stream carried no span events"
+            final = lines[-1]
+            assert final["event"] == "result"
+            assert final["ir"] == ir
+            assert final["output"] == output
+            assert final["return_value"] == rv
+            assert final["cached"] is False
+
+    asyncio.run(body())
+
+
+def test_streaming_error_is_the_final_event():
+    async def body():
+        async with running_daemon(workers=1) as (_, host, port):
+            status, lines = await post_job(
+                host, port, "int main( {", path="/v1/jobs?stream=1"
+            )
+            assert status == 200  # the head was sent before the job ran
+            assert lines[-1]["event"] == "error"
+            assert lines[-1]["error"] == "invalid-source"
+
+    asyncio.run(body())
+
+
+def test_drain_refuses_new_connections_and_reports_clean():
+    async def body():
+        async with running_daemon(workers=1) as (daemon, host, port):
+            status, _ = await post_job(host, port, PROGRAM)
+            assert status == 200
+            await daemon.drain_and_stop()
+            assert daemon.drained_clean is True
+            assert daemon.health()["status"] == "draining"
+            with pytest.raises((ConnectionError, OSError)):
+                await asyncio.open_connection(host, port)
+            # Draining twice is idempotent.
+            await daemon.drain_and_stop()
+            assert daemon.drained_clean is True
+
+    asyncio.run(body())

@@ -1,0 +1,66 @@
+"""The stdio-JSONL transport, exercised through a real subprocess.
+
+One envelope per stdin line, one response per stdout line; EOF drains
+the daemon and the process exits 0 on a clean drain.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+PROGRAM = """
+int total = 0;
+int bump(int k) { total += k; return total; }
+int main() {
+    for (int i = 0; i < 40; i++) bump(i);
+    print(total);
+    return total % 251;
+}
+"""
+
+
+def test_stdio_envelopes_round_trip_and_eof_drains_cleanly():
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--stdio", "--workers", "1"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    lines = [
+        json.dumps({"id": 1, "job": {"kind": "minic", "source": PROGRAM}}),
+        json.dumps({"id": 2, "job": {"kind": "minic", "source": "int main( {"}}),
+        json.dumps({"id": 3, "job": 7}),
+        "{broken json",
+    ]
+    try:
+        out, err = proc.communicate("\n".join(lines) + "\n", timeout=120)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise
+    assert proc.returncode == 0, err
+    assert "listening on " in err
+
+    responses = [json.loads(line) for line in out.splitlines() if line.strip()]
+    assert len(responses) == 4
+    by_id = {doc.get("id"): doc for doc in responses if doc.get("id") is not None}
+
+    ok = by_id[1]["result"]
+    assert ok["status"] == "ok"
+    assert ok["return_value"] == 780 % 251
+    assert ok["output"] == ["780"]
+
+    assert by_id[2]["error"]["error"] == "invalid-source"
+    assert by_id[3]["error"]["error"] == "invalid-job"
+
+    unparsable = [doc for doc in responses if doc.get("id") is None]
+    assert len(unparsable) == 1
+    assert unparsable[0]["error"]["error"] == "invalid-job"
