@@ -89,14 +89,17 @@ def measure_workload(
     use_cache: bool = True,
     resilience=None,
     observability=None,
+    batch_size="auto",
+    keep_pool: bool = True,
 ) -> BenchmarkRow:
     """Compile a workload, run a promoter, return the counts row.
 
-    ``jobs``/``use_cache``/``resilience``/``observability`` configure the
-    paper pipeline's execution layer only; the baselines have no parallel
-    path (and their counts would be identical anyway).  Passing one
-    ``observability`` bundle across several workloads accumulates their
-    traces (one ``pipeline`` root span per workload) and counters.
+    ``jobs``/``use_cache``/``batch_size``/``keep_pool``/``resilience``/
+    ``observability`` configure the paper pipeline's execution layer
+    only; the baselines have no parallel path (and their counts would be
+    identical anyway).  Passing one ``observability`` bundle across
+    several workloads accumulates their traces (one ``pipeline`` root
+    span per workload) and counters.
     """
     module = compile_source(workload.source)
     factory = PROMOTERS[promoter]
@@ -109,6 +112,8 @@ def measure_workload(
             use_cache=use_cache,
             resilience=resilience,
             observability=observability,
+            batch_size=batch_size,
+            keep_pool=keep_pool,
         )
     else:
         pipeline = factory(entry=workload.entry, args=list(workload.args))

@@ -7,6 +7,7 @@ Usage::
     repro-report --table 3      # register pressure
     repro-report --compare      # ours vs Lu-Cooper vs Mahlke
     repro-report --jobs 4       # parallel promotion (identical tables)
+    repro-report --jobs 4 --batch-size 1 --no-keep-pool  # legacy dispatch
     repro-report --timing BENCH_pipeline.json   # time the exec layers
     repro-report --timing out.json --perf-baseline benchmarks/BENCH_baseline.json
     repro-report --jobs 2 --chaos "crash=0.15,seed=1234" --timeout 10
@@ -35,12 +36,29 @@ from repro.bench.tables import (
 from repro.bench.workloads import ORDER, WORKLOADS
 
 
+def _batch_size(value: str):
+    """``--batch-size`` values: ``auto`` or a positive integer."""
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError:
+        count = 0
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or a positive integer, got {value!r}"
+        )
+    return count
+
+
 def collect_rows(
     promoter: str = "sastry-ju",
     jobs: int = 1,
     use_cache: bool = True,
     resilience=None,
     observability=None,
+    batch_size="auto",
+    keep_pool: bool = True,
 ):
     return [
         measure_workload(
@@ -50,13 +68,20 @@ def collect_rows(
             use_cache=use_cache,
             resilience=resilience,
             observability=observability,
+            batch_size=batch_size,
+            keep_pool=keep_pool,
         )
         for name in ORDER
     ]
 
 
 def collect_json(
-    jobs: int = 1, use_cache: bool = True, resilience=None, observability=None
+    jobs: int = 1,
+    use_cache: bool = True,
+    resilience=None,
+    observability=None,
+    batch_size="auto",
+    keep_pool: bool = True,
 ) -> dict:
     """All evaluation data as one JSON-serializable document."""
     rows = collect_rows(
@@ -64,6 +89,8 @@ def collect_json(
         use_cache=use_cache,
         resilience=resilience,
         observability=observability,
+        batch_size=batch_size,
+        keep_pool=keep_pool,
     )
     doc: dict = {"workloads": {}, "pressure": []}
     for row in rows:
@@ -109,7 +136,13 @@ def collect_json(
     return doc
 
 
-def run_timing(out_path: str, jobs: int, perf_baseline: Optional[str] = None) -> int:
+def run_timing(
+    out_path: str,
+    jobs: int,
+    perf_baseline: Optional[str] = None,
+    batch_size="auto",
+    keep_pool: bool = True,
+) -> int:
     """``--timing``: benchmark the execution layers, optionally gate."""
     from repro.bench.overhead import check_overhead, measure_overhead
     from repro.bench.timing import (
@@ -119,7 +152,13 @@ def run_timing(out_path: str, jobs: int, perf_baseline: Optional[str] = None) ->
         write_bench,
     )
 
-    bench = time_suite(jobs=jobs)
+    try:
+        bench = time_suite(jobs=jobs, batch_size=batch_size)
+    finally:
+        if not keep_pool:
+            from repro.parallel.pool import shutdown_pools
+
+            shutdown_pools()
     bench["overhead"] = measure_overhead(list(bench["suite"]))
     write_bench(out_path, bench)
     speedup = bench["speedup"]
@@ -204,6 +243,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-cache",
         action="store_true",
         help="disable the per-function analysis cache",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=_batch_size,
+        default="auto",
+        metavar="auto|N",
+        help="work units per worker task: 'auto' sizes batches from the "
+        "warm pool's cost model, an integer forces fixed-count batches "
+        "(default auto)",
+    )
+    parser.add_argument(
+        "--keep-pool",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="keep the warm worker pool alive after the run "
+        "(--no-keep-pool restores per-run teardown)",
     )
     parser.add_argument(
         "--timing",
@@ -355,7 +410,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if options.timing:
         jobs = 4 if options.jobs is None else options.jobs
         return run_timing(
-            options.timing, jobs=jobs, perf_baseline=options.perf_baseline
+            options.timing,
+            jobs=jobs,
+            perf_baseline=options.perf_baseline,
+            batch_size=options.batch_size,
+            keep_pool=options.keep_pool,
         )
     if options.perf_baseline:
         print("repro-report: --perf-baseline requires --timing", file=sys.stderr)
@@ -370,6 +429,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     use_cache=use_cache,
                     resilience=resilience,
                     observability=observability,
+                    batch_size=options.batch_size,
+                    keep_pool=options.keep_pool,
                 ),
                 indent=2,
                 sort_keys=True,
@@ -386,6 +447,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             use_cache=use_cache,
             resilience=resilience,
             observability=observability,
+            batch_size=options.batch_size,
+            keep_pool=options.keep_pool,
         )
         bad = [r.name for r in rows if not r.output_matches]
         if bad:

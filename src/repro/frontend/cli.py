@@ -43,6 +43,21 @@ def _error(message: str) -> int:
     return 2
 
 
+def _batch_size(value: str):
+    """``--batch-size`` values: ``auto`` or a positive integer."""
+    if value == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError:
+        count = 0
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or a positive integer, got {value!r}"
+        )
+    return count
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-minic", description="mini-C compiler and runner"
@@ -89,6 +104,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-cache",
         action="store_true",
         help="disable the per-function analysis cache",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=_batch_size,
+        default="auto",
+        metavar="auto|N",
+        help="functions per worker task: 'auto' sizes batches from the "
+        "pool's cost model, an integer forces fixed-count batches "
+        "(1 = one task per function; default auto)",
+    )
+    parser.add_argument(
+        "--keep-pool",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="keep the warm worker pool alive after the run so later "
+        "runs in this process skip pool spin-up (--no-keep-pool "
+        "restores per-run teardown)",
     )
     parser.add_argument(
         "--timeout",
@@ -198,10 +230,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     result = None
     pipeline = None
-    if options.baseline is not None and (options.jobs != 1 or options.no_cache):
+    if options.baseline is not None and (
+        options.jobs != 1
+        or options.no_cache
+        or options.batch_size != "auto"
+        or not options.keep_pool
+    ):
         print(
-            "repro-minic: note: --jobs/--no-cache only apply to --promote; "
-            "the baselines run serially",
+            "repro-minic: note: --jobs/--no-cache/--batch-size/--keep-pool "
+            "only apply to --promote; the baselines run serially",
             file=sys.stderr,
         )
     if options.baseline == "lucooper":
@@ -218,6 +255,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         pipeline = PromotionPipeline(
             jobs=options.jobs,
             use_cache=not options.no_cache,
+            batch_size=options.batch_size,
+            keep_pool=options.keep_pool,
             resilience=resilience,
             observability=observability,
             **pipeline_kwargs,

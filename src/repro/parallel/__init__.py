@@ -1,6 +1,6 @@
 """Parallel, cache-aware execution layer for the promotion pipeline.
 
-Three pieces:
+Five pieces:
 
 * :mod:`repro.parallel.cache` — a per-function :class:`AnalysisCache`
   memoizing dominator trees, iterated dominance frontiers, and liveness
@@ -9,10 +9,22 @@ Three pieces:
 * :mod:`repro.parallel.transport` — pickle-based IR payloads that move
   functions and modules between shared-nothing worker processes while
   preserving the module/global sharing discipline.
-* :mod:`repro.parallel.scheduler` — the process-pool scheduler itself.
-  Import it directly (``from repro.parallel import scheduler``); it is not
-  re-exported here because it imports promotion passes, which would make
-  ``import repro.parallel`` drag in — and cycle with — the pipeline.
+* :mod:`repro.parallel.fingerprint` — identity fingerprints for cache
+  invalidation plus *content* fingerprints (:func:`content_fingerprint`,
+  :func:`module_fingerprint`) that drive the incremental transport: only
+  functions whose content changed since the last dispatch are re-shipped.
+* :mod:`repro.parallel.batching` — the :class:`CostModel` (static
+  instruction/block prior blended with measured per-function timings)
+  and :func:`plan_batches`, which cut the pending function list into
+  contiguous module-order batches; :class:`TransportStats` reports what
+  a dispatch shipped vs reused.
+* :mod:`repro.parallel.scheduler` and :mod:`repro.parallel.pool` — the
+  batched scheduler and the persistent warm worker pools it runs on.
+  Import them directly (``from repro.parallel import scheduler``;
+  ``from repro.parallel.pool import warm_pool``); they are not
+  re-exported here because the scheduler imports promotion passes, which
+  would make ``import repro.parallel`` drag in — and cycle with — the
+  pipeline.
 
 When workers may misbehave (deadlines, crash recovery, retry/backoff,
 quarantine, chaos injection), the pipeline wraps this layer with
@@ -21,6 +33,7 @@ quarantine, chaos injection), the pipeline wraps this layer with
 ``--timeout``/``--retries``/``--chaos`` flags.
 """
 
+from repro.parallel.batching import CostModel, TransportStats, plan_batches
 from repro.parallel.cache import (
     AnalysisCache,
     CacheStats,
@@ -30,7 +43,13 @@ from repro.parallel.cache import (
     idf,
     liveness,
 )
-from repro.parallel.fingerprint import cfg_fingerprint, code_fingerprint
+from repro.parallel.fingerprint import (
+    cfg_fingerprint,
+    code_fingerprint,
+    content_fingerprint,
+    globals_fingerprint,
+    module_fingerprint,
+)
 from repro.parallel.transport import (
     FunctionPayload,
     ModulePayload,
@@ -49,6 +68,12 @@ __all__ = [
     "liveness",
     "cfg_fingerprint",
     "code_fingerprint",
+    "content_fingerprint",
+    "globals_fingerprint",
+    "module_fingerprint",
+    "CostModel",
+    "TransportStats",
+    "plan_batches",
     "FunctionPayload",
     "ModulePayload",
     "TransportError",

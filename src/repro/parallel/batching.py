@@ -1,0 +1,188 @@
+"""Cost-model batch planning for the shared-nothing scheduler.
+
+One task per function made process-pool bookkeeping the dominant cost on
+real modules: every function paid its own submit, its own pickle of the
+result, and its own future wake-up, while the promotion work itself is
+tiny (SSA-local, by design of the paper's algorithm).  The scheduler
+therefore ships **batches** — contiguous module-order slices of the
+pending function list, one pickled payload and one future each.
+
+Batch sizing is a classic longest-processing-time tradeoff (grouping
+work units to amortize fixed per-unit costs; cf. Domagała et al.'s
+tiling argument in PAPERS.md), and like the promotion algorithm itself
+we stay greedy rather than optimal: batches are cut when their
+accumulated weight reaches ``total / (jobs * OVERSUBSCRIBE)``.  The
+oversubscription factor keeps more batches than workers in flight so a
+surprisingly slow batch does not serialize the tail.
+
+Weights come from :class:`CostModel`: a static prior (instruction +
+block counts — available for free from the IR) blended with measured
+per-function promotion times (EWMA over previous dispatches, fed from
+the scheduler's own duration reports).  Measured times dominate once
+they exist; the prior is rescaled to the measured cost-per-unit so
+mixed batches stay comparable.
+
+Batches are *contiguous in module order*, so the parent's deterministic
+module-order merge is unchanged no matter how batches complete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.parallel.cache import CacheStats
+
+#: Target batches per worker; >1 so one slow batch cannot serialize the
+#: tail of the run behind it.
+OVERSUBSCRIBE = 2
+
+#: Weight of the newest observation in the per-function EWMA.
+EWMA_ALPHA = 0.5
+
+
+class CostModel:
+    """Per-function promotion-cost estimates, warm across runs.
+
+    ``observe`` feeds measured stage timings (milliseconds) back from
+    completed dispatches; ``weights`` turns a function list into batch
+    weights, preferring measurements and falling back to the static
+    prior (instructions + blocks) rescaled to the measured
+    cost-per-unit when any measurement exists.
+    """
+
+    def __init__(self) -> None:
+        self._ewma_ms: Dict[str, float] = {}
+
+    def observe(self, name: str, duration_ms: float) -> None:
+        if duration_ms < 0:
+            return
+        previous = self._ewma_ms.get(name)
+        if previous is None:
+            self._ewma_ms[name] = duration_ms
+        else:
+            self._ewma_ms[name] = (
+                EWMA_ALPHA * duration_ms + (1.0 - EWMA_ALPHA) * previous
+            )
+
+    def measured(self, name: str) -> Optional[float]:
+        return self._ewma_ms.get(name)
+
+    @staticmethod
+    def static_units(function) -> float:
+        """The static prior: one unit per instruction plus one per block."""
+        blocks = list(function.blocks)
+        instructions = sum(len(block.instructions) for block in blocks)
+        return float(instructions + len(blocks))
+
+    def weights(self, sizes: Dict[str, float]) -> Dict[str, float]:
+        """Blend measurements into the static prior ``sizes``.
+
+        ``sizes`` maps function name -> static units.  Functions with a
+        measured EWMA use it directly; the rest use their static units
+        scaled by the measured milliseconds-per-unit (1.0 when nothing
+        was ever measured — relative weights are all batching needs).
+        """
+        measured = {
+            name: self._ewma_ms[name] for name in sizes if name in self._ewma_ms
+        }
+        scale = 1.0
+        if measured:
+            unit_total = sum(sizes[name] for name in measured)
+            if unit_total > 0:
+                scale = sum(measured.values()) / unit_total
+        return {
+            name: measured.get(name, max(sizes[name], 1.0) * scale)
+            for name in sizes
+        }
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: round(ms, 3) for name, ms in sorted(self._ewma_ms.items())}
+
+
+def plan_batches(
+    names: Sequence[str],
+    weights: Dict[str, float],
+    jobs: int,
+    batch_size: Union[str, int] = "auto",
+) -> List[List[str]]:
+    """Cut ``names`` (already in module order) into contiguous batches.
+
+    ``batch_size="auto"`` targets ``total_weight / (jobs * OVERSUBSCRIBE)``
+    per batch; an integer forces fixed-count batches (1 = the old
+    one-task-per-function behaviour, useful for debugging).  Every batch
+    is non-empty and the concatenation of all batches is exactly
+    ``names`` — order is never disturbed.
+    """
+    names = list(names)
+    if not names:
+        return []
+    if batch_size != "auto":
+        count = int(batch_size)
+        if count < 1:
+            raise ValueError(f"batch_size must be >= 1 or 'auto', got {batch_size}")
+        return [names[i : i + count] for i in range(0, len(names), count)]
+    jobs = max(1, jobs)
+    total = sum(max(weights.get(name, 1.0), 0.0) for name in names)
+    slots = jobs * OVERSUBSCRIBE
+    if total <= 0 or len(names) <= slots:
+        return [[name] for name in names]
+    target = total / slots
+    batches: List[List[str]] = []
+    current: List[str] = []
+    accumulated = 0.0
+    for name in names:
+        current.append(name)
+        accumulated += max(weights.get(name, 1.0), 0.0)
+        if accumulated >= target:
+            batches.append(current)
+            current = []
+            accumulated = 0.0
+    if current:
+        batches.append(current)
+    return batches
+
+
+class TransportStats:
+    """What one parallel dispatch shipped, reused, and received.
+
+    Reported on :class:`~repro.promotion.pipeline.PipelineResult` (never
+    inside the diagnostics — transport volume is machine-local noise and
+    must stay out of the byte-identical output fingerprint, exactly like
+    cache hit counts).
+    """
+
+    def __init__(self) -> None:
+        #: Batches dispatched to workers this run.
+        self.batches = 0
+        #: Functions promoted via a worker dispatch this run.
+        self.functions_shipped = 0
+        #: Functions whose previous dispatch was replayed from the
+        #: warm pool's dispatch cache — no pickling, no worker.
+        self.functions_reused = 0
+        #: Worker-side full module installs (anchor downloads) and
+        #: per-function delta installs triggered by this run's sync.
+        self.installs_full = 0
+        self.installs_delta = 0
+        #: Parent -> workers: epoch publication bytes (anchor payloads,
+        #: delta chains, meta blobs) this run actually added.
+        self.bytes_out = 0
+        #: Workers -> parent: transformed-IR payload bytes received.
+        self.bytes_in = 0
+        #: Pool identity the run executed on (warm-pool generation lets
+        #: tests assert "same pool as last run").
+        self.pool_generation: Optional[int] = None
+        #: Aggregated worker analysis-cache delta for this run, when
+        #: caching was on (see :class:`CacheStats`).
+        self.cache: Optional[CacheStats] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "batches": self.batches,
+            "functions_shipped": self.functions_shipped,
+            "functions_reused": self.functions_reused,
+            "installs_full": self.installs_full,
+            "installs_delta": self.installs_delta,
+            "bytes_out": self.bytes_out,
+            "bytes_in": self.bytes_in,
+            "pool_generation": self.pool_generation,
+        }

@@ -6,12 +6,25 @@ promotion decisions depend only on that function's IR, the module-level
 profile, and an alias model built from the *pre-promotion* module.  The
 scheduler exploits that:
 
-* the parent serializes the prepared module once (:class:`ModulePayload`)
-  and each worker process deserializes its own pristine copy — workers
-  share nothing, so there is no locking and no cross-talk;
-* each task is one function name; the worker runs phases 3+4 (memory SSA,
-  promotion, cleanup, verification) on its copy and ships the transformed
-  IR back as a :class:`FunctionPayload`;
+* dispatch runs on a **persistent warm pool**
+  (:mod:`repro.parallel.pool`): workers survive across runs, pull the
+  module via the incremental epoch protocol (full anchor once, deltas
+  for changed functions after), and keep their analysis caches hot —
+  workers still share nothing at promotion time, so there is no locking
+  and no cross-talk;
+* each task is one **batch** of function names, contiguous in module
+  order and sized by the pool's cost model
+  (:mod:`repro.parallel.batching`), so per-task pickling and future
+  overhead amortize over many functions; the worker runs phases 3+4
+  (memory SSA, promotion, cleanup, verification) per function on its
+  copy, ships the transformed IR back as :class:`FunctionPayload`\\ s,
+  and then **restores its copy** so the next run finds the module at
+  the published epoch;
+* functions whose content fingerprint, profile slice, and configuration
+  match a previous dispatch are **replayed** from the pool's dispatch
+  cache without shipping anything (conservative alias model only — a
+  custom factory could read module state the fingerprints do not
+  cover);
 * the parent merges results **in module order** regardless of completion
   order, so statistics, diagnostics, and the final IR are deterministic
   and byte-identical to a serial run.
@@ -21,25 +34,23 @@ worker restores its local snapshot, reports the failing stage and error,
 and the parent records a rollback without installing anything — exactly
 what the serial path's snapshot/restore does.
 
-Pool-level failures (a worker dying, unpicklable user callables) degrade
-to the serial path with a diagnostic warning rather than failing the run.
+Pool-level failures (a worker dying, unpicklable user callables) rebuild
+the warm pool — the same recovery path the resilient executor uses — and
+degrade to the serial path with a diagnostic warning rather than failing
+the run.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.intervals import IntervalTree
+from repro.parallel.batching import CostModel, TransportStats, plan_batches
 from repro.parallel.cache import AnalysisCache, CacheStats, activate
-from repro.parallel.transport import (
-    FunctionPayload,
-    ModulePayload,
-    export_profile,
-    import_profile,
-)
+from repro.parallel.transport import FunctionPayload, export_profile
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -147,7 +158,8 @@ class SchedulerError(RuntimeError):
 
 # -- worker side ----------------------------------------------------------
 
-#: Per-worker-process state, set once by the pool initializer.
+#: Per-worker-process state, (re)built by :func:`repro.parallel.pool.
+#: _sync_worker` whenever a task names an epoch the worker is not at.
 _WORKER_STATE: Optional[dict] = None
 
 #: Optional worker-side hook called as ``observer(name, stage)`` at every
@@ -163,31 +175,14 @@ def _enter_stage(name: str, stage: str) -> str:
     return stage
 
 
-def _init_worker(
-    module_bytes: bytes,
-    profile_map: Dict[str, Dict[str, int]],
-    options,
-    alias_model_factory: Callable,
-    verify: bool,
-    use_cache: bool,
-    observe: bool = False,
-) -> None:
-    global _WORKER_STATE
-    payload = ModulePayload(module_bytes)
-    module = payload.restore()
-    _WORKER_STATE = {
-        "module": module,
-        "model": alias_model_factory(module),
-        "profile": import_profile(profile_map, module),
-        "options": options,
-        "verify": verify,
-        "use_cache": use_cache,
-        "observe": observe,
-    }
-
-
 def _promote_one(name: str) -> FunctionResult:
-    """Run phases 3+4 for one function on the worker's module copy."""
+    """Run phases 3+4 for one function on the worker's module copy.
+
+    The worker's copy is left **pristine**: after capturing the result
+    payload (or on failure) the pre-promotion snapshot is restored, so
+    the module always matches the epoch the pool published and the next
+    run's incremental sync stays valid.
+    """
     # Imported here: the pipeline imports this module, so a top-level
     # import would be circular.
     from repro.ir.verify import verify_function
@@ -199,14 +194,32 @@ def _promote_one(name: str) -> FunctionResult:
         dead_memory_elimination,
         remove_dummy_loads,
     )
+    from repro.profile.profiles import ProfileData
     from repro.promotion.driver import promote_function
     from repro.robustness.snapshot import snapshot_function
 
     state = _WORKER_STATE
-    assert state is not None, "worker used before initialization"
+    assert state is not None, "worker used before epoch synchronization"
     module = state["module"]
     function = module.functions[name]
-    cache = AnalysisCache() if state["use_cache"] else None
+    # ProfileData is keyed by block *identity*, and this function's block
+    # objects are replaced by every snapshot restore and delta install —
+    # so bind a fresh function-local profile from the name-keyed map on
+    # every promotion instead of keeping a module-wide one in the state.
+    counts = state["profile_map"].get(name) or {}
+    profile = ProfileData()
+    for block in function.blocks:
+        freq = counts.get(block.name)
+        if freq is not None:
+            profile.set_freq(block, freq)
+    cache = None
+    if state["use_cache"]:
+        # The warm pool keeps a persistent per-worker cache; fall back
+        # to a per-call one when none was provisioned.
+        cache = state.get("cache") or AnalysisCache()
+    # A persistent cache carries cumulative counters; report per-call
+    # deltas so the parent's module-order aggregation stays additive.
+    cache_before = cache.stats.copy() if cache is not None else None
     obs = Observability.recording() if state["observe"] else NULL_OBSERVABILITY
 
     snap = snapshot_function(function)
@@ -224,7 +237,7 @@ def _promote_one(name: str) -> FunctionResult:
             stage = _enter_stage(name, "promote")
             with obs.tracer.span("stage:promote", category="promote"):
                 stats = promote_function(
-                    function, mssa, state["profile"], tree, state["options"]
+                    function, mssa, profile, tree, state["options"]
                 )
             stage = _enter_stage(name, "cleanup")
             with obs.tracer.span("stage:cleanup", category="promote"):
@@ -247,18 +260,26 @@ def _promote_one(name: str) -> FunctionResult:
                 error_type=type(exc).__name__,
                 reason=text.splitlines()[0],
                 duration_ms=(time.perf_counter() - started) * 1e3,
-                cache_stats=cache.stats if cache else None,
+                cache_stats=(
+                    cache.stats.since(cache_before) if cache is not None else None
+                ),
             )
         else:
             fn_span.set("status", "promoted")
             fn_span.set("webs_promoted", stats.webs_promoted)
+            payload = FunctionPayload.capture(function)
+            # Restore-after-capture: the parent installs the payload;
+            # this copy stays at the published epoch for the next run.
+            snap.restore()
             result = FunctionResult(
                 name,
                 FunctionResult.PROMOTED,
                 duration_ms=(time.perf_counter() - started) * 1e3,
                 stats=stats.as_dict(),
-                payload=FunctionPayload.capture(function),
-                cache_stats=cache.stats if cache else None,
+                payload=payload,
+                cache_stats=(
+                    cache.stats.since(cache_before) if cache is not None else None
+                ),
             )
     if obs.enabled:
         result.spans = obs.tracer.export()
@@ -266,7 +287,55 @@ def _promote_one(name: str) -> FunctionResult:
     return result
 
 
+def _promote_batch(
+    board, ir_key: str, meta_key: str, names: Sequence[str]
+) -> Tuple[Dict[str, int], List[FunctionResult], int]:
+    """One worker task: sync to the epoch, promote a batch of functions.
+
+    Returns the sync accounting (full/delta installs this task caused),
+    the per-function results in batch order, and the total transformed-IR
+    payload bytes headed back to the parent.
+    """
+    from repro.parallel.pool import _sync_worker
+
+    sync = _sync_worker(board, ir_key, meta_key)
+    results = [_promote_one(name) for name in names]
+    payload_bytes = sum(
+        len(result.payload.data) for result in results if result.payload is not None
+    )
+    return sync, results, payload_bytes
+
+
 # -- parent side ----------------------------------------------------------
+
+
+def _options_key(options) -> tuple:
+    """A hashable digest of a :class:`PromotionOptions` (flat fields)."""
+    try:
+        fields = vars(options)
+    except TypeError:
+        return (repr(options),)
+    return tuple(sorted((key, repr(value)) for key, value in fields.items()))
+
+
+def _replay(result: FunctionResult) -> FunctionResult:
+    """A dispatch-cache hit, stripped of the original run's bookkeeping.
+
+    The payload and stats are byte-identical to re-running the worker
+    (that is the dispatch key's contract); the cache counters and spans
+    describe work the *original* dispatch did and must not be charged to
+    this run.
+    """
+    return FunctionResult(
+        result.name,
+        result.status,
+        stage=result.stage,
+        error_type=result.error_type,
+        reason=result.reason,
+        duration_ms=result.duration_ms,
+        stats=result.stats,
+        payload=result.payload,
+    )
 
 
 def promote_functions_parallel(
@@ -279,63 +348,192 @@ def promote_functions_parallel(
     jobs: int,
     use_cache: bool = True,
     observe: bool = False,
-) -> List[FunctionResult]:
-    """Fan phases 3+4 out over a process pool; results in ``names`` order.
+    pool=None,
+    batch_size: Union[str, int] = "auto",
+) -> Tuple[List[FunctionResult], TransportStats]:
+    """Fan phases 3+4 out over the warm pool; results in ``names`` order.
 
-    ``observe`` makes each worker record spans and metrics for its task
-    and ship them back on the :class:`FunctionResult`.
+    The dispatch is batched (``batch_size="auto"`` sizes batches from
+    the pool's cost model; an integer forces fixed-count batches) and
+    incremental: the module ships as an anchor-plus-deltas epoch, and
+    functions whose fingerprinted content and configuration match a
+    previous dispatch replay that dispatch's result without touching a
+    worker at all.  ``observe`` makes each worker record spans and
+    metrics for its tasks (and disables dispatch replay, which would
+    have no spans to report).
 
-    Raises :class:`SchedulerError` when the pool cannot be used at all
-    (e.g. an unpicklable alias-model factory); the caller falls back to
-    the serial path.
+    Returns the results plus a :class:`TransportStats` describing what
+    was shipped vs reused.  Raises :class:`SchedulerError` when the pool
+    cannot be used at all (e.g. an unpicklable alias-model factory)
+    after rebuilding it; the caller falls back to the serial path.
     """
-    module_bytes = ModulePayload.capture(module).data
+    from repro.memory.aliasing import AliasModel
+    from repro.parallel.fingerprint import globals_fingerprint, module_fingerprint
+    from repro.parallel.pool import publish_epoch, warm_pool
+
+    if pool is None:
+        pool = warm_pool(jobs)
+    stats = TransportStats()
     profile_map = export_profile(profile, module)
-    init_args = (
-        module_bytes,
-        profile_map,
-        options,
-        alias_model_factory,
-        verify,
-        use_cache,
-        observe,
+    # Replaying a previous dispatch is only sound when the fingerprints
+    # cover everything the promotion read: the conservative alias model
+    # reads the globals table (fingerprinted) and the function's own
+    # frame variables (fingerprinted); a custom factory could read
+    # arbitrary module state, so it always dispatches.
+    # ``==``, not ``is``: classmethod access builds a fresh bound-method
+    # object every time, so identity would never match.
+    reuse_ok = (
+        use_cache
+        and not observe
+        and alias_model_factory == AliasModel.conservative
     )
-    try:
-        with ProcessPoolExecutor(
-            max_workers=jobs, initializer=_init_worker, initargs=init_args
-        ) as pool:
-            futures = {name: pool.submit(_promote_one, name) for name in names}
-            results = []
-            for name in names:
-                try:
-                    results.append(futures[name].result())
-                except Exception as exc:
-                    # Attribute the failure to the task whose result
-                    # exposed it; the pipeline records this as the
-                    # structured fallback reason.
-                    raise SchedulerError.wrap(exc, function=name) from exc
-            return results
-    except SchedulerError:
-        raise
-    except Exception as exc:
-        raise SchedulerError.wrap(exc) from exc
+    with pool.lock:
+        pool.runs += 1
+        stats.pool_generation = pool.generation
+        try:
+            ir_key, fps = module_fingerprint(module)
+            gkey = globals_fingerprint(module)
+        except Exception as exc:
+            raise SchedulerError.wrap(exc) from exc
+        opt_key = _options_key(options)
+        keys: Dict[str, tuple] = {}
+        for name in names:
+            slice_key = tuple(sorted((profile_map.get(name) or {}).items()))
+            keys[name] = (name, fps[name], gkey, slice_key, opt_key, verify)
+        results_by_name: Dict[str, FunctionResult] = {}
+        pending: List[str] = []
+        for name in names:
+            cached = pool.dispatch_lookup(keys[name]) if reuse_ok else None
+            if cached is not None:
+                results_by_name[name] = _replay(cached)
+                stats.functions_reused += 1
+            else:
+                pending.append(name)
+        if pending:
+            meta = {
+                "profile_map": profile_map,
+                "options": options,
+                "alias_model_factory": alias_model_factory,
+                "verify": verify,
+                "use_cache": use_cache,
+                "observe": observe,
+                "extras": {},
+            }
+            try:
+                meta_blob = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+                ir_key, meta_key, fps, published = publish_epoch(
+                    pool, module, meta_blob, precomputed=(ir_key, fps)
+                )
+            except Exception as exc:
+                raise SchedulerError.wrap(exc) from exc
+            stats.bytes_out += published
+            sizes = {
+                name: CostModel.static_units(module.functions[name])
+                for name in pending
+            }
+            weights = pool.cost_model.weights(sizes)
+            batches = plan_batches(pending, weights, jobs, batch_size)
+            stats.batches = len(batches)
+            try:
+                board = pool.board()
+                futures = [
+                    pool.submit(_promote_batch, board, ir_key, meta_key, tuple(batch))
+                    for batch in batches
+                ]
+                for batch, future in zip(batches, futures):
+                    try:
+                        sync, batch_results, payload_bytes = future.result()
+                    except Exception as exc:
+                        # Attribute the failure to the batch whose result
+                        # exposed it; the pipeline records this as the
+                        # structured fallback reason.  The rebuild below
+                        # leaves the pool fresh for the next run — the
+                        # same recovery path chaos crashes take.
+                        pool.rebuild(kill=True)
+                        raise SchedulerError.wrap(exc, function=batch[0]) from exc
+                    stats.installs_full += sync["installs_full"]
+                    stats.installs_delta += sync["installs_delta"]
+                    stats.bytes_in += payload_bytes
+                    for result in batch_results:
+                        results_by_name[result.name] = result
+                        stats.functions_shipped += 1
+                        if result.duration_ms > 0:
+                            pool.cost_model.observe(result.name, result.duration_ms)
+                        if reuse_ok and result.status == FunctionResult.PROMOTED:
+                            pool.dispatch_store(keys[result.name], result)
+            except SchedulerError:
+                raise
+            except Exception as exc:
+                pool.rebuild(kill=True)
+                raise SchedulerError.wrap(exc) from exc
+        return [results_by_name[name] for name in names], stats
+
+
+def _run_task_batch(worker: Callable, batch: List[tuple]) -> List[object]:
+    """Worker body for :func:`map_tasks`: one future, many tasks."""
+    return [worker(*args) for args in batch]
 
 
 def map_tasks(
     worker: Callable,
     task_args: Sequence[tuple],
     jobs: int,
+    pool=None,
+    weights: Optional[Sequence[float]] = None,
+    batch_size: Union[str, int] = "auto",
+    stats: Optional[dict] = None,
 ) -> List[object]:
     """Generic shared-nothing fan-out: run ``worker(*args)`` for each args
-    tuple in a process pool, returning results in submission order.
+    tuple on the warm pool, returning results in submission order.
 
     Used by the timing harness to parallelize at *workload* granularity
-    (each task compiles and promotes one workload in its own process).
-    ``worker`` must be a module-level callable and all arguments and
-    results must be picklable.
+    (each task compiles and promotes one workload in a pool worker).
+    Tasks are grouped into contiguous batches — one future each — sized
+    by ``weights`` (e.g. measured per-task seconds; uniform when
+    omitted).  ``worker`` must be a module-level callable and all
+    arguments and results must be picklable.  Passing a ``stats`` dict
+    fills it with ``batches``/``bytes_out``/``bytes_in`` accounting.
     """
+    task_args = list(task_args)
+    if stats is not None:
+        stats.update({"batches": 0, "bytes_out": 0, "bytes_in": 0})
     if jobs <= 1 or len(task_args) <= 1:
         return [worker(*args) for args in task_args]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(worker, *args) for args in task_args]
-        return [future.result() for future in futures]
+    from repro.parallel.pool import warm_pool
+
+    if pool is None:
+        pool = warm_pool(jobs)
+    indices = list(range(len(task_args)))
+    weight_map = {
+        index: (weights[index] if weights is not None else 1.0)
+        for index in indices
+    }
+    batches = plan_batches(indices, weight_map, jobs, batch_size)
+    with pool.lock:
+        pool.runs += 1
+        futures = []
+        for batch in batches:
+            payload = [task_args[index] for index in batch]
+            if stats is not None:
+                stats["bytes_out"] += len(
+                    pickle.dumps((worker, payload), protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            futures.append(pool.submit(_run_task_batch, worker, payload))
+        if stats is not None:
+            stats["batches"] = len(batches)
+        results: Dict[int, object] = {}
+        try:
+            for batch, future in zip(batches, futures):
+                batch_results = future.result()
+                if stats is not None:
+                    stats["bytes_in"] += len(
+                        pickle.dumps(
+                            batch_results, protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                    )
+                for index, value in zip(batch, batch_results):
+                    results[index] = value
+        except Exception:
+            pool.rebuild(kill=True)
+            raise
+    return [results[index] for index in indices]

@@ -45,6 +45,7 @@ from repro.observability import (
     activate_metrics,
 )
 from repro.observability.export import SCHEMA_VERSION
+from repro.parallel.batching import TransportStats
 from repro.parallel.cache import AnalysisCache, CacheStats, activate
 from repro.parallel.scheduler import (
     FunctionResult,
@@ -138,6 +139,12 @@ class PipelineResult:
         #: run and (in parallel mode, in module order) every worker.
         #: ``None`` when caching was disabled.
         self.cache_stats: Optional[CacheStats] = None
+        #: What the parallel dispatch shipped vs reused
+        #: (:class:`~repro.parallel.batching.TransportStats`); ``None``
+        #: for serial runs.  Kept off the diagnostics on purpose —
+        #: transport volume is machine-local and must stay out of the
+        #: byte-identical output fingerprint, like cache counters.
+        self.transport_stats: Optional[TransportStats] = None
         #: The tracer + metrics bundle the run recorded into
         #: (:data:`~repro.observability.NULL_OBSERVABILITY` when
         #: tracing was off) — exporters read the trace from here.
@@ -223,6 +230,8 @@ class PromotionPipeline:
         resilience: Optional[ResilienceOptions] = None,
         observability: Optional[Observability] = None,
         analysis_cache: Optional[AnalysisCache] = None,
+        batch_size="auto",
+        keep_pool: bool = True,
     ) -> None:
         self.options = options or PromotionOptions()
         self.alias_model_factory = alias_model or AliasModel.conservative
@@ -262,6 +271,19 @@ class PromotionPipeline:
         #: Entries are fingerprint-validated on every lookup, so reuse
         #: can only change speed, never results.  Implies ``use_cache``.
         self.analysis_cache = analysis_cache
+        #: Functions per worker batch: ``"auto"`` sizes batches from the
+        #: warm pool's cost model; an integer forces fixed-count batches
+        #: (1 reproduces the old one-task-per-function dispatch).
+        if batch_size != "auto" and (
+            not isinstance(batch_size, int) or batch_size < 1
+        ):
+            raise ValueError(
+                f"batch_size must be 'auto' or a positive int, got {batch_size!r}"
+            )
+        self.batch_size = batch_size
+        #: False shuts this run's warm worker pool down afterwards
+        #: instead of leaving it resident for the next run.
+        self.keep_pool = keep_pool
 
     def run(self, module: Module) -> PipelineResult:
         result = PipelineResult(module)
@@ -286,6 +308,10 @@ class PromotionPipeline:
             result.cache_stats.absorb(cache.stats.since(stats_before))
         if obs.enabled:
             self._finalize_observability(result)
+        if not self.keep_pool and self.jobs != 1:
+            from repro.parallel.pool import shutdown_pool
+
+            shutdown_pool(resolve_jobs(self.jobs))
         return result
 
     def config_stamp(self) -> Dict[str, object]:
@@ -300,6 +326,8 @@ class PromotionPipeline:
             "compiled_interpreter": self.compiled_interpreter,
             "transactional": self.transactional,
             "max_steps": self.max_steps,
+            "batch_size": self.batch_size,
+            "keep_pool": self.keep_pool,
             "resilience": None if resilience is None else resilience.as_dict(),
         }
         return stamp
@@ -529,7 +557,7 @@ class PromotionPipeline:
         diags = result.diagnostics
         obs = self.observability
         try:
-            outcomes = promote_functions_parallel(
+            outcomes, transport = promote_functions_parallel(
                 module,
                 prepared,
                 result.profile,
@@ -539,6 +567,7 @@ class PromotionPipeline:
                 jobs,
                 use_cache=self.use_cache,
                 observe=obs.enabled,
+                batch_size=self.batch_size,
             )
         except SchedulerError as exc:
             diags.warn(str(exc))
@@ -553,6 +582,16 @@ class PromotionPipeline:
             obs.metrics.inc("pipeline.serial_fallbacks")
             return False
         result.jobs_used = jobs
+        result.transport_stats = transport
+        if obs.enabled:
+            metrics = obs.metrics
+            metrics.inc("parallel.batches", transport.batches)
+            metrics.inc("parallel.functions_shipped", transport.functions_shipped)
+            metrics.inc("parallel.functions_reused", transport.functions_reused)
+            metrics.inc("parallel.installs_full", transport.installs_full)
+            metrics.inc("parallel.installs_delta", transport.installs_delta)
+            metrics.inc("parallel.transport_bytes_out", transport.bytes_out)
+            metrics.inc("parallel.transport_bytes_in", transport.bytes_in)
         for name, outcome in zip(prepared, outcomes):
             function = module.functions[name]
             # Graft the worker's spans (its pid is the trace lane) and

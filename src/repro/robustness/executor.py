@@ -19,10 +19,14 @@ production promotion service needs when workers misbehave:
   path's semantics: one attempt, rolled back, never retried.
 
 * **Crash recovery.**  A dead worker breaks the whole
-  ``ProcessPoolExecutor``.  The executor rebuilds the pool, attributes
-  the crash to the task the dead process had claimed on the scoreboard
-  (innocent workers are terminated with SIGTERM by the pool and are
-  *not* penalized), and resubmits everything incomplete.
+  ``ProcessPoolExecutor``.  The executor rebuilds the warm pool
+  (:meth:`repro.parallel.pool.WarmPool.rebuild` — the same recovery
+  path the plain scheduler uses), attributes the crash to the task the
+  dead process had claimed on the scoreboard (innocent workers are
+  terminated with SIGTERM by the pool and are *not* penalized), and
+  resubmits everything incomplete.  Rebuilt workers re-synchronize from
+  the pool's published epoch board, so recovery does not re-broadcast
+  the module.
 
 * **Quarantine.**  A function still failing when its attempts run out
   degrades to the IR it had before promotion — soundness-preserving by
@@ -37,11 +41,11 @@ the outcomes so the pipeline can thread them into
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+import pickle
 import signal
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures import CancelledError
 from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
@@ -181,37 +185,9 @@ class ExecutorReport:
 
 # -- worker side ----------------------------------------------------------
 
-#: Executor-specific worker state (scoreboard proxy + chaos config),
-#: alongside the scheduler's own ``_WORKER_STATE``.
+#: Executor-specific worker state (the heartbeat/claim scoreboard the
+#: current task registered), alongside the scheduler's ``_WORKER_STATE``.
 _EXEC_STATE: Dict[str, object] = {}
-
-
-def _init_resilient_worker(
-    module_bytes: bytes,
-    profile_map: Dict[str, Dict[str, int]],
-    options,
-    alias_model_factory: Callable,
-    verify: bool,
-    use_cache: bool,
-    observe: bool,
-    board,
-    chaos: Optional[ChaosConfig],
-) -> None:
-    from repro.parallel import scheduler
-
-    scheduler._init_worker(
-        module_bytes,
-        profile_map,
-        options,
-        alias_model_factory,
-        verify,
-        use_cache,
-        observe,
-    )
-    _EXEC_STATE["board"] = board
-    _EXEC_STATE["chaos"] = chaos
-    if board is not None:
-        scheduler._STAGE_OBSERVER = _record_stage
 
 
 def _record_stage(name: str, stage: str) -> None:
@@ -224,11 +200,20 @@ def _record_stage(name: str, stage: str) -> None:
             pass
 
 
-def _resilient_promote_one(name: str, attempt: int) -> Tuple[int, "scheduler.FunctionResult"]:
-    """One attempt at one function: heartbeat, claim, chaos, promote."""
-    from repro.parallel import scheduler
+def _resilient_promote_one(
+    epoch_board, scoreboard, ir_key: str, meta_key: str, name: str, attempt: int
+) -> Tuple[int, "scheduler.FunctionResult"]:
+    """One attempt at one function: heartbeat, claim, sync, chaos, promote.
 
-    board = _EXEC_STATE.get("board")
+    Runs on a warm-pool worker: the epoch sync is a no-op when the
+    worker already holds the published module, and the chaos config
+    rides the epoch's meta blob (``extras``), so a rebuilt worker picks
+    everything back up from the board on its first task.
+    """
+    from repro.parallel import scheduler
+    from repro.parallel.pool import _sync_worker
+
+    board = scoreboard
     pid = os.getpid()
     if board is not None:
         try:
@@ -236,8 +221,14 @@ def _resilient_promote_one(name: str, attempt: int) -> Tuple[int, "scheduler.Fun
             board[f"claim:{pid}"] = name
         except Exception:
             board = None
-    chaos = _EXEC_STATE.get("chaos")
+    _EXEC_STATE["board"] = board
+    if board is not None:
+        scheduler._STAGE_OBSERVER = _record_stage
+    chaos = None
     try:
+        _sync_worker(epoch_board, ir_key, meta_key)
+        state = scheduler._WORKER_STATE or {}
+        chaos = (state.get("extras") or {}).get("chaos")
         if chaos is not None:
             chaos.inject(name, attempt)  # may crash, hang, or raise
         result = scheduler._promote_one(name)
@@ -300,40 +291,62 @@ class ResilientExecutor:
         use_cache: bool,
         resilience: ResilienceOptions,
         observe: bool = False,
+        pool=None,
     ) -> None:
-        from repro.parallel.transport import ModulePayload, export_profile
+        from repro.parallel.transport import export_profile
 
         self.names = list(names)
         self.jobs = jobs
         self.resilience = resilience
         self.quarantine = Quarantine(resilience.max_attempts)
         self.report = ExecutorReport()
-        self._module_bytes = ModulePayload.capture(module).data
+        self._module = module
+        self._pool = pool
         self._profile_map = export_profile(profile, module)
-        self._init_args = (
-            self._module_bytes,
-            self._profile_map,
-            options,
-            alias_model_factory,
-            verify,
-            use_cache,
-            observe,
-        )
+        self._meta = {
+            "profile_map": self._profile_map,
+            "options": options,
+            "alias_model_factory": alias_model_factory,
+            "verify": verify,
+            "use_cache": use_cache,
+            "observe": observe,
+            "extras": {"chaos": resilience.chaos},
+        }
+        self._ir_key: Optional[str] = None
+        self._meta_key: Optional[str] = None
 
     def run(self) -> Tuple[List[ResilientOutcome], ExecutorReport]:
+        from repro.parallel.pool import publish_epoch, warm_pool
+
+        pool = self._pool if self._pool is not None else warm_pool(self.jobs)
         states = {name: _FunctionState(name) for name in self.names}
         outcomes: Dict[str, ResilientOutcome] = {}
-        manager = None
-        board = None
-        try:
+        with pool.lock:
+            pool.runs += 1
             try:
-                manager = multiprocessing.Manager()
-                board = manager.dict()
+                meta_blob = pickle.dumps(
+                    self._meta, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                self._ir_key, self._meta_key, _, _ = publish_epoch(
+                    pool, self._module, meta_blob
+                )
+                epoch_board = pool.board()
+            except Exception as exc:
+                detail = (str(exc) or type(exc).__name__).splitlines()[0]
+                raise ResilientExecutorError(
+                    "cannot publish the module to the worker pool "
+                    f"({type(exc).__name__}: {detail}); falling back to "
+                    "serial execution"
+                ) from exc
+            try:
+                # The heartbeat/claim scoreboard lives on the pool's
+                # manager, so it shares the pool's lifetime.
+                board = pool.shared_dict()
             except Exception:
                 board = None  # degrade: no hang watchdog, coarse attribution
             stalled_rounds = 0
             while len(outcomes) < len(self.names):
-                progressed = self._round(states, outcomes, board)
+                progressed = self._round(pool, states, outcomes, epoch_board, board)
                 if progressed:
                     stalled_rounds = 0
                     continue
@@ -343,30 +356,26 @@ class ResilientExecutor:
                         "worker pool failed repeatedly without completing "
                         "any function; falling back to serial execution"
                     )
-        finally:
-            if manager is not None:
-                manager.shutdown()
         return [outcomes[name] for name in self.names], self.report
 
     # -- one pool lifetime -----------------------------------------------
 
     def _round(
         self,
+        pool,
         states: Dict[str, _FunctionState],
         outcomes: Dict[str, ResilientOutcome],
+        epoch_board,
         board,
     ) -> bool:
-        """Run one pool until every function resolves or the pool must be
-        rebuilt (hang or crash).  Returns True when any function resolved."""
+        """Drive the warm pool until every function resolves or the pool
+        must be rebuilt (hang or crash).  Returns True when any function
+        resolved.  A clean round leaves the pool warm; a rebuild hands
+        back fresh workers that resync from the epoch board."""
         resolved_before = len(outcomes)
-        pool = ProcessPoolExecutor(
-            max_workers=self.jobs,
-            initializer=_init_resilient_worker,
-            initargs=self._init_args + (board, self.resilience.chaos),
-        )
         submitted: Dict[str, object] = {}
         procs: Dict[int, object] = {}
-        force_kill = False
+        rebuild = False
         try:
             while True:
                 open_names = [n for n in self.names if n not in outcomes]
@@ -380,14 +389,20 @@ class ResilientExecutor:
                     self._clear_board(board, name)
                     try:
                         future = pool.submit(
-                            _resilient_promote_one, name, state.attempts + 1
+                            _resilient_promote_one,
+                            epoch_board,
+                            board,
+                            self._ir_key,
+                            self._meta_key,
+                            name,
+                            state.attempts + 1,
                         )
                     except BrokenProcessPool:
                         raise _RebuildPool()
                     submitted[name] = future
                 # The pool's worker processes spawn lazily; keep the
                 # freshest pid -> Process view for crash attribution.
-                procs.update(getattr(pool, "_processes", None) or {})
+                procs.update(pool.processes())
                 if not submitted:
                     pause = min(
                         states[n].eligible_at for n in open_names
@@ -442,13 +457,16 @@ class ResilientExecutor:
                                 + (f" in stage {stage}" if stage else "")
                             ),
                         )
-                    force_kill = True
                     raise _RebuildPool()
         except _RebuildPool:
             self.report.pool_rebuilds += 1
-            force_kill = True
+            rebuild = True
         finally:
-            self._shutdown_pool(pool, procs, force=force_kill)
+            if rebuild:
+                # One recovery path for crashes and hangs alike: kill
+                # the workers, keep the board; the replacement workers
+                # resync lazily on their first task.
+                pool.rebuild(kill=True)
         return len(outcomes) > resolved_before
 
     # -- outcome accounting ----------------------------------------------
@@ -675,21 +693,3 @@ class ResilientExecutor:
             board.pop(f"stage:{name}", None)
         except Exception:
             pass
-
-    @staticmethod
-    def _shutdown_pool(pool: ProcessPoolExecutor, procs: Dict[int, object], force: bool) -> None:
-        if force:
-            pool.shutdown(wait=False, cancel_futures=True)
-            for proc in list(procs.values()):
-                try:
-                    if proc.is_alive():
-                        proc.terminate()
-                except Exception:
-                    pass
-            for proc in list(procs.values()):
-                try:
-                    proc.join(timeout=1.0)
-                except Exception:
-                    pass
-        else:
-            pool.shutdown(wait=True, cancel_futures=True)

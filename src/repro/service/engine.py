@@ -8,7 +8,11 @@ request ``jobs != 1`` additionally spin the resilient process executor
 underneath their pool thread, and the job's deadline is propagated into
 :class:`~repro.robustness.executor.ResilienceOptions` as the
 per-function timeout, so a hung worker process is killed by the
-executor's own watchdog rather than orphaned.
+executor's own watchdog rather than orphaned.  Those process workers
+come from the process-wide **warm pools** (:mod:`repro.parallel.pool`):
+they survive across requests — later parallel jobs skip pool spin-up
+and reuse the published module epochs — are reported in ``/healthz``
+(``warm_pools``), and are drained by :meth:`PromotionEngine.shutdown`.
 
 Deadline semantics for the pool thread itself: Python threads cannot be
 interrupted, so a job that outlives its deadline is **abandoned** — the
@@ -329,8 +333,15 @@ class PromotionEngine:
 
     def shutdown(self, wait: bool = True) -> None:
         self._pool.shutdown(wait=wait, cancel_futures=not wait)
+        # Parallel jobs ran on the process-wide warm worker pools; a
+        # draining engine must not leave their processes behind.
+        from repro.parallel.pool import shutdown_pools
+
+        shutdown_pools()
 
     def as_dict(self) -> Dict[str, object]:
+        from repro.parallel.pool import pool_info
+
         with self._counter_lock:
             return {
                 "workers": self.workers,
@@ -340,6 +351,7 @@ class PromotionEngine:
                 "abandoned": self.abandoned,
                 "result_cache_hits": self.result_cache_hits,
                 "result_cache_entries": len(self._result_cache),
+                "warm_pools": pool_info(),
             }
 
 

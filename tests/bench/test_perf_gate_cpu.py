@@ -79,7 +79,7 @@ def test_parallel_keys_gated_normally_with_cores():
 
 def _stub_measurement(monkeypatch, cpu_count):
     monkeypatch.setattr(
-        timing, "time_suite", lambda jobs: bench_doc(cpu_count)
+        timing, "time_suite", lambda jobs, **kwargs: bench_doc(cpu_count)
     )
     monkeypatch.setattr(
         overhead,

@@ -30,7 +30,7 @@ def fake_bench():
 
 @pytest.fixture
 def stub_timing(monkeypatch):
-    monkeypatch.setattr(timing, "time_suite", lambda jobs: fake_bench())
+    monkeypatch.setattr(timing, "time_suite", lambda jobs, **kwargs: fake_bench())
 
 
 def run_timing_against(tmp_path, baseline_path):

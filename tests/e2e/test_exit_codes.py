@@ -193,7 +193,7 @@ def test_report_unreadable_baseline_beats_gate_failure(
         },
         "outputs_identical": True,
     }
-    monkeypatch.setattr(timing, "time_suite", lambda jobs: bench)
+    monkeypatch.setattr(timing, "time_suite", lambda jobs, **kwargs: bench)
     monkeypatch.setattr(
         overhead,
         "measure_overhead",

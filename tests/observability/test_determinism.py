@@ -24,9 +24,10 @@ int main() {
 """
 
 #: Metrics that legitimately differ between serial and parallel runs:
-#: cache hit/miss counts depend on process boundaries, and the lane/job
-#: gauges describe the execution layer itself.
-EXECUTION_LAYER_METRICS = ("cache.", "pipeline.jobs_used")
+#: cache hit/miss counts depend on process boundaries, and the
+#: transport/lane/job counters describe the execution layer itself.
+EXECUTION_LAYER_PREFIXES = ("cache.", "parallel.")
+EXECUTION_LAYER_METRICS = ("pipeline.jobs_used",)
 
 
 def _span_tree(tracer):
@@ -45,8 +46,8 @@ def _comparable_metrics(metrics):
     return {
         name: doc
         for name, doc in metrics.as_dict().items()
-        if not name.startswith(EXECUTION_LAYER_METRICS[0])
-        and name != EXECUTION_LAYER_METRICS[1]
+        if not name.startswith(EXECUTION_LAYER_PREFIXES)
+        and name not in EXECUTION_LAYER_METRICS
     }
 
 

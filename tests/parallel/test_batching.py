@@ -1,0 +1,137 @@
+"""Cost-model batch planning: sizing, shapes, and determinism."""
+
+import pytest
+
+from repro.frontend.lower import compile_source
+from repro.parallel.batching import (
+    OVERSUBSCRIBE,
+    CostModel,
+    plan_batches,
+)
+
+ONE_HUGE_MANY_TINY = """
+int acc = 0;
+int tiny_a(int k) { return k + 1; }
+int tiny_b(int k) { return k + 2; }
+int tiny_c(int k) { return k + 3; }
+int tiny_d(int k) { return k + 4; }
+int huge(int k) {
+    for (int i = 0; i < 10; i++) {
+        acc += i * k;
+        if (acc % 3 == 0) { acc += 1; } else { acc -= 1; }
+        for (int j = 0; j < 4; j++) { acc += j; }
+        if (acc % 5 == 0) { acc += 2; }
+        if (acc % 7 == 0) { acc += 3; }
+    }
+    return acc;
+}
+int main() { print(huge(2) + tiny_a(1) + tiny_b(1) + tiny_c(1) + tiny_d(1)); return 0; }
+"""
+
+
+def _units(module):
+    return {
+        name: CostModel.static_units(function)
+        for name, function in module.functions.items()
+    }
+
+
+def test_static_units_rank_a_huge_function_above_tiny_ones():
+    module = compile_source(ONE_HUGE_MANY_TINY)
+    units = _units(module)
+    for tiny in ("tiny_a", "tiny_b", "tiny_c", "tiny_d"):
+        assert units["huge"] > units[tiny]
+
+
+def test_one_huge_function_does_not_drag_tiny_ones_into_its_batch():
+    names = ["huge"] + [f"tiny{i}" for i in range(20)]
+    weights = {"huge": 100.0, **{name: 1.0 for name in names[1:]}}
+    batches = plan_batches(names, weights, jobs=1)
+    # The huge function alone exceeds the per-batch target, so its batch
+    # is cut immediately and the tiny functions travel separately.
+    assert batches[0] == ["huge"]
+    assert len(batches) >= 2
+
+
+def test_empty_module_plans_no_batches():
+    assert plan_batches([], {}, jobs=4) == []
+    assert plan_batches([], {}, jobs=4, batch_size=3) == []
+
+
+def test_few_functions_get_singleton_batches():
+    names = ["a", "b", "c"]
+    weights = {name: 1.0 for name in names}
+    assert plan_batches(names, weights, jobs=2) == [["a"], ["b"], ["c"]]
+
+
+def test_fixed_batch_size_cuts_fixed_chunks_in_order():
+    names = [f"f{i}" for i in range(7)]
+    weights = {name: 1.0 for name in names}
+    batches = plan_batches(names, weights, jobs=2, batch_size=3)
+    assert batches == [["f0", "f1", "f2"], ["f3", "f4", "f5"], ["f6"]]
+
+
+def test_batch_size_one_is_one_task_per_function():
+    names = ["a", "b", "c"]
+    batches = plan_batches(names, {n: 1.0 for n in names}, jobs=2, batch_size=1)
+    assert batches == [["a"], ["b"], ["c"]]
+
+
+def test_invalid_batch_size_raises():
+    with pytest.raises(ValueError):
+        plan_batches(["a"], {"a": 1.0}, jobs=1, batch_size=0)
+
+
+def test_batches_concatenate_to_the_input_in_order():
+    names = [f"f{i}" for i in range(23)]
+    weights = {name: float(i % 5 + 1) for i, name in enumerate(names)}
+    for batch_size in ("auto", 1, 4, 100):
+        batches = plan_batches(names, weights, jobs=3, batch_size=batch_size)
+        assert [name for batch in batches for name in batch] == names
+        assert all(batch for batch in batches)
+
+
+def test_auto_batching_targets_oversubscribed_slots():
+    names = [f"f{i}" for i in range(64)]
+    weights = {name: 1.0 for name in names}
+    jobs = 4
+    batches = plan_batches(names, weights, jobs=jobs)
+    # Uniform weights cut into ~jobs * OVERSUBSCRIBE equal batches.
+    assert len(batches) == jobs * OVERSUBSCRIBE
+
+
+def test_plan_is_deterministic():
+    names = [f"f{i}" for i in range(31)]
+    weights = {name: float((i * 7) % 11 + 1) for i, name in enumerate(names)}
+    first = plan_batches(names, weights, jobs=3)
+    assert all(
+        plan_batches(names, weights, jobs=3) == first for _ in range(5)
+    )
+
+
+def test_cost_model_prefers_measurements_over_the_static_prior():
+    model = CostModel()
+    sizes = {"fast": 100.0, "slow": 100.0}
+    # Same static size, very different measured reality.
+    model.observe("slow", 80.0)
+    model.observe("fast", 2.0)
+    weights = model.weights(sizes)
+    assert weights["slow"] > weights["fast"]
+
+
+def test_cost_model_scales_unmeasured_functions_to_measured_cost():
+    model = CostModel()
+    model.observe("measured", 50.0)
+    weights = model.weights({"measured": 100.0, "fresh": 200.0})
+    # 0.5 ms/unit measured -> the unmeasured one lands at 200 * 0.5.
+    assert weights["measured"] == pytest.approx(50.0)
+    assert weights["fresh"] == pytest.approx(100.0)
+
+
+def test_cost_model_ewma_tracks_recent_observations():
+    model = CostModel()
+    model.observe("f", 10.0)
+    model.observe("f", 20.0)
+    assert model.measured("f") == pytest.approx(15.0)
+    model.observe("f", -5.0)  # junk measurements are ignored
+    assert model.measured("f") == pytest.approx(15.0)

@@ -5,6 +5,7 @@ import json
 from repro.bench.timing import (
     ARMS,
     GATE_RATIO,
+    PARALLEL_FLOOR,
     check_against_baseline,
     run_workload_arm,
     time_suite,
@@ -32,6 +33,11 @@ def test_time_suite_structure_and_identity():
         assert entry["total_seconds"] > 0
     for key in ("serial_vs_baseline", "parallel_vs_baseline", "parallel_vs_serial"):
         assert bench["speedup"][key] > 0
+    # The parallel arm reports its warm-pool transport accounting.
+    parallel = bench["arms"]["parallel"]
+    assert parallel["batches"] >= 1
+    assert parallel["transport_bytes"] > 0
+    assert parallel["pool_warmup_seconds"] >= 0
 
 
 def test_perf_gate_passes_against_itself():
@@ -72,6 +78,36 @@ def test_perf_gate_ignores_keys_missing_from_measurement():
     baseline = {"speedup": {"serial_vs_baseline": 2.0, "exotic": 9.0}}
     bench = {"outputs_identical": True, "speedup": {"serial_vs_baseline": 2.0}}
     assert check_against_baseline(bench, baseline) == []
+
+
+def test_parallel_floor_fails_multicore_runs_that_lose_to_serial():
+    bench = {
+        "outputs_identical": True,
+        "cpu_count": 4,
+        "speedup": {"parallel_vs_serial": PARALLEL_FLOOR - 0.1},
+    }
+    # Absolute check: fails even with no parallel keys in the baseline.
+    failures = check_against_baseline(bench, {"speedup": {}})
+    assert len(failures) == 1
+    assert "lost to serial" in failures[0]
+
+
+def test_parallel_floor_keeps_the_single_core_blind_spot():
+    bench = {
+        "outputs_identical": True,
+        "cpu_count": 1,
+        "speedup": {"parallel_vs_serial": 0.5},
+    }
+    assert check_against_baseline(bench, {"speedup": {}}) == []
+
+
+def test_parallel_floor_passes_when_parallel_wins():
+    bench = {
+        "outputs_identical": True,
+        "cpu_count": 4,
+        "speedup": {"parallel_vs_serial": PARALLEL_FLOOR + 0.3},
+    }
+    assert check_against_baseline(bench, {"speedup": {}}) == []
 
 
 def test_write_bench_round_trips(tmp_path):
