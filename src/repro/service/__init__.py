@@ -25,25 +25,62 @@ from repro.service.errors import (
 )
 from repro.service.jobs import JobRequest, JobResult
 
+# The sharded-tier modules are exported lazily (PEP 562): eager imports
+# here would make ``python -m repro.service.router`` (and .cluster, the
+# exact argv LocalCluster supervises) re-execute an already-imported
+# module and warn on every subprocess boot.
+_LAZY_EXPORTS = {
+    "ClusterConfig": "repro.service.cluster",
+    "LocalCluster": "repro.service.cluster",
+    "ServiceProcess": "repro.service.cluster",
+    "PromotionRouter": "repro.service.router",
+    "RouterConfig": "repro.service.router",
+    "FingerprintResolver": "repro.service.routing",
+    "hrw_order": "repro.service.routing",
+}
+
+
+def __getattr__(name):
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+
 __all__ = [
     "AdmissionController",
     "AdmissionRejectedError",
     "ChaosTraffic",
     "CircuitBreaker",
+    "ClusterConfig",
     "DeadlineExceededError",
     "EngineCrashError",
+    "FingerprintResolver",
     "JobInputError",
     "JobRequest",
     "JobResult",
     "JobValidationError",
+    "LocalCluster",
     "PayloadTooLargeError",
     "PromotionDaemon",
     "PromotionEngine",
+    "PromotionRouter",
     "RequestTimeoutError",
+    "RouterConfig",
     "ServiceChaosConfig",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ServiceProcess",
     "ServiceUnavailableError",
+    "hrw_order",
     "run_daemon",
 ]

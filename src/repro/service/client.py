@@ -3,7 +3,11 @@
 :class:`ServiceClient` speaks the daemon's minimal HTTP/1.1 dialect
 (one request per connection, ``Connection: close``) with no third-party
 dependencies — it exists for tests, the smoke tool, and as executable
-documentation of the wire protocol.
+documentation of the wire protocol.  The module-level
+:func:`send_request`/:func:`read_response` helpers are the one
+implementation of that dialect; the front-tier router
+(:mod:`repro.service.router`) reuses them for its upstream legs, so a
+router hop cannot drift from what a direct client would send.
 
 :class:`ChaosTraffic` realizes :class:`ServiceChaosConfig` plans
 against a live daemon: for each request index it asks the config which
@@ -60,8 +64,8 @@ class ServiceClient:
     ) -> Response:
         reader, writer = await self._connect()
         try:
-            await _send_request(writer, method, path, body, headers)
-            return await asyncio.wait_for(_read_response(reader), self.timeout_s)
+            await send_request(writer, method, path, body, headers)
+            return await asyncio.wait_for(read_response(reader), self.timeout_s)
         finally:
             writer.close()
             try:
@@ -80,7 +84,7 @@ class ServiceClient:
             return await self.request("POST", "/v1/jobs", body)
         reader, writer = await self._connect()
         try:
-            await _send_request(writer, "POST", "/v1/jobs?stream=1", body)
+            await send_request(writer, "POST", "/v1/jobs?stream=1", body)
             await asyncio.wait_for(
                 reader.readuntil(b"\r\n\r\n"), timeout=self.timeout_s
             )
@@ -164,7 +168,7 @@ class ChaosTraffic:
                 await writer.drain()
                 await asyncio.sleep(self.chaos.slow_delay_s)
             return await asyncio.wait_for(
-                _read_response(reader), self.client.timeout_s
+                read_response(reader), self.client.timeout_s
             )
         except (ConnectionError, OSError, ClientDisconnect, asyncio.TimeoutError):
             return None
@@ -181,7 +185,7 @@ class ChaosTraffic:
         body = json.dumps(payload).encode("utf-8")
         reader, writer = await self.client._connect()
         try:
-            await _send_request(writer, "POST", "/v1/jobs?stream=1", body)
+            await send_request(writer, "POST", "/v1/jobs?stream=1", body)
             try:
                 await asyncio.wait_for(reader.readline(), self.client.timeout_s)
             except asyncio.TimeoutError:
@@ -212,7 +216,7 @@ class ChaosTraffic:
 # -- wire helpers ---------------------------------------------------------
 
 
-async def _send_request(
+async def send_request(
     writer: asyncio.StreamWriter,
     method: str,
     path: str,
@@ -231,7 +235,7 @@ async def _send_request(
     await writer.drain()
 
 
-async def _read_response(reader: asyncio.StreamReader) -> Response:
+async def read_response(reader: asyncio.StreamReader) -> Response:
     head = await reader.readuntil(b"\r\n\r\n")
     lines = head.decode("latin-1").split("\r\n")
     parts = lines[0].split(" ", 2)

@@ -1,0 +1,384 @@
+"""Cluster plumbing: backend lists and local multi-daemon supervision.
+
+Two layers:
+
+* :class:`ClusterConfig` — the static shard list the router routes
+  over, parsed from repeated ``--backend host:port`` flags and/or a
+  backends file (one address per line, ``#`` comments).  Pure parsing
+  and validation, no processes.
+* :class:`ServiceProcess` / :class:`LocalCluster` — launch and
+  supervise real ``repro-serve`` instances (and a ``repro-route`` front
+  tier) as subprocesses on ephemeral ports, for tests and the
+  ``cluster-smoke`` CI harness.  Every process runs in its own session
+  so ``killpg`` can prove nothing was orphaned, announces itself with
+  the one-line ``listening on HOST:PORT`` banner, and is torn down with
+  SIGTERM → graceful drain (the same path production uses).
+
+``python -m repro.service.cluster --backends 3`` boots a disposable
+local cluster plus router and prints the addresses — a one-command
+sandbox for poking at the sharded tier.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class ClusterConfig:
+    """The validated backend list: (host, port) pairs, at least one."""
+
+    def __init__(self, backends: Sequence[Tuple[str, int]]) -> None:
+        backends = [(str(h), int(p)) for h, p in backends]
+        if not backends:
+            raise ValueError(
+                "at least one backend is required "
+                "(--backend HOST:PORT or --backends-file FILE)"
+            )
+        ids = [f"{h}:{p}" for h, p in backends]
+        seen = set()
+        for backend_id in ids:
+            if backend_id in seen:
+                raise ValueError(f"duplicate backend {backend_id}")
+            seen.add(backend_id)
+        self.backends: List[Tuple[str, int]] = backends
+
+    @staticmethod
+    def parse_spec(spec: str) -> Tuple[str, int]:
+        """``HOST:PORT`` → (host, port); raises ValueError with the
+        offending spec named."""
+        host, sep, port_text = spec.strip().rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"backend spec {spec!r} is not HOST:PORT")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(
+                f"backend spec {spec!r} has a non-integer port"
+            ) from None
+        if not 1 <= port <= 65535:
+            raise ValueError(f"backend spec {spec!r} port is out of range")
+        return host, port
+
+    @classmethod
+    def from_file(cls, path: str) -> "ClusterConfig":
+        try:
+            with open(path) as handle:
+                lines = handle.readlines()
+        except OSError as exc:
+            raise ValueError(
+                f"cannot read backends file {path}: {exc.strerror or exc}"
+            ) from None
+        specs = []
+        for line in lines:
+            text = line.split("#", 1)[0].strip()
+            if text:
+                specs.append(text)
+        return cls([cls.parse_spec(spec) for spec in specs])
+
+    @classmethod
+    def from_args(
+        cls, specs: Sequence[str], backends_file: Optional[str] = None
+    ) -> "ClusterConfig":
+        """Combine ``--backend`` repeats with an optional file; the file
+        list comes first so flags can extend a checked-in topology."""
+        backends: List[Tuple[str, int]] = []
+        if backends_file is not None:
+            backends.extend(cls.from_file(backends_file).backends)
+        backends.extend(cls.parse_spec(spec) for spec in specs)
+        return cls(backends)
+
+    def ids(self) -> List[str]:
+        return [f"{h}:{p}" for h, p in self.backends]
+
+
+class ServiceProcess:
+    """One supervised subprocess that announces ``listening on
+    HOST:PORT`` on stderr once it is accepting.
+
+    Runs in its own session (→ own process group) so
+    :meth:`assert_no_orphans` can prove that a graceful drain left no
+    worker processes behind.  stderr is drained continuously into
+    memory and, when ``stderr_path`` is given, teed to a file — the
+    diagnostics CI uploads when a smoke run fails.
+    """
+
+    def __init__(
+        self,
+        argv: Sequence[str],
+        name: str = "service",
+        stderr_path: Optional[str] = None,
+    ) -> None:
+        self.argv = list(argv)
+        self.name = name
+        self.stderr_path = stderr_path
+        self.proc: Optional[subprocess.Popen] = None
+        self.stderr_lines: List[str] = []
+        self._reader: Optional[threading.Thread] = None
+        self.host = ""
+        self.port = 0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return None if self.proc is None else self.proc.pid
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def boot(self, timeout_s: float = 30.0) -> None:
+        env = dict(os.environ)
+        src_root = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+        env["PYTHONPATH"] = os.path.abspath(src_root) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        self.proc = subprocess.Popen(
+            self.argv,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+            start_new_session=True,
+            env=env,
+        )
+        self._reader = threading.Thread(target=self._drain_stderr, daemon=True)
+        self._reader.start()
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            for line in list(self.stderr_lines):
+                if line.startswith("listening on "):
+                    address = line[len("listening on ") :].strip()
+                    self.host, _, port = address.rpartition(":")
+                    self.port = int(port)
+                    return
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"{self.name} exited during boot "
+                    f"(rc={self.proc.returncode}): "
+                    + "\n".join(self.stderr_lines)
+                )
+            time.sleep(0.05)
+        raise RuntimeError(f"{self.name} never announced its listening address")
+
+    def _drain_stderr(self) -> None:
+        assert self.proc is not None and self.proc.stderr is not None
+        sink = None
+        if self.stderr_path is not None:
+            try:
+                sink = open(self.stderr_path, "w")
+            except OSError:
+                sink = None
+        try:
+            for line in self.proc.stderr:
+                self.stderr_lines.append(line.rstrip("\n"))
+                if sink is not None:
+                    sink.write(line)
+                    sink.flush()
+        finally:
+            if sink is not None:
+                sink.close()
+
+    def send_signal(self, sig: int = signal.SIGTERM) -> None:
+        assert self.proc is not None
+        self.proc.send_signal(sig)
+
+    def sigterm_and_wait(self, timeout_s: float = 60.0) -> int:
+        assert self.proc is not None
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout_s)
+
+    def wait(self, timeout_s: float = 60.0) -> int:
+        assert self.proc is not None
+        return self.proc.wait(timeout=timeout_s)
+
+    def assert_no_orphans(self) -> None:
+        """Raise unless the whole process group is gone."""
+        assert self.proc is not None
+        try:
+            os.killpg(self.proc.pid, 0)
+        except ProcessLookupError:
+            return
+        raise AssertionError(
+            f"process group {self.proc.pid} ({self.name}) still has live "
+            f"members after drain"
+        )
+
+    def kill(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            try:
+                os.killpg(self.proc.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+
+
+class LocalCluster:
+    """K local ``repro-serve`` instances plus (optionally) a router.
+
+    The smoke harness and tests use this to stand up a real sharded
+    tier in a few hundred milliseconds: every daemon binds an ephemeral
+    port, the router is pointed at the resulting address list, and
+    teardown SIGTERMs everything and checks the exits.
+    """
+
+    def __init__(
+        self,
+        backends: int = 3,
+        workers: int = 2,
+        daemon_args: Optional[Sequence[str]] = None,
+        stderr_dir: Optional[str] = None,
+    ) -> None:
+        if backends < 1:
+            raise ValueError(f"backends must be >= 1, got {backends}")
+        self.count = backends
+        self.workers = workers
+        self.daemon_args = list(daemon_args or [])
+        self.stderr_dir = stderr_dir
+        self.daemons: List[ServiceProcess] = []
+        self.router: Optional[ServiceProcess] = None
+
+    def _stderr_path(self, name: str) -> Optional[str]:
+        if self.stderr_dir is None:
+            return None
+        os.makedirs(self.stderr_dir, exist_ok=True)
+        return os.path.join(self.stderr_dir, f"{name}-stderr.log")
+
+    def start(self, timeout_s: float = 30.0) -> None:
+        for index in range(self.count):
+            name = f"daemon-{index}"
+            proc = ServiceProcess(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.service",
+                    "--workers",
+                    str(self.workers),
+                ]
+                + self.daemon_args,
+                name=name,
+                stderr_path=self._stderr_path(name),
+            )
+            proc.boot(timeout_s=timeout_s)
+            self.daemons.append(proc)
+
+    @property
+    def addresses(self) -> List[Tuple[str, int]]:
+        return [(d.host, d.port) for d in self.daemons]
+
+    def backend_args(self) -> List[str]:
+        args: List[str] = []
+        for daemon in self.daemons:
+            args.extend(["--backend", daemon.address])
+        return args
+
+    def config(self) -> ClusterConfig:
+        return ClusterConfig(self.addresses)
+
+    def start_router(
+        self,
+        extra_args: Optional[Sequence[str]] = None,
+        timeout_s: float = 30.0,
+    ) -> ServiceProcess:
+        if not self.daemons:
+            raise RuntimeError("start() the backends before the router")
+        router = ServiceProcess(
+            [sys.executable, "-m", "repro.service.router"]
+            + self.backend_args()
+            + list(extra_args or []),
+            name="router",
+            stderr_path=self._stderr_path("router"),
+        )
+        router.boot(timeout_s=timeout_s)
+        self.router = router
+        return router
+
+    def stop_backend(self, index: int, sig: int = signal.SIGTERM) -> ServiceProcess:
+        """Signal one backend (SIGTERM → graceful drain) and hand back
+        its process so the caller can await/inspect the exit."""
+        daemon = self.daemons[index]
+        daemon.send_signal(sig)
+        return daemon
+
+    def shutdown(self, timeout_s: float = 60.0) -> Dict[str, Optional[int]]:
+        """SIGTERM the router then every live daemon; returns exit
+        codes by name (None for processes that had to be killed)."""
+        exits: Dict[str, Optional[int]] = {}
+        procs: List[ServiceProcess] = []
+        if self.router is not None:
+            procs.append(self.router)
+        procs.extend(self.daemons)
+        for proc in procs:
+            if proc.proc is None:
+                continue
+            if proc.proc.poll() is None:
+                try:
+                    proc.send_signal(signal.SIGTERM)
+                except ProcessLookupError:
+                    pass
+        for proc in procs:
+            if proc.proc is None:
+                continue
+            try:
+                exits[proc.name] = proc.wait(timeout_s=timeout_s)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                exits[proc.name] = None
+        return exits
+
+    def kill(self) -> None:
+        if self.router is not None:
+            self.router.kill()
+        for daemon in self.daemons:
+            daemon.kill()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Boot a disposable local cluster + router and run until SIGTERM."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster",
+        description="launch K local repro-serve daemons behind a repro-route tier",
+    )
+    parser.add_argument("--backends", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--poll-interval", type=float, default=2.0, metavar="SECONDS"
+    )
+    options = parser.parse_args(argv)
+
+    cluster = LocalCluster(backends=options.backends, workers=options.workers)
+    try:
+        cluster.start()
+        router = cluster.start_router(
+            ["--poll-interval", str(options.poll_interval)]
+        )
+    except (RuntimeError, OSError, ValueError) as exc:
+        print(f"repro-cluster: error: {exc}", file=sys.stderr)
+        cluster.kill()
+        return 2
+    for daemon in cluster.daemons:
+        print(f"backend {daemon.address} (pid {daemon.pid})")
+    print(f"router {router.address} (pid {router.pid})", flush=True)
+
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, _on_signal)
+    stop.wait()
+    exits = cluster.shutdown()
+    bad = {name: code for name, code in exits.items() if code != 0}
+    if bad:
+        print(f"repro-cluster: unclean exits: {bad}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,288 @@
+"""End-to-end smoke for the sharded tier: K daemons behind a router.
+
+``python -m repro.service.cluster_smoke`` boots a real
+:class:`~repro.service.cluster.LocalCluster` (three ``repro-serve``
+instances by default) plus a ``repro-route`` front tier as genuine
+subprocesses, then drives the eight SPECInt95-proxy workloads through
+the router and checks the properties the sharding design promises:
+
+1. **Byte identity through a hop.**  Every workload's response —
+   promoted IR text, printed output, return value — matches a fresh
+   serial run in this process, exactly as the single-daemon smoke
+   demands.  A router in the path must be invisible to results.
+2. **Stickiness.**  A warm re-run of the same eight workloads lands
+   each on the same backend as the cold pass (via the
+   ``X-Repro-Backend`` header) and the router's own
+   ``stickiness_hit_rate`` reads at least 0.9.
+3. **Failover under loss.**  One backend is SIGTERMed in the middle of
+   a concurrent wave; every job in the wave must still come back 200
+   and byte-identical (a 429 or 5xx counts as a failed job), and a
+   post-kill wave over the surviving shards succeeds too.
+4. **Clean teardown.**  The killed backend drains to exit 0, the rest
+   of the cluster SIGTERMs to exit 0, and no process group leaks
+   workers.
+
+``--metrics-out`` writes the router's final ``/metrics`` document to a
+file (CI uploads it as an artifact); ``--artifacts-dir`` tees every
+process's stderr for post-mortem.  Exit 0 on success, 1 on a failed
+check, 2 on harness trouble.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.workloads import ORDER, WORKLOADS
+from repro.service.client import Response, ServiceClient
+from repro.service.cluster import LocalCluster
+from repro.service.smoke import SmokeFailure, check, fresh_serial_run
+
+#: Service shape for each backend.  Queues are deep enough that the
+#: whole kill wave fits on the surviving shards — this harness proves
+#: failover loses nothing; load shedding is the single-daemon smoke's
+#: job (repro.service.smoke exercises the 429 path on purpose).
+DAEMON_ARGS = ["--max-queue", "32", "--drain-grace", "30"]
+ROUTER_ARGS = ["--poll-interval", "0.3", "--down-after", "2"]
+
+
+def workload_payloads() -> List[Tuple[str, Dict[str, object]]]:
+    return [
+        (
+            name,
+            {
+                "kind": "minic",
+                "source": WORKLOADS[name].source,
+                "entry": WORKLOADS[name].entry,
+                "args": list(WORKLOADS[name].args),
+            },
+        )
+        for name in ORDER
+    ]
+
+
+def _served_by(response: Response) -> str:
+    backend = response.headers.get("x-repro-backend", "")
+    check(bool(backend), "response is missing the X-Repro-Backend header")
+    return backend
+
+
+def assert_wave_identical(
+    responses: List[Response],
+    payloads: List[Tuple[str, Dict[str, object]]],
+    references: Dict[str, Tuple[str, List[str], int]],
+    where: str,
+) -> Dict[str, str]:
+    """Every response is a 200 whose result matches the fresh serial
+    reference.  Returns workload name → serving backend id."""
+    served: Dict[str, str] = {}
+    for (name, _payload), response in zip(payloads, responses):
+        check(
+            response.status == 200,
+            f"{where}: workload {name} got {response.status}: "
+            f"{response.body[:200]!r}",
+        )
+        doc = response.json()
+        ir, output, return_value = references[name]
+        check(doc["ir"] == ir, f"{where}: {name} promoted IR differs")
+        check(doc["output"] == output, f"{where}: {name} output differs")
+        check(
+            doc["return_value"] == return_value,
+            f"{where}: {name} return value differs",
+        )
+        served[name] = _served_by(response)
+    return served
+
+
+async def run_checks(
+    cluster: LocalCluster,
+    client: ServiceClient,
+    metrics_out: Optional[str],
+) -> None:
+    payloads = workload_payloads()
+    references = {
+        name: fresh_serial_run(payload) for name, payload in payloads
+    }
+
+    # 1. Router liveness: healthz sees every backend, readyz is 200.
+    health = (await client.get("/healthz")).json()
+    check(health["status"] == "ok", f"router healthz says {health['status']!r}")
+    check(
+        len(health["backends"]) == len(cluster.daemons),
+        f"router tracks {len(health['backends'])} backends, "
+        f"expected {len(cluster.daemons)}",
+    )
+    ready = await client.get("/readyz")
+    check(ready.status == 200, f"router readyz says {ready.status}")
+    print("cluster-smoke: router health/readiness ok")
+
+    # 2. Cold pass: all eight workloads, byte-identical through the hop.
+    cold = await asyncio.gather(*(client.submit(p) for _, p in payloads))
+    cold_map = assert_wave_identical(cold, payloads, references, "cold pass")
+    spread = sorted(set(cold_map.values()))
+    print(
+        f"cluster-smoke: cold pass ok ({len(payloads)} workloads "
+        f"byte-identical across {len(spread)} backends)"
+    )
+
+    # 3. Warm pass: same workloads land on the same shards, and the
+    # router's own stickiness meter agrees.
+    warm = await asyncio.gather(*(client.submit(p) for _, p in payloads))
+    warm_map = assert_wave_identical(warm, payloads, references, "warm pass")
+    moved = {n for n in cold_map if warm_map[n] != cold_map[n]}
+    check(not moved, f"warm pass re-routed workloads: {sorted(moved)}")
+    metrics = (await client.get("/metrics")).json()
+    rate = metrics.get("stickiness_hit_rate")
+    check(
+        rate is not None and rate >= 0.9,
+        f"stickiness_hit_rate {rate!r} is below the 0.9 floor",
+    )
+    print(f"cluster-smoke: warm pass ok (stickiness_hit_rate {rate})")
+
+    # 3b. One streaming job through the router: the NDJSON span
+    # timeline must pass through intact, ending in the result event.
+    events = await client.submit(payloads[0][1], stream=True)
+    check(bool(events), "streaming job through router produced no events")
+    check(
+        events[-1].get("event") == "result",
+        f"streamed job's last event is {events[-1].get('event')!r}",
+    )
+    print(f"cluster-smoke: streaming ok ({len(events)} NDJSON events relayed)")
+
+    # 4. Kill a serving backend mid-wave: zero failed jobs.  The wave
+    # starts, the sticky home of several workloads gets SIGTERM, and
+    # every job must still return 200 byte-identical — served either by
+    # the draining backend finishing its in-flight work or by the next
+    # shard in HRW order.
+    victim_address = cold_map[payloads[0][0]]
+    victim_index = next(
+        i for i, d in enumerate(cluster.daemons) if d.address == victim_address
+    )
+    wave = [
+        asyncio.ensure_future(client.submit(p))
+        for _, p in payloads + payloads  # two rounds: 16 in-flight jobs
+    ]
+    await asyncio.sleep(0.05)
+    victim = cluster.stop_backend(victim_index)
+    responses = await asyncio.gather(*wave)
+    assert_wave_identical(
+        responses, payloads + payloads, references, "kill wave"
+    )
+    rc = victim.wait(timeout_s=60.0)
+    check(rc == 0, f"SIGTERMed backend exited {rc}, expected graceful 0")
+    victim.assert_no_orphans()
+    print(
+        f"cluster-smoke: kill wave ok (backend {victim_address} drained to "
+        f"exit 0, {len(wave)} jobs all byte-identical)"
+    )
+
+    # 5. Post-kill wave: the survivors own everything now; the dead
+    # backend must not be offered new jobs.
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        counts = (await client.get("/healthz")).json()["backend_counts"]
+        if counts.get("healthy", 0) == len(cluster.daemons) - 1 and not (
+            counts.get("draining", 0)
+        ):
+            break
+        await asyncio.sleep(0.1)
+    post = await asyncio.gather(*(client.submit(p) for _, p in payloads))
+    post_map = assert_wave_identical(post, payloads, references, "post-kill")
+    check(
+        victim_address not in post_map.values(),
+        f"dead backend {victim_address} was still offered jobs: {post_map}",
+    )
+    print(
+        f"cluster-smoke: post-kill wave ok "
+        f"({len(set(post_map.values()))} surviving backends serving)"
+    )
+
+    # 6. Final metrics snapshot for the CI artifact.
+    doc = (await client.get("/metrics")).json()
+    if metrics_out is not None:
+        with open(metrics_out, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+        print(f"cluster-smoke: wrote router metrics to {metrics_out}")
+    def counter(name: str) -> object:
+        entry = doc["router"].get(name)
+        return 0 if entry is None else entry.get("value", 0)
+
+    unrouted = counter("router.jobs.unrouted")
+    check(unrouted == 0, f"router reported {unrouted} unroutable jobs")
+    print(
+        f"cluster-smoke: metrics ok (failovers={counter('router.failovers')}, "
+        f"unrouted=0, jobs={counter('router.jobs_total')})"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster-smoke",
+        description="multi-instance service smoke: K daemons behind repro-route",
+    )
+    parser.add_argument("--backends", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the router's final /metrics document here",
+    )
+    parser.add_argument(
+        "--artifacts-dir",
+        metavar="DIR",
+        help="tee every process's stderr into DIR for post-mortem",
+    )
+    options = parser.parse_args(argv)
+
+    if options.artifacts_dir:
+        os.makedirs(options.artifacts_dir, exist_ok=True)
+    cluster = LocalCluster(
+        backends=options.backends,
+        workers=options.workers,
+        daemon_args=DAEMON_ARGS,
+        stderr_dir=options.artifacts_dir,
+    )
+    try:
+        cluster.start()
+        router = cluster.start_router(ROUTER_ARGS)
+    except (RuntimeError, OSError, ValueError) as exc:
+        print(f"cluster-smoke: boot error: {exc}", file=sys.stderr)
+        cluster.kill()
+        return 2
+    print(
+        f"cluster-smoke: {len(cluster.daemons)} backends up "
+        f"({', '.join(d.address for d in cluster.daemons)}), "
+        f"router at {router.address} (pid {router.pid})"
+    )
+
+    client = ServiceClient(router.host, router.port, timeout_s=60.0)
+    try:
+        asyncio.run(run_checks(cluster, client, options.metrics_out))
+        exits = cluster.shutdown()
+        bad = {name: code for name, code in exits.items() if code != 0}
+        check(not bad, f"unclean shutdown exits: {bad}")
+        router.assert_no_orphans()
+        for daemon in cluster.daemons:
+            daemon.assert_no_orphans()
+    except SmokeFailure as exc:
+        print(f"cluster-smoke: FAIL: {exc}", file=sys.stderr)
+        cluster.kill()
+        return 1
+    except Exception as exc:  # noqa: BLE001 - report, don't hang CI
+        print(
+            f"cluster-smoke: error: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        cluster.kill()
+        return 2
+    print("cluster-smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

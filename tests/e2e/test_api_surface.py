@@ -75,6 +75,19 @@ def test_api_imports():
     from repro.regalloc import build_interference_graph, color_graph, colors_needed
     from repro.bench import WORKLOADS, measure_workload, pressure_rows
     from repro.bench.tables import format_table1, format_table2, format_table3
+    from repro.service import (
+        ClusterConfig,
+        FingerprintResolver,
+        LocalCluster,
+        PromotionDaemon,
+        PromotionRouter,
+        RouterConfig,
+        ServiceClient,
+        ServiceConfig,
+        ServiceProcess,
+        hrw_order,
+        run_daemon,
+    )
 
 
 def test_readme_quickstart():

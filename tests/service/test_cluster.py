@@ -1,0 +1,82 @@
+"""Unit tests for the cluster topology parsing layer.
+
+:class:`ClusterConfig` is the static shard list every ``repro-route``
+invocation starts from; its error messages are operator-facing, so the
+rejection shapes are pinned alongside the happy paths.
+"""
+
+import pytest
+
+from repro.service.cluster import ClusterConfig
+
+
+class TestParseSpec:
+    def test_host_port(self):
+        assert ClusterConfig.parse_spec("127.0.0.1:8900") == ("127.0.0.1", 8900)
+
+    def test_hostname(self):
+        assert ClusterConfig.parse_spec("shard-3.internal:80") == (
+            "shard-3.internal",
+            80,
+        )
+
+    def test_whitespace_is_tolerated(self):
+        assert ClusterConfig.parse_spec("  localhost:9000 ") == ("localhost", 9000)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["no-port", ":8900", "host:", "host:abc", "host:0", "host:70000"],
+    )
+    def test_rejections_name_the_spec(self, spec):
+        with pytest.raises(ValueError) as excinfo:
+            ClusterConfig.parse_spec(spec)
+        assert repr(spec.strip()) in str(excinfo.value) or spec in str(
+            excinfo.value
+        )
+
+
+class TestClusterConfig:
+    def test_requires_at_least_one_backend(self):
+        with pytest.raises(ValueError, match="at least one backend"):
+            ClusterConfig([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate backend"):
+            ClusterConfig([("a", 1), ("a", 1)])
+
+    def test_ids(self):
+        config = ClusterConfig([("a", 1), ("b", 2)])
+        assert config.ids() == ["a:1", "b:2"]
+
+    def test_from_file_with_comments_and_blanks(self, tmp_path):
+        listing = tmp_path / "backends.txt"
+        listing.write_text(
+            "# production shards\n"
+            "10.0.0.1:8900\n"
+            "\n"
+            "10.0.0.2:8900  # canary\n"
+        )
+        config = ClusterConfig.from_file(str(listing))
+        assert config.ids() == ["10.0.0.1:8900", "10.0.0.2:8900"]
+
+    def test_from_file_missing_is_a_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            ClusterConfig.from_file(str(tmp_path / "absent.txt"))
+
+    def test_from_args_file_first_then_flags(self, tmp_path):
+        listing = tmp_path / "backends.txt"
+        listing.write_text("10.0.0.1:8900\n")
+        config = ClusterConfig.from_args(
+            ["10.0.0.2:8900"], backends_file=str(listing)
+        )
+        assert config.ids() == ["10.0.0.1:8900", "10.0.0.2:8900"]
+
+    def test_from_args_flags_only(self):
+        config = ClusterConfig.from_args(["a:1", "b:2"])
+        assert config.ids() == ["a:1", "b:2"]
+
+    def test_from_args_duplicate_across_sources(self, tmp_path):
+        listing = tmp_path / "backends.txt"
+        listing.write_text("a:1\n")
+        with pytest.raises(ValueError, match="duplicate backend"):
+            ClusterConfig.from_args(["a:1"], backends_file=str(listing))

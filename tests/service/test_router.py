@@ -1,0 +1,454 @@
+"""In-process end-to-end tests of the front-tier router.
+
+A real :class:`PromotionRouter` on a real socket, in front of real
+:class:`PromotionDaemon` instances (for byte-identity, stickiness, and
+streaming) and canned fake backends (for the failure matrix: 5xx,
+connect errors, 429 propagation, drain rerouting) — all in one loop.
+"""
+
+import asyncio
+import contextlib
+import json
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.daemon import PromotionDaemon
+from repro.service.router import (
+    DOWN,
+    DRAINING,
+    HEALTHY,
+    BackendState,
+    HealthTracker,
+    PromotionRouter,
+    RouterConfig,
+)
+from repro.service.router import main as router_main
+from repro.service.smoke import fresh_serial_run
+
+PROGRAM = """
+int total = 0;
+int bump(int k) { total += k; return total; }
+int main() {
+    for (int i = 0; i < 25; i++) bump(i);
+    print(total);
+    return total % 251;
+}
+"""
+
+
+def payload_for(source=PROGRAM):
+    return {"kind": "minic", "source": source}
+
+
+class FakeBackend:
+    """A canned upstream: healthy on probes, scripted on job posts."""
+
+    def __init__(self, status=200, body=None):
+        self.status = status
+        self.body = json.dumps(body if body is not None else {"ok": True}).encode()
+        self.jobs_seen = 0
+        self.server = None
+        self.host = ""
+        self.port = 0
+
+    async def start(self):
+        self.server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        self.host, self.port = self.server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self):
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+
+    async def _handle(self, reader, writer):
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+            first = head.split(b"\r\n", 1)[0].decode("latin-1")
+            length = 0
+            for line in head.decode("latin-1").split("\r\n")[1:]:
+                name, _, value = line.partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip())
+            if length:
+                await reader.readexactly(length)
+            if first.startswith("GET /healthz"):
+                status, body = 200, b'{"status": "ok"}'
+            elif first.startswith("GET /readyz"):
+                status, body = 200, b'{"ready": true}'
+            else:
+                self.jobs_seen += 1
+                status, body = self.status, self.body
+            writer.write(
+                (
+                    f"HTTP/1.1 {status} X\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode("ascii")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+@contextlib.asynccontextmanager
+async def running_router(backends, **overrides):
+    overrides.setdefault("poll_interval_s", 30.0)
+    router = PromotionRouter(RouterConfig(backends, **overrides))
+    host, port = await router.start()
+    try:
+        yield router, ServiceClient(host, port, timeout_s=30.0)
+    finally:
+        await router.drain_and_stop()
+
+
+@contextlib.asynccontextmanager
+async def running_daemons(count):
+    """Yields [(daemon, host, port), ...] for ``count`` live daemons."""
+    daemons = []
+    try:
+        for _ in range(count):
+            daemon = PromotionDaemon(ServiceConfig(workers=1))
+            host, port = await daemon.start()
+            daemons.append((daemon, host, port))
+        yield daemons
+    finally:
+        for daemon, _, _ in daemons:
+            await daemon.drain_and_stop()
+
+
+def homed_source(router, target_id):
+    """A compilable program whose HRW home is ``target_id`` — found by
+    enumeration, deterministic because the hash is pure."""
+    for i in range(200):
+        source = f"int main() {{ print({i}); return {i % 7}; }}"
+        _, _, order = router.plan(payload_for(source))
+        if order[0] == target_id:
+            return source
+    raise AssertionError(f"no candidate homed at {target_id}")
+
+
+def counter(router, name):
+    return router.metrics.value(name) or 0
+
+
+def test_endpoints_and_metrics_shape():
+    async def body():
+        fake = FakeBackend()
+        await fake.start()
+        async with running_router([(fake.host, fake.port)]) as (router, client):
+            health = (await client.get("/healthz")).json()
+            assert health["status"] == "ok"
+            assert list(health["backends"]) == [fake.host + f":{fake.port}"]
+
+            ready = await client.get("/readyz")
+            assert ready.status == 200
+            assert ready.json()["ready"] is True
+
+            metrics = (await client.get("/metrics")).json()
+            assert set(metrics) == {"router", "stickiness_hit_rate", "backends"}
+
+            missing = await client.get("/nope")
+            assert missing.status == 404
+        await fake.stop()
+
+    asyncio.run(body())
+
+
+def test_byte_identity_and_stickiness_through_router():
+    async def body():
+        async with running_daemons(2) as daemons:
+            backends = [(host, port) for _, host, port in daemons]
+            async with running_router(backends) as (router, client):
+                payload = payload_for()
+                _, _, order = router.plan(payload)
+
+                first = await client.submit(payload)
+                assert first.status == 200
+                doc = first.json()
+                ir, output, return_value = fresh_serial_run(payload)
+                assert doc["ir"] == ir
+                assert doc["output"] == output
+                assert doc["return_value"] == return_value
+                assert first.headers["x-repro-backend"] == order[0]
+
+                # Warm resubmits stay on the home shard.
+                for _ in range(3):
+                    again = await client.submit(payload)
+                    assert again.headers["x-repro-backend"] == order[0]
+                assert router.stickiness_hit_rate() == 1.0
+                assert counter(router, "router.failovers") == 0
+
+    asyncio.run(body())
+
+
+def test_failover_when_home_daemon_leaves():
+    async def body():
+        async with running_daemons(2) as daemons:
+            backends = [(host, port) for _, host, port in daemons]
+            async with running_router(backends) as (router, client):
+                payload = payload_for()
+                _, _, order = router.plan(payload)
+                home = next(
+                    d for d, host, port in daemons if f"{host}:{port}" == order[0]
+                )
+                await home.drain_and_stop()
+
+                response = await client.submit(payload)
+                assert response.status == 200
+                assert response.headers["x-repro-backend"] == order[1]
+                assert counter(router, "router.failovers") == 1
+                # Stickiness accounting is honest about the miss.
+                assert router.stickiness_hit_rate() == 0.0
+
+    asyncio.run(body())
+
+
+def test_5xx_fails_over_and_relays_the_survivor():
+    async def body():
+        broken = FakeBackend(status=500, body={"error": "boom"})
+        healthy = FakeBackend(status=200, body={"ok": True})
+        await broken.start()
+        await healthy.start()
+        backends = [(broken.host, broken.port), (healthy.host, healthy.port)]
+        async with running_router(backends) as (router, client):
+            source = homed_source(router, f"{broken.host}:{broken.port}")
+            response = await client.submit(payload_for(source))
+            assert response.status == 200
+            assert response.json() == {"ok": True}
+            assert response.headers["x-repro-backend"] == (
+                f"{healthy.host}:{healthy.port}"
+            )
+            assert broken.jobs_seen == 1
+            assert counter(router, "router.failovers") == 1
+        await broken.stop()
+        await healthy.stop()
+
+    asyncio.run(body())
+
+
+def test_429_propagates_with_retry_hint_no_failover():
+    async def body():
+        shedding = FakeBackend(
+            status=429,
+            body={"error": "overloaded", "retry_after_s": 1.5},
+        )
+        idle = FakeBackend()
+        await shedding.start()
+        await idle.start()
+        backends = [(shedding.host, shedding.port), (idle.host, idle.port)]
+        async with running_router(backends) as (router, client):
+            source = homed_source(router, f"{shedding.host}:{shedding.port}")
+            response = await client.submit(payload_for(source))
+            # The shard's own load estimate is honest: relay it, don't
+            # chase a second backend.
+            assert response.status == 429
+            assert response.json()["retry_after_s"] == 1.5
+            assert idle.jobs_seen == 0
+            assert counter(router, "router.failovers") == 0
+            assert counter(router, "router.jobs.rejected") == 1
+        await shedding.stop()
+        await idle.stop()
+
+    asyncio.run(body())
+
+
+def test_draining_503_reroutes_and_marks_backend():
+    async def body():
+        leaving = FakeBackend(
+            status=503,
+            body={"error": "unavailable", "reason": "draining"},
+        )
+        survivor = FakeBackend()
+        await leaving.start()
+        await survivor.start()
+        backends = [(leaving.host, leaving.port), (survivor.host, survivor.port)]
+        async with running_router(backends) as (router, client):
+            leaving_id = f"{leaving.host}:{leaving.port}"
+            source = homed_source(router, leaving_id)
+            response = await client.submit(payload_for(source))
+            assert response.status == 200
+            assert router.backends[leaving_id].status == DRAINING
+            # The next job skips the draining shard without dialing it.
+            seen = leaving.jobs_seen
+            again = await client.submit(payload_for(source))
+            assert again.status == 200
+            assert leaving.jobs_seen == seen
+            assert counter(router, "router.skips.draining") >= 1
+        await leaving.stop()
+        await survivor.stop()
+
+    asyncio.run(body())
+
+
+def test_all_backends_dead_yields_structured_503():
+    async def body():
+        # Grab two ports that nothing listens on.
+        dead = []
+        for _ in range(2):
+            server = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            dead.append(server.sockets[0].getsockname()[:2])
+            server.close()
+            await server.wait_closed()
+        async with running_router(dead) as (router, client):
+            response = await client.submit(payload_for())
+            assert response.status == 503
+            doc = response.json()
+            assert doc["reason"] == "no-backend"
+            assert doc["retry_after_s"] > 0
+            assert counter(router, "router.jobs.unrouted") == 1
+
+    asyncio.run(body())
+
+
+def test_streaming_passthrough_keeps_one_timeline():
+    async def body():
+        async with running_daemons(1) as daemons:
+            backends = [(host, port) for _, host, port in daemons]
+            async with running_router(backends) as (router, client):
+                events = await client.submit(payload_for(), stream=True)
+                assert events
+                assert events[-1]["event"] == "result"
+                assert any(e.get("event") == "span" for e in events)
+                assert counter(router, "router.jobs.stream") == 1
+
+    asyncio.run(body())
+
+
+def test_garbage_payload_routes_by_digest_and_relays_4xx():
+    async def body():
+        async with running_daemons(1) as daemons:
+            backends = [(host, port) for _, host, port in daemons]
+            async with running_router(backends) as (router, client):
+                response = await client.request(
+                    "POST", "/v1/jobs", b"{not json at all"
+                )
+                assert 400 <= response.status < 500
+                assert "x-repro-backend" in response.headers
+                assert counter(router, "router.fingerprint.fallbacks") == 1
+
+    asyncio.run(body())
+
+
+class TestHealthTracker:
+    def make(self, down_after=2):
+        state = BackendState("127.0.0.1", 9999, 3, 5.0)
+        tracker = HealthTracker({state.id: state}, down_after=down_after)
+        return tracker, state
+
+    def test_ready_probe_keeps_healthy(self):
+        tracker, state = self.make()
+        tracker.apply_probe(state, {"status": "ok"}, 200, {"ready": True})
+        assert state.status == HEALTHY
+        assert state.strikes == 0
+
+    def test_draining_is_immediate(self):
+        tracker, state = self.make()
+        tracker.apply_probe(
+            state,
+            {"status": "draining"},
+            503,
+            {"ready": False, "reason": "draining"},
+        )
+        assert state.status == DRAINING
+        assert tracker.transitions_total == 1
+
+    def test_down_needs_consecutive_strikes(self):
+        tracker, state = self.make(down_after=2)
+        tracker.apply_probe(state, None, None, None, error="ConnectionRefusedError")
+        assert state.status == HEALTHY
+        tracker.apply_probe(state, None, None, None, error="ConnectionRefusedError")
+        assert state.status == DOWN
+
+    def test_healthy_answer_rehabilitates(self):
+        tracker, state = self.make(down_after=1)
+        tracker.apply_probe(state, None, None, None, error="TimeoutError")
+        assert state.status == DOWN
+        tracker.apply_probe(state, {"status": "ok"}, 200, {"ready": True})
+        assert state.status == HEALTHY
+        assert state.strikes == 0
+
+    def test_one_blip_does_not_evict(self):
+        tracker, state = self.make(down_after=2)
+        tracker.apply_probe(state, None, None, None, error="TimeoutError")
+        tracker.apply_probe(state, {"status": "ok"}, 200, {"ready": True})
+        tracker.apply_probe(state, None, None, None, error="TimeoutError")
+        assert state.status == HEALTHY
+
+    def test_not_ready_strikes(self):
+        tracker, state = self.make(down_after=2)
+        for _ in range(2):
+            tracker.apply_probe(
+                state, {"status": "ok"}, 503, {"ready": False, "reason": "breaker"}
+            )
+        assert state.status == DOWN
+
+    def test_note_draining_from_dispatch(self):
+        tracker, state = self.make()
+        tracker.note_draining(state)
+        assert state.status == DRAINING
+        assert tracker.counts() == {HEALTHY: 0, DRAINING: 1, DOWN: 0}
+
+    def test_warm_pools_surface_from_health_doc(self):
+        tracker, state = self.make()
+        tracker.apply_probe(
+            state,
+            {"status": "ok", "engine": {"warm_pools": {"2": 1}}},
+            200,
+            {"ready": True},
+        )
+        assert state.warm_pools() == {"2": 1}
+
+
+def test_print_plan_reports_fingerprint_and_backend(tmp_path, capsys):
+    module = tmp_path / "program.c"
+    module.write_text(PROGRAM)
+    rc = router_main(
+        [
+            "--print-plan",
+            str(module),
+            "--backend",
+            "127.0.0.1:9001",
+            "--backend",
+            "127.0.0.1:9002",
+            "--backend",
+            "127.0.0.1:9003",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    lines = out.strip().splitlines()
+    assert lines[0].startswith("fingerprint ")
+    assert "(module)" in lines[0]
+    assert lines[1].startswith("backend 127.0.0.1:")
+    assert lines[2].startswith("failover ")
+    assert len(lines[2].split(" -> ")) == 2
+
+
+def test_print_plan_missing_file_is_a_config_error(tmp_path, capsys):
+    rc = router_main(
+        ["--print-plan", str(tmp_path / "absent.c"), "--backend", "a:1"]
+    )
+    assert rc == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_router_config_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        RouterConfig([])
+    with pytest.raises(ValueError):
+        RouterConfig([("a", 1), ("a", 1)])
+    with pytest.raises(ValueError):
+        RouterConfig([("a", 1)], down_after=0)
