@@ -35,6 +35,74 @@ from repro.bench.tables import (
 )
 from repro.bench.workloads import ORDER, WORKLOADS
 
+#: File name ``--diagnostics-dir`` checks for a router metrics document
+#: (the JSON shape ``GET /metrics`` on ``repro-route`` serves; drop a
+#: ``curl`` of it here and the report summarizes the cluster's routing).
+ROUTER_METRICS_FILENAME = "router-metrics.json"
+
+
+def summarize_router_metrics(doc) -> Optional[str]:
+    """One-line cluster summary from a router ``/metrics`` JSON document
+    (:meth:`repro.service.router.PromotionRouter.metrics_doc`), or
+    ``None`` when ``doc`` does not look like one."""
+    if not isinstance(doc, dict) or not isinstance(doc.get("router"), dict):
+        return None
+    registry = doc["router"]
+
+    def counter(name: str) -> int:
+        entry = registry.get(name)
+        if isinstance(entry, dict) and isinstance(entry.get("value"), (int, float)):
+            return int(entry["value"])
+        return 0
+
+    rate = doc.get("stickiness_hit_rate")
+    rate_text = (
+        f"{float(rate) * 100:.1f}%" if isinstance(rate, (int, float)) else "n/a"
+    )
+    per_backend = []
+    backends = doc.get("backends")
+    if isinstance(backends, dict):
+        for backend_id in sorted(backends):
+            state = backends[backend_id]
+            if isinstance(state, dict):
+                per_backend.append(
+                    f"{backend_id}={state.get('jobs_total', 0)}"
+                    f" ({state.get('status', '?')})"
+                )
+    parts = [
+        f"stickiness hit rate {rate_text}",
+        f"{counter('router.failovers')} failover(s)",
+        f"{counter('router.jobs_total')} job(s) routed",
+    ]
+    if per_backend:
+        parts.append("per-backend jobs: " + ", ".join(per_backend))
+    return "repro-report: router: " + "; ".join(parts)
+
+
+def _surface_router_metrics(diagnostics_dir: str) -> None:
+    """Best-effort: if the diagnostics dir holds a router metrics file,
+    print its cluster summary.  Never changes the exit code."""
+    path = os.path.join(diagnostics_dir, ROUTER_METRICS_FILENAME)
+    if not os.path.exists(path):
+        return
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(
+            f"repro-report: warning: cannot read router metrics {path}: {exc}",
+            file=sys.stderr,
+        )
+        return
+    line = summarize_router_metrics(doc)
+    if line is None:
+        print(
+            f"repro-report: warning: {path} is not a router metrics document",
+            file=sys.stderr,
+        )
+        return
+    print(line, file=sys.stderr)
+
 
 def _batch_size(value: str):
     """``--batch-size`` values: ``auto`` or a positive integer."""
@@ -306,7 +374,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--diagnostics-dir",
         metavar="DIR",
-        help="write each workload's pipeline diagnostics as DIR/<name>.json",
+        help="write each workload's pipeline diagnostics as DIR/<name>.json; "
+        f"if DIR/{ROUTER_METRICS_FILENAME} is present (a saved router "
+        "/metrics document) its cluster summary is surfaced too",
     )
     options = parser.parse_args(argv)
     use_cache = not options.no_cache
@@ -406,6 +476,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         except ValueError as exc:
             print(f"repro-report: {exc}", file=sys.stderr)
             return 2
+        if options.diagnostics_dir:
+            # Give the resilient executor's quarantine/attempt events a
+            # black box: dumps land beside the diagnostics CI uploads.
+            from repro.observability import FlightRecorder, flightrecorder
+
+            flightrecorder.install(
+                FlightRecorder("report", artifacts_dir=options.diagnostics_dir)
+            )
 
     if options.timing:
         jobs = 4 if options.jobs is None else options.jobs
@@ -487,6 +565,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    if options.diagnostics_dir:
+        _surface_router_metrics(options.diagnostics_dir)
 
     export_observability(jobs)
 

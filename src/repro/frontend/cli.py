@@ -164,6 +164,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write the run's metrics registry as JSON (requires --promote)",
     )
     parser.add_argument(
+        "--decisions-out",
+        metavar="FILE",
+        help="write the promotion decision journal as JSONL — one "
+        "verdict per candidate access (requires --promote)",
+    )
+    parser.add_argument(
         "--diagnostics",
         metavar="FILE",
         help="write the pipeline's per-function outcome report as JSON",
@@ -243,6 +249,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         observability = Observability.recording()
 
+    decisions = None
+    if options.decisions_out:
+        if not options.promote or options.baseline is not None:
+            return _error("--decisions-out requires --promote")
+        from repro.observability import DecisionJournal
+
+        decisions = DecisionJournal()
+
     result = None
     pipeline = None
     if options.baseline is not None and (
@@ -274,6 +288,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             keep_pool=options.keep_pool,
             resilience=resilience,
             observability=observability,
+            decisions=decisions,
             **pipeline_kwargs,
         )
         result = pipeline.run(module)
@@ -312,6 +327,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f"{options.metrics_out}: {exc.strerror or exc}",
                     file=sys.stderr,
                 )
+
+    if decisions is not None and result is not None:
+        # Same best-effort contract as the trace/metrics exports.
+        from repro.observability import build_metadata
+
+        try:
+            decisions.write(
+                options.decisions_out,
+                build_metadata(profile_source=result.diagnostics.profile_source),
+            )
+        except OSError as exc:
+            print(
+                f"repro-minic: warning: cannot write decisions to "
+                f"{options.decisions_out}: {exc.strerror or exc}",
+                file=sys.stderr,
+            )
 
     if options.diagnostics:
         if result is None:

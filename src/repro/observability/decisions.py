@@ -1,0 +1,456 @@
+"""The promotion decision journal: per-access verdicts with rationale.
+
+The pipeline's counters say *what* promotion did (Tables 1 and 2); the
+decision journal says *why*, access by access.  Every ``Load``/``Store``
+instruction present when :func:`~repro.promotion.driver.promote_function`
+enters a function is a **candidate** — the same walk
+:meth:`~repro.observability.counting.OpCounts.of_function` counts, so
+the journal and ``StaticCounts`` can never disagree.  As the interval
+walk triages webs, each candidate collects a verdict:
+
+* ``promoted`` — replaced by a register copy (loads) or deleted with its
+  value carried in a register (stores of a fully promoted web);
+* ``partial`` — a store of a web promoted with ``remove_stores=False``:
+  the loads went to a register but the store half stayed in memory
+  because store removal was unprofitable (the §4.3 split decision);
+* ``blocked`` — an aliasing kill (with the killing definition named),
+  an unprofitable web (with the profit numbers), the register-pressure
+  gate (with the measured chromatic requirement), or membership in no
+  promotable web at all.
+
+Verdicts are last-write-wins across the bottom-up interval walk: a load
+blocked in an inner interval may be promoted when the parent interval is
+processed, exactly as the paper describes.  Accesses promotion *itself*
+inserted (compensating loads/stores, dummies) are journaled under a
+separate ``compensating`` origin and excluded from the candidate
+reconciliation, so ``promoted + partial + blocked == candidates`` holds
+by construction — the sweep in :meth:`FunctionDecisions.finish` assigns
+every never-triaged candidate a ``not-in-promotable-web`` verdict.
+
+Worker processes journal locally and ship
+:meth:`FunctionDecisions.export` documents back on their results; the
+parent :meth:`absorbs <DecisionJournal.absorb>` them in module order.
+The ambient :func:`activate`/:func:`ambient` pair mirrors
+:mod:`repro.observability.metrics`; the disabled path is a null object —
+one no-op method call per web, never per access.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+from typing import Dict, Iterator, List, Optional
+
+PROMOTED = "promoted"
+PARTIAL = "partial"
+BLOCKED = "blocked"
+
+#: Schema version for exported decision documents / JSONL lines.
+DECISIONS_SCHEMA_VERSION = 1
+
+_COUNT_KEYS = (PROMOTED, PARTIAL, BLOCKED, "compensating")
+
+
+def _mem_name(name) -> str:
+    return f"{name.var.name}:{name.version}"
+
+
+def _block_name(inst) -> Optional[str]:
+    block = getattr(inst, "block", None)
+    return getattr(block, "name", None)
+
+
+def _killer(name) -> Dict[str, object]:
+    """Describe the definition that kills a load's promotability: the
+    reaching def of its resource is not a store/phi of the web, so it is
+    an aliased definition (call, pointer store) or the live-on-entry
+    state of memory."""
+    def_inst = getattr(name, "def_inst", None)
+    if def_inst is None:
+        return {"killed_by": "live-on-entry", "killer": None}
+    return {
+        "killed_by": type(def_inst).__name__,
+        "killer": _block_name(def_inst),
+    }
+
+
+class FunctionDecisions:
+    """The journal of one function's promotion run (one per attempt)."""
+
+    enabled = True
+
+    def __init__(self, journal: "DecisionJournal", function) -> None:
+        from repro.ir import instructions as I
+
+        self._journal = journal
+        self.name = function.name
+        #: id(inst) -> candidate info.  Strong refs to the instructions
+        #: are kept (``inst``) so ids stay unique for the journal's
+        #: lifetime even after promotion deletes an instruction.
+        self._candidates: Dict[int, Dict[str, object]] = {}
+        self._order: List[int] = []
+        for inst in function.instructions():
+            if isinstance(inst, I.Load):
+                access = "load"
+            elif isinstance(inst, I.Store):
+                access = "store"
+            else:
+                continue
+            key = id(inst)
+            self._candidates[key] = {
+                "inst": inst,
+                "access": access,
+                "var": inst.var.name,
+                "block": _block_name(inst),
+            }
+            self._order.append(key)
+        self._verdicts: Dict[int, Dict[str, object]] = {}
+        #: Verdicts on accesses promotion inserted itself (not candidates).
+        self._inserted: Dict[int, Dict[str, object]] = {}
+        self._inserted_order: List[int] = []
+
+    # -- decision sites (called once per web by the driver) --------------
+
+    def web_blocked_pressure(self, web, interval, pressure: int, limit: int) -> None:
+        where = self._where(interval)
+        detail = {"pressure": pressure, "pressure_limit": limit}
+        for load in web.load_refs:
+            self._assign(load, "load", web, where, BLOCKED, "pressure-limit", detail)
+        for store in web.store_refs:
+            self._assign(store, "store", web, where, BLOCKED, "pressure-limit", detail)
+
+    def web_skipped(self, web, interval, plan) -> None:
+        """An unprofitable web: nothing promoted, everything stays."""
+        where = self._where(interval)
+        detail = _plan_detail(plan)
+        for load in web.load_refs:
+            self._assign(load, "load", web, where, BLOCKED, "unprofitable", detail)
+        for store in web.store_refs:
+            self._assign(store, "store", web, where, BLOCKED, "unprofitable", detail)
+
+    def web_promoted(self, web, interval, plan) -> None:
+        """A promoted web with definitions: replaceable loads are
+        promoted, alias-killed loads blocked with their killer named,
+        stores promoted or left partial by the store-removal decision."""
+        where = self._where(interval)
+        detail = _plan_detail(plan)
+        replaceable = {id(load) for load in plan.replaceable_loads}
+        for load in web.load_refs:
+            if id(load) in replaceable:
+                self._assign(
+                    load, "load", web, where, PROMOTED, "replaced-by-register", detail
+                )
+            else:
+                kill = dict(detail)
+                kill.update(_killer(load.mem_uses[0]))
+                self._assign(load, "load", web, where, BLOCKED, "alias-kill", kill)
+        if plan.remove_stores:
+            for store in web.store_refs:
+                self._assign(
+                    store, "store", web, where, PROMOTED, "store-removed", detail
+                )
+        else:
+            for store in web.store_refs:
+                self._assign(
+                    store,
+                    "store",
+                    web,
+                    where,
+                    PARTIAL,
+                    "store-removal-unprofitable",
+                    detail,
+                )
+
+    def web_promoted_no_defs(self, web, interval, plan) -> None:
+        """The degenerate no-defs promotion: every load of the web is
+        served by one entry load in the preheader."""
+        where = self._where(interval)
+        detail = _plan_detail(plan)
+        for load in web.load_refs:
+            self._assign(
+                load, "load", web, where, PROMOTED, "hoisted-entry-load", detail
+            )
+
+    def inserted(self, inst, access: str, web, interval, role: str) -> None:
+        """A compensating access at its insertion site (a phi-leaf load,
+        a flush store before an aliased load, an interval-tail store, the
+        entry load of a no-defs web, or a dummy summarizing the web for
+        the parent).  Journaled under the ``compensating`` origin; if the
+        parent interval later re-triages it, the verdict is overwritten
+        in place."""
+        where = self._where(interval)
+        self._assign(inst, access, web, where, "inserted", role, None)
+
+    def finish(self) -> None:
+        """Sweep: every candidate never claimed by a web was an access to
+        memory no web could promote.  Commits the document to the journal
+        and bumps the ambient ``decision.*`` counters."""
+        from repro.observability.metrics import ambient as ambient_metrics
+
+        for key in self._order:
+            if key not in self._verdicts:
+                candidate = self._candidates[key]
+                self._verdicts[key] = {
+                    "verdict": BLOCKED,
+                    "reason": "not-in-promotable-web",
+                    "web": None,
+                    "interval": None,
+                    "detail": None,
+                    **{
+                        field: candidate[field]
+                        for field in ("access", "var", "block")
+                    },
+                }
+        doc = self.export()
+        metrics = ambient_metrics()
+        counts = doc["counts"]
+        metrics.inc("decision.candidates", counts["candidates"])
+        for verdict in _COUNT_KEYS:
+            metrics.inc(f"decision.{verdict}", counts[verdict])
+        self._journal._commit(doc)
+
+    # -- internals -------------------------------------------------------
+
+    @staticmethod
+    def _where(interval) -> str:
+        return "<root>" if interval.is_root else interval.header.name
+
+    def _assign(
+        self,
+        inst,
+        access: str,
+        web,
+        where: str,
+        verdict: str,
+        reason: str,
+        detail: Optional[Dict[str, object]],
+    ) -> None:
+        record = {
+            "access": access,
+            "var": web.var.name,
+            "block": _block_name(inst),
+            "verdict": verdict,
+            "reason": reason,
+            "web": _mem_name(web.names[0]) if web.names else web.var.name,
+            "interval": where,
+            "detail": dict(detail) if detail else None,
+        }
+        key = id(inst)
+        if key in self._candidates:
+            self._verdicts[key] = record
+            return
+        # An access promotion inserted in an inner interval, re-triaged by
+        # an enclosing one: journaled, but outside the reconciliation.
+        if key not in self._inserted:
+            self._inserted_order.append(key)
+            # Keep the instruction alive so the id stays unique.
+            record["inst"] = inst
+        else:
+            record["inst"] = self._inserted[key]["inst"]
+        self._inserted[key] = record
+
+    def export(self) -> Dict[str, object]:
+        """The function's decision document: JSON-safe, picklable."""
+        accesses: List[Dict[str, object]] = []
+        counts = {"candidates": len(self._order)}
+        counts.update({key: 0 for key in _COUNT_KEYS})
+        for key in self._order:
+            record = dict(self._verdicts[key])
+            record["origin"] = "candidate"
+            counts[record["verdict"]] += 1
+            accesses.append(record)
+        for key in self._inserted_order:
+            record = {
+                k: v for k, v in self._inserted[key].items() if k != "inst"
+            }
+            record["origin"] = "compensating"
+            counts["compensating"] += 1
+            accesses.append(record)
+        return {
+            "function": self.name,
+            "status": "committed",
+            "counts": counts,
+            "accesses": accesses,
+        }
+
+
+class NullFunctionDecisions:
+    """The disabled per-function journal: every site is a no-op."""
+
+    __slots__ = ()
+    enabled = False
+    name = ""
+
+    def web_blocked_pressure(self, web, interval, pressure, limit) -> None:
+        return None
+
+    def web_skipped(self, web, interval, plan) -> None:
+        return None
+
+    def web_promoted(self, web, interval, plan) -> None:
+        return None
+
+    def web_promoted_no_defs(self, web, interval, plan) -> None:
+        return None
+
+    def inserted(self, inst, access, web, interval, role) -> None:
+        return None
+
+    def finish(self) -> None:
+        return None
+
+
+class DecisionJournal:
+    """Per-function decision documents, in commit (module) order."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._docs: Dict[str, Dict[str, object]] = {}
+        self._order: List[str] = []
+
+    def function(self, function) -> FunctionDecisions:
+        """Open the journal for one function's promotion attempt."""
+        return FunctionDecisions(self, function)
+
+    def _commit(self, doc: Dict[str, object]) -> None:
+        name = str(doc.get("function"))
+        if name not in self._docs:
+            self._order.append(name)
+        self._docs[name] = doc
+
+    def mark(self, name: str, status: str) -> None:
+        """Re-stamp a function's document after the pipeline's verdict
+        (``rolled_back``, ``quarantined``): its decisions describe an
+        attempt whose transformations were not kept."""
+        doc = self._docs.get(name)
+        if doc is not None:
+            doc["status"] = status
+
+    def absorb(self, exported: Optional[Dict[str, object]]) -> None:
+        """Adopt a worker's exported function document (module order is
+        the caller's responsibility, as for spans and metrics)."""
+        if exported:
+            self._commit(dict(exported))
+
+    def export(self) -> List[Dict[str, object]]:
+        return [self._docs[name] for name in self._order]
+
+    def summary(self) -> Dict[str, object]:
+        """The roll-up stored in ``PipelineDiagnostics.decisions``."""
+        totals = {"candidates": 0}
+        totals.update({key: 0 for key in _COUNT_KEYS})
+        statuses: Dict[str, int] = {}
+        for doc in self.export():
+            status = str(doc.get("status", "committed"))
+            statuses[status] = statuses.get(status, 0) + 1
+            if status != "committed":
+                continue
+            for key, value in doc["counts"].items():
+                totals[key] = totals.get(key, 0) + int(value)
+        return {
+            "version": DECISIONS_SCHEMA_VERSION,
+            "functions": len(self._order),
+            "statuses": statuses,
+            "totals": totals,
+        }
+
+    def jsonl_lines(
+        self, metadata: Optional[Dict[str, object]] = None
+    ) -> Iterator[str]:
+        """One ``metadata`` line, then one line per journaled access."""
+        head: Dict[str, object] = {
+            "type": "metadata",
+            "version": DECISIONS_SCHEMA_VERSION,
+            "summary": self.summary(),
+        }
+        if metadata:
+            head.update(metadata)
+        yield json.dumps(head, sort_keys=True)
+        for doc in self.export():
+            for record in doc["accesses"]:
+                line = {
+                    "type": "decision",
+                    "function": doc["function"],
+                    "status": doc["status"],
+                }
+                line.update(record)
+                yield json.dumps(line, sort_keys=True)
+
+    def write(self, path: str, metadata: Optional[Dict[str, object]] = None) -> None:
+        from repro.observability.export import atomic_write_text
+
+        atomic_write_text(path, "\n".join(self.jsonl_lines(metadata)) + "\n")
+
+
+class NullDecisionJournal:
+    """The disabled journal — a true null object."""
+
+    __slots__ = ()
+    enabled = False
+
+    def function(self, function) -> NullFunctionDecisions:
+        return NULL_FUNCTION_DECISIONS
+
+    def mark(self, name: str, status: str) -> None:
+        return None
+
+    def absorb(self, exported) -> None:
+        return None
+
+    def export(self) -> List[Dict[str, object]]:
+        return []
+
+    def summary(self) -> Dict[str, object]:
+        return {}
+
+    def jsonl_lines(self, metadata=None) -> Iterator[str]:
+        return iter(())
+
+    def write(self, path: str, metadata=None) -> None:
+        return None
+
+
+NULL_FUNCTION_DECISIONS = NullFunctionDecisions()
+NULL_DECISIONS = NullDecisionJournal()
+
+
+def _plan_detail(plan) -> Dict[str, object]:
+    rationale = getattr(plan, "rationale", None)
+    if callable(rationale):
+        return dict(rationale())
+    return {
+        "profit_loads": plan.profit_loads,
+        "profit_stores": plan.profit_stores,
+        "profit": plan.profit,
+        "loads_added": len(plan.loads_added),
+        "stores_added": len(plan.stores_added),
+        "replaceable_loads": len(plan.replaceable_loads),
+        "remove_stores": plan.remove_stores,
+        "worthwhile": plan.worthwhile,
+    }
+
+
+# -- ambient journal -------------------------------------------------------
+
+_ACTIVE: contextvars.ContextVar[Optional[DecisionJournal]] = contextvars.ContextVar(
+    "repro-decision-journal", default=None
+)
+
+
+def ambient() -> "DecisionJournal | NullDecisionJournal":
+    """The journal installed by the innermost :func:`activate`, or the
+    null journal — the driver records unconditionally."""
+    journal = _ACTIVE.get()
+    return NULL_DECISIONS if journal is None else journal
+
+
+@contextlib.contextmanager
+def activate(journal: Optional[DecisionJournal]):
+    """Install ``journal`` as the ambient decision sink (None deactivates)."""
+    token = _ACTIVE.set(journal)
+    try:
+        yield journal
+    finally:
+        _ACTIVE.reset(token)

@@ -20,6 +20,8 @@ event log, anything else the Chrome trace.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Dict, List, Optional
 
 from repro.observability.tracer import SpanRecord, Tracer
@@ -27,6 +29,30 @@ from repro.observability.tracer import SpanRecord, Tracer
 #: Version of the exported artifact schema *and* of the ``observability``
 #: section in ``PipelineDiagnostics`` — bump together.
 SCHEMA_VERSION = 1
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically: a temp file in the same
+    directory, fsynced, then ``os.replace``d over the target.  A crashed
+    or killed run leaves either the old artifact or the new one on disk,
+    never a truncated hybrid — CI jobs that upload artifacts on failure
+    depend on this."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def build_metadata(
@@ -94,9 +120,9 @@ def chrome_trace_document(
 def write_chrome_trace(
     path: str, tracer: Tracer, metadata: Optional[Dict[str, object]] = None
 ) -> None:
-    with open(path, "w") as handle:
-        json.dump(chrome_trace_document(tracer, metadata), handle, indent=2)
-        handle.write("\n")
+    atomic_write_text(
+        path, json.dumps(chrome_trace_document(tracer, metadata), indent=2) + "\n"
+    )
 
 
 # -- JSONL event log -------------------------------------------------------
@@ -128,9 +154,9 @@ def write_jsonl(
     metrics=None,
     metadata: Optional[Dict[str, object]] = None,
 ) -> None:
-    with open(path, "w") as handle:
-        for line in jsonl_lines(tracer, metrics, metadata):
-            handle.write(line + "\n")
+    atomic_write_text(
+        path, "".join(line + "\n" for line in jsonl_lines(tracer, metrics, metadata))
+    )
 
 
 def write_trace(
@@ -163,9 +189,11 @@ def metrics_document(
 def write_metrics(
     path: str, metrics, metadata: Optional[Dict[str, object]] = None
 ) -> None:
-    with open(path, "w") as handle:
-        json.dump(metrics_document(metrics, metadata), handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_text(
+        path,
+        json.dumps(metrics_document(metrics, metadata), indent=2, sort_keys=True)
+        + "\n",
+    )
 
 
 # -- text summary ----------------------------------------------------------

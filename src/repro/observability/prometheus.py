@@ -1,0 +1,185 @@
+"""Prometheus text-exposition rendering for metrics documents.
+
+The service tier speaks JSON by default (`GET /metrics` on the daemon
+and the router), but a scraping fleet wants the Prometheus text format
+(version 0.0.4).  This module is a pure renderer: it converts either a
+:meth:`~repro.observability.metrics.MetricsRegistry.as_dict` snapshot or
+a plain nested dict of numeric values (the daemon's admission/breaker/
+engine document) into :class:`Sample` rows, then
+:func:`exposition` groups them by metric name — one ``# TYPE`` comment
+per name, every labelled series beneath it — and returns the exposition
+body.
+
+Naming follows the Prometheus data model: dots and dashes become
+underscores, counters keep their registry name (plus labels), histogram
+summaries expand to ``_count``/``_sum``/``_min``/``_max`` series.  The
+renderer never raises on odd values — non-numeric leaves are skipped,
+``None`` gauges are withheld — because ``/metrics`` must stay servable
+while the process is degraded.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Mapping, Optional
+
+#: The content type a text-exposition response must carry.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, namespace: str = "") -> str:
+    """A raw registry name (``router.jobs_total``) as a valid Prometheus
+    metric name, optionally under a ``namespace`` prefix."""
+    full = f"{namespace}.{name}" if namespace else name
+    sanitized = _NAME_OK.sub("_", full)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Optional[Mapping[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class Sample:
+    """One exposition row: a metric name, its type, labels, and a value."""
+
+    __slots__ = ("name", "kind", "labels", "value")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        value: float,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.labels = dict(labels or {})
+        self.value = value
+
+    def line(self) -> str:
+        value = self.value
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        return f"{self.name}{_render_labels(self.labels)} {value}"
+
+
+def _numeric(value: object) -> Optional[float]:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+def registry_samples(
+    snapshot: Mapping[str, Mapping[str, object]],
+    namespace: str = "repro",
+    labels: Optional[Mapping[str, str]] = None,
+) -> List[Sample]:
+    """Samples for a :meth:`MetricsRegistry.as_dict` snapshot.
+
+    Counters and gauges map one-to-one; a histogram becomes
+    ``_count``/``_sum`` (and ``_min``/``_max`` gauges when observed).
+    Gauges that were never set (value ``None``) are withheld rather than
+    exported as a misleading zero.
+    """
+    samples: List[Sample] = []
+    for name, doc in snapshot.items():
+        kind = doc.get("type")
+        base = metric_name(name, namespace)
+        if kind == "counter":
+            samples.append(
+                Sample(base, "counter", float(doc.get("value", 0) or 0), labels)
+            )
+        elif kind == "gauge":
+            value = _numeric(doc.get("value"))
+            if value is not None:
+                samples.append(Sample(base, "gauge", value, labels))
+        elif kind == "histogram":
+            samples.append(
+                Sample(base + "_count", "counter", float(doc.get("count", 0) or 0), labels)
+            )
+            samples.append(
+                Sample(base + "_sum", "counter", float(doc.get("sum", 0.0) or 0.0), labels)
+            )
+            for stat in ("min", "max"):
+                value = _numeric(doc.get(stat))
+                if value is not None:
+                    samples.append(Sample(f"{base}_{stat}", "gauge", value, labels))
+    return samples
+
+
+def document_samples(
+    doc: Mapping[str, object],
+    namespace: str,
+    labels: Optional[Mapping[str, str]] = None,
+) -> List[Sample]:
+    """Samples for a plain nested document (e.g. the daemon's
+    ``/metrics`` JSON: admission, breaker, and engine counters).
+
+    Nested dicts flatten with ``_`` joins; numeric and boolean leaves
+    become gauges; strings and ``None`` are skipped.
+    """
+    samples: List[Sample] = []
+    _flatten(doc, namespace, labels, samples)
+    return samples
+
+
+def _flatten(
+    doc: Mapping[str, object],
+    prefix: str,
+    labels: Optional[Mapping[str, str]],
+    out: List[Sample],
+) -> None:
+    for key in sorted(doc):
+        value = doc[key]
+        name = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, Mapping):
+            _flatten(value, name, labels, out)
+            continue
+        number = _numeric(value)
+        if number is not None:
+            out.append(Sample(metric_name(name), "gauge", number, labels))
+
+
+def exposition(samples: Iterable[Sample]) -> str:
+    """The text-exposition body: samples grouped by metric name in
+    first-seen order, one ``# TYPE`` comment per name."""
+    by_name: Dict[str, List[Sample]] = {}
+    kinds: Dict[str, str] = {}
+    for sample in samples:
+        by_name.setdefault(sample.name, []).append(sample)
+        kinds.setdefault(sample.name, sample.kind)
+    lines: List[str] = []
+    for name, group in by_name.items():
+        lines.append(f"# TYPE {name} {kinds[name]}")
+        lines.extend(sample.line() for sample in group)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def wants_text(accept_header: Optional[str]) -> bool:
+    """Content negotiation: the client asked for the text exposition.
+
+    JSON stays the default — only an explicit ``text/plain`` (or an
+    OpenMetrics accept) selects the Prometheus body, so existing JSON
+    consumers (the smokes, `repro-report`) keep working unchanged.
+    """
+    if not accept_header:
+        return False
+    accept = accept_header.lower()
+    return "text/plain" in accept or "openmetrics" in accept

@@ -23,8 +23,63 @@ method calls when tracing is off.
 from __future__ import annotations
 
 import os
+import re
 import time
 from typing import Dict, List, Optional
+
+_TRACEPARENT = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})"
+    r"-(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+
+class TraceContext:
+    """W3C-traceparent-style trace context: one ``trace_id`` for a whole
+    distributed request, plus the span id of the immediate caller.
+
+    The service tier carries it in the ``traceparent`` HTTP header
+    (``00-<trace_id>-<parent_span_id>-01``); the pipeline stamps the
+    ``trace_id`` onto its root spans (via ``Tracer(trace_id=...)``) so a
+    merged Chrome trace from router, daemon, engine, and warm-pool
+    workers forms one connected tree under one id.
+    """
+
+    __slots__ = ("trace_id", "parent_span_id")
+
+    def __init__(self, trace_id: str, parent_span_id: Optional[str] = None) -> None:
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """A fresh context at the edge of the system (no caller span)."""
+        return cls(os.urandom(16).hex(), None)
+
+    def child(self) -> "TraceContext":
+        """The context to propagate downstream: same trace, a fresh span
+        id standing for *this* hop."""
+        return TraceContext(self.trace_id, os.urandom(8).hex())
+
+    def to_traceparent(self) -> str:
+        parent = self.parent_span_id or os.urandom(8).hex()
+        return f"00-{self.trace_id}-{parent}-01"
+
+    @classmethod
+    def from_traceparent(cls, header: Optional[str]) -> Optional["TraceContext"]:
+        """Parse a ``traceparent`` header; None when absent or malformed
+        (a bad header must never fail a job — it just starts a new trace)."""
+        if not header:
+            return None
+        match = _TRACEPARENT.match(header.strip().lower())
+        if match is None or match.group("trace_id") == "0" * 32:
+            return None
+        return cls(match.group("trace_id"), match.group("span_id"))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"trace_id": self.trace_id, "parent_span_id": self.parent_span_id}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceContext({self.trace_id!r}, parent={self.parent_span_id!r})"
 
 
 class SpanRecord:
@@ -120,10 +175,14 @@ class Span:
 class Tracer:
     """Records spans into an in-memory list; one instance per run/worker."""
 
-    def __init__(self) -> None:
+    def __init__(self, trace_id: Optional[str] = None) -> None:
         self.records: List[SpanRecord] = []
         self._stack: List[SpanRecord] = []
         self._next_id = 1
+        #: Distributed trace id; when set, every *root* span is stamped
+        #: with a ``trace_id`` attribute so cross-process merges stay
+        #: attributable to one request.
+        self.trace_id = trace_id
 
     @property
     def enabled(self) -> bool:
@@ -132,6 +191,9 @@ class Tracer:
     def span(self, name: str, category: str = "pipeline", **attrs: object) -> Span:
         """Open a child span of the innermost open span (or a root)."""
         parent = self._stack[-1].id if self._stack else None
+        attrs = dict(attrs)
+        if parent is None and self.trace_id:
+            attrs.setdefault("trace_id", self.trace_id)
         record = SpanRecord(
             self._next_id,
             parent,
@@ -140,7 +202,7 @@ class Tracer:
             time.time(),
             0.0,
             os.getpid(),
-            dict(attrs),
+            attrs,
         )
         self._next_id += 1
         self.records.append(record)
@@ -254,6 +316,7 @@ class NullTracer:
 
     __slots__ = ()
     records: List[SpanRecord] = []
+    trace_id: Optional[str] = None
 
     @property
     def enabled(self) -> bool:

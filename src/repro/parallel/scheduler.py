@@ -78,6 +78,7 @@ class FunctionResult:
         "cache_stats",
         "spans",
         "metrics",
+        "decisions",
     )
 
     PROMOTED = "promoted"
@@ -96,6 +97,7 @@ class FunctionResult:
         cache_stats: Optional[CacheStats] = None,
         spans: Optional[List[Dict[str, object]]] = None,
         metrics: Optional[Dict[str, Dict[str, object]]] = None,
+        decisions: Optional[Dict[str, object]] = None,
     ) -> None:
         self.name = name
         self.status = status
@@ -113,6 +115,11 @@ class FunctionResult:
         #: The worker-local metrics snapshot (``MetricsRegistry.as_dict``)
         #: to absorb in module order; ``None`` when tracing was off.
         self.metrics = metrics
+        #: This function's exported decision document
+        #: (``FunctionDecisions.export``) when journaling was on;
+        #: ``None`` otherwise, or when the attempt failed before the
+        #: journal committed.
+        self.decisions = decisions
 
 
 class SchedulerError(RuntimeError):
@@ -187,7 +194,13 @@ def _promote_one(name: str) -> FunctionResult:
     # import would be circular.
     from repro.ir.verify import verify_function
     from repro.memory.memssa import build_memory_ssa
-    from repro.observability import NULL_OBSERVABILITY, Observability, activate_metrics
+    from repro.observability import (
+        NULL_OBSERVABILITY,
+        DecisionJournal,
+        Observability,
+        activate_decisions,
+        activate_metrics,
+    )
     from repro.passes.copyprop import propagate_copies
     from repro.passes.dce import (
         dead_code_elimination,
@@ -220,14 +233,22 @@ def _promote_one(name: str) -> FunctionResult:
     # A persistent cache carries cumulative counters; report per-call
     # deltas so the parent's module-order aggregation stays additive.
     cache_before = cache.stats.copy() if cache is not None else None
-    obs = Observability.recording() if state["observe"] else NULL_OBSERVABILITY
+    extras = state.get("extras") or {}
+    obs = (
+        Observability.recording(trace_id=extras.get("trace"))
+        if state["observe"]
+        else NULL_OBSERVABILITY
+    )
+    journal = DecisionJournal() if extras.get("decisions") else None
 
     snap = snapshot_function(function)
     started = time.perf_counter()
     stage = _enter_stage(name, "memssa")
     with activate(cache), activate_metrics(
         obs.metrics if obs.enabled else None
-    ), obs.tracer.span("function:" + name, category="promote") as fn_span:
+    ), activate_decisions(journal), obs.tracer.span(
+        "function:" + name, category="promote"
+    ) as fn_span:
         try:
             # The parent already normalized the CFG in phase 1; recompute
             # the (deterministic) interval tree on this copy.
@@ -284,6 +305,9 @@ def _promote_one(name: str) -> FunctionResult:
     if obs.enabled:
         result.spans = obs.tracer.export()
         result.metrics = obs.metrics.as_dict()
+    if journal is not None:
+        docs = journal.export()
+        result.decisions = docs[0] if docs else None
     return result
 
 
@@ -350,6 +374,7 @@ def promote_functions_parallel(
     observe: bool = False,
     pool=None,
     batch_size: Union[str, int] = "auto",
+    extras: Optional[Dict[str, object]] = None,
 ) -> Tuple[List[FunctionResult], TransportStats]:
     """Fan phases 3+4 out over the warm pool; results in ``names`` order.
 
@@ -382,9 +407,12 @@ def promote_functions_parallel(
     # arbitrary module state, so it always dispatches.
     # ``==``, not ``is``: classmethod access builds a fresh bound-method
     # object every time, so identity would never match.
+    # ``extras`` (decision journaling, a trace id) also disables replay:
+    # a cached dispatch has no decision document or trace-stamped spans.
     reuse_ok = (
         use_cache
         and not observe
+        and not extras
         and alias_model_factory == AliasModel.conservative
     )
     with pool.lock:
@@ -417,7 +445,7 @@ def promote_functions_parallel(
                 "verify": verify,
                 "use_cache": use_cache,
                 "observe": observe,
-                "extras": {},
+                "extras": dict(extras or {}),
             }
             try:
                 meta_blob = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)

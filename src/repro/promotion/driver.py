@@ -19,6 +19,7 @@ from repro.ir import instructions as I
 from repro.ir.basicblock import BasicBlock
 from repro.ir.function import Function
 from repro.memory.memssa import MemorySSA
+from repro.observability import decisions as decision_journal
 from repro.profile.profiles import ProfileData
 from repro.promotion.profitability import plan_no_defs_web, plan_web
 from repro.parallel import cache as analysis_cache
@@ -56,7 +57,7 @@ class PromotionOptions:
         per_web: bool = True,
         require_profit: bool = True,
         pressure_limit: Optional[int] = None,
-        count_tail_stores: bool = False,
+        count_tail_stores: bool = True,
     ) -> None:
         #: Promote in the whole-function root region as well as loops.
         self.promote_root = promote_root
@@ -75,9 +76,13 @@ class PromotionOptions:
         #: registers to color the graph"): stop promoting in a function
         #: once its interference graph needs this many colors.
         self.pressure_limit = pressure_limit
-        #: Refinement over the paper: charge interval-tail stores to the
-        #: store profit, making zero-profit ties idempotent (see
-        #: repro.promotion.profitability.plan_web).
+        #: Refinement over the paper (on by default): charge
+        #: interval-tail stores to the store profit.  The paper's formula
+        #: omits them, which makes the ``>= 0`` tie rule non-idempotent
+        #: and lets a web whose only "removed" store is re-materialized
+        #: at the tails net-add a compensating load (see
+        #: repro.promotion.profitability.plan_web).  Disable for the
+        #: strict-paper ablation arm.
         self.count_tail_stores = count_tail_stores
 
 
@@ -127,6 +132,9 @@ def promote_function(
     options = options or PromotionOptions()
     domtree = analysis_cache.dominator_tree(function)
     stats = FunctionPromotionStats()
+    # The ambient decision journal (a null object when disabled) sees one
+    # call per web, never per access — the disabled path stays cheap.
+    journal = decision_journal.ambient().function(function)
 
     for interval in interval_tree.bottom_up():
         if interval.is_root and not options.promote_root:
@@ -135,14 +143,22 @@ def promote_function(
         if not options.per_web:
             webs = _merge_webs_per_variable(function, interval, webs)
         for web in webs:
-            if _pressure_exceeded(function, options):
+            pressure = _measure_pressure(function, options)
+            if pressure is not None and pressure >= options.pressure_limit:
                 stats.webs_seen += 1
                 stats.webs_skipped += 1
-                _insert_dummy(function, web, _preheader_block(interval), stats)
+                journal.web_blocked_pressure(
+                    web, interval, pressure, options.pressure_limit
+                )
+                _insert_dummy(
+                    function, web, _preheader_block(interval), stats,
+                    interval, journal,
+                )
                 continue
             try:
                 _promote_in_web(
-                    function, mssa, web, interval, profile, domtree, options, stats
+                    function, mssa, web, interval, profile, domtree, options,
+                    stats, journal,
                 )
             except PromotionError:
                 raise
@@ -155,18 +171,21 @@ def promote_function(
                     interval=where,
                     var=web.var.name,
                 ) from exc
+    journal.finish()
     return stats
 
 
-def _pressure_exceeded(function: Function, options: PromotionOptions) -> bool:
-    """Pressure-aware gating: measure the current chromatic requirement
-    and stop promoting once it reaches the configured limit."""
+def _measure_pressure(
+    function: Function, options: PromotionOptions
+) -> Optional[int]:
+    """Pressure-aware gating: the current chromatic requirement, or None
+    when no limit is configured (the measurement is not free)."""
     if options.pressure_limit is None:
-        return False
+        return None
     from repro.regalloc.coloring import colors_needed
     from repro.regalloc.interference import build_interference_graph
 
-    return colors_needed(build_interference_graph(function)) >= options.pressure_limit
+    return colors_needed(build_interference_graph(function))
 
 
 def _promote_in_web(
@@ -178,6 +197,7 @@ def _promote_in_web(
     domtree: DominatorTree,
     options: PromotionOptions,
     stats: FunctionPromotionStats,
+    journal=decision_journal.NULL_FUNCTION_DECISIONS,
 ) -> None:
     """Fig. 4's ``promoteInWeb``."""
     stats.webs_seen += 1
@@ -193,14 +213,17 @@ def _promote_in_web(
             web.load_refs
         )
         if promoted:
-            _promote_no_defs_web(function, web, interval, stats)
+            journal.web_promoted_no_defs(web, interval, plan)
+            _promote_no_defs_web(function, web, interval, stats, journal)
+        else:
+            journal.web_skipped(web, interval, plan)
         need_dummy = (
             web.aliased_load_refs
             if promoted
             else (web.load_refs or web.aliased_load_refs)
         )
         if need_dummy:
-            _insert_dummy(function, web, preheader, stats)
+            _insert_dummy(function, web, preheader, stats, interval, journal)
         if promoted:
             stats.webs_promoted += 1
         else:
@@ -218,11 +241,15 @@ def _promote_in_web(
     )
     if not worthwhile:
         stats.webs_skipped += 1
+        journal.web_skipped(web, interval, plan)
         if web.load_refs or web.store_refs or web.aliased_load_refs:
-            _insert_dummy(function, web, preheader, stats)
+            _insert_dummy(function, web, preheader, stats, interval, journal)
         return
+    journal.web_promoted(web, interval, plan)
 
-    promo = WebPromotion(function, plan, domtree, entry_name)
+    promo = WebPromotion(
+        function, plan, domtree, entry_name, journal=journal, interval=interval
+    )
     promo.init_vr_map()
     promo.insert_loads_at_phi_leaves()
     promo.replace_loads_by_copies()
@@ -242,7 +269,11 @@ def _promote_in_web(
 
 
 def _promote_no_defs_web(
-    function: Function, web: Web, interval: Interval, stats: FunctionPromotionStats
+    function: Function,
+    web: Web,
+    interval: Interval,
+    stats: FunctionPromotionStats,
+    journal=decision_journal.NULL_FUNCTION_DECISIONS,
 ) -> None:
     """No definitions in the interval: one load in the preheader replaces
     every load of the web."""
@@ -256,6 +287,7 @@ def _promote_no_defs_web(
         block.insert_at_front(load)
     else:
         block.insert_before(load, anchor)
+    journal.inserted(load, "load", web, interval, "hoisted-entry-load")
     stats.loads_inserted += 1
     for old in web.load_refs:
         assert old.mem_uses[0] is live_in
@@ -270,6 +302,8 @@ def _insert_dummy(
     web: Web,
     preheader: Optional[BasicBlock],
     stats: FunctionPromotionStats,
+    interval: Optional[Interval] = None,
+    journal=decision_journal.NULL_FUNCTION_DECISIONS,
 ) -> None:
     if preheader is None or web.live_in is None:
         return
@@ -277,6 +311,8 @@ def _insert_dummy(
     term = preheader.terminator
     assert term is not None
     preheader.insert_before(dummy, term)
+    if interval is not None:
+        journal.inserted(dummy, "dummy", web, interval, "dummy-aliased-load")
     stats.dummies_inserted += 1
 
 

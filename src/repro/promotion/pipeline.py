@@ -40,8 +40,10 @@ from repro.memory.aliasing import AliasModel
 from repro.memory.memssa import build_memory_ssa
 from repro.observability import (
     NULL_OBSERVABILITY,
+    DecisionJournal,
     Observability,
     OpCounts,
+    activate_decisions,
     activate_metrics,
 )
 from repro.observability.export import SCHEMA_VERSION
@@ -149,6 +151,10 @@ class PipelineResult:
         #: (:data:`~repro.observability.NULL_OBSERVABILITY` when
         #: tracing was off) — exporters read the trace from here.
         self.observability: Observability = NULL_OBSERVABILITY
+        #: The promotion decision journal the run recorded into, or
+        #: ``None`` when journaling was off — ``--decisions-out`` and the
+        #: diagnostics summary read from here.
+        self.decisions: Optional[DecisionJournal] = None
 
     def totals(self) -> FunctionPromotionStats:
         total = FunctionPromotionStats()
@@ -229,6 +235,7 @@ class PromotionPipeline:
         compiled_interpreter: bool = True,
         resilience: Optional[ResilienceOptions] = None,
         observability: Optional[Observability] = None,
+        decisions: Optional[DecisionJournal] = None,
         analysis_cache: Optional[AnalysisCache] = None,
         batch_size="auto",
         keep_pool: bool = True,
@@ -266,6 +273,9 @@ class PromotionPipeline:
         #: The tracer + metrics bundle; :data:`NULL_OBSERVABILITY` (the
         #: default) makes every instrumentation point a no-op.
         self.observability = observability or NULL_OBSERVABILITY
+        #: The promotion decision journal; ``None`` (the default) keeps
+        #: the driver's decision sites on the null path.
+        self.decisions = decisions
         #: A caller-owned cache to use instead of a fresh per-run one —
         #: how a long-lived service keeps analyses warm across requests.
         #: Entries are fingerprint-validated on every lookup, so reuse
@@ -298,9 +308,10 @@ class PromotionPipeline:
         # A shared (cross-run) cache carries cumulative counters; report
         # only this run's delta.
         stats_before = cache.stats.copy() if cache is not None else None
+        result.decisions = self.decisions
         with activate(cache), activate_metrics(
             obs.metrics if obs.enabled else None
-        ), obs.tracer.span(
+        ), activate_decisions(self.decisions), obs.tracer.span(
             "pipeline", module=module.name, jobs=self.jobs
         ):
             self._run_phases(module, result)
@@ -308,6 +319,8 @@ class PromotionPipeline:
             result.cache_stats.absorb(cache.stats.since(stats_before))
         if obs.enabled:
             self._finalize_observability(result)
+        if self.decisions is not None:
+            result.diagnostics.decisions = self.decisions.summary()
         if not self.keep_pool and self.jobs != 1:
             from repro.parallel.pool import shutdown_pool
 
@@ -331,6 +344,12 @@ class PromotionPipeline:
             "resilience": None if resilience is None else resilience.as_dict(),
         }
         return stamp
+
+    def _mark_decision(self, name: str, status: str) -> None:
+        """Re-stamp a function's decision document after the pipeline
+        overrode the promotion attempt (rollback, quarantine)."""
+        if self.decisions is not None:
+            self.decisions.mark(name, status)
 
     def _finalize_observability(self, result: PipelineResult) -> None:
         """Publish run aggregates into the metrics registry and the
@@ -520,6 +539,7 @@ class PromotionPipeline:
                     snap.restore()
                     fn_span.set("status", "rolled_back").set("stage", stage)
                     result.stats[name] = FunctionPromotionStats()
+                    self._mark_decision(name, "rolled_back")
                     diags.record_rollback(
                         name,
                         stage=stage,
@@ -568,6 +588,7 @@ class PromotionPipeline:
                 use_cache=self.use_cache,
                 observe=obs.enabled,
                 batch_size=self.batch_size,
+                extras=self._worker_extras(),
             )
         except SchedulerError as exc:
             diags.warn(str(exc))
@@ -595,10 +616,12 @@ class PromotionPipeline:
         for name, outcome in zip(prepared, outcomes):
             function = module.functions[name]
             # Graft the worker's spans (its pid is the trace lane) and
-            # absorb its metrics — in module order, so the aggregate is
-            # identical to a serial run.
+            # absorb its metrics and decision documents — in module
+            # order, so the aggregate is identical to a serial run.
             obs.tracer.merge(outcome.spans)
             obs.metrics.absorb(outcome.metrics)
+            if self.decisions is not None:
+                self.decisions.absorb(outcome.decisions)
             if outcome.cache_stats is not None and result.cache_stats is not None:
                 result.cache_stats.absorb(outcome.cache_stats)
             if outcome.status != FunctionResult.PROMOTED:
@@ -606,6 +629,7 @@ class PromotionPipeline:
                 # function was never touched — record the rollback with
                 # the stage and error the worker observed.
                 result.stats[name] = FunctionPromotionStats()
+                self._mark_decision(name, "rolled_back")
                 diags.record_rollback(
                     name,
                     stage=outcome.stage,
@@ -620,6 +644,7 @@ class PromotionPipeline:
             except TransportError as exc:
                 snap.restore()
                 result.stats[name] = FunctionPromotionStats()
+                self._mark_decision(name, "rolled_back")
                 diags.record_rollback(
                     name,
                     stage="install",
@@ -638,6 +663,19 @@ class PromotionPipeline:
                 webs_promoted=stats.webs_promoted,
             )
         return True
+
+    def _worker_extras(self) -> Optional[Dict[str, object]]:
+        """Observability state to carry into worker processes: whether to
+        journal decisions, and the distributed trace id for their root
+        spans.  ``None`` when there is nothing to carry — the warm pool
+        can then reuse fully generic workers."""
+        extras: Dict[str, object] = {}
+        if self.decisions is not None:
+            extras["decisions"] = True
+        trace_id = self.observability.tracer.trace_id
+        if trace_id:
+            extras["trace"] = trace_id
+        return extras or None
 
     def _phase34_resilient(
         self,
@@ -664,6 +702,7 @@ class PromotionPipeline:
             self.use_cache,
             self.resilience,
             observe=obs.enabled,
+            extras=self._worker_extras(),
         )
         try:
             outcomes, report = executor.run()
@@ -708,6 +747,8 @@ class PromotionPipeline:
                     obs.metrics.inc("resilience." + rec.outcome.replace("-", "_"))
             obs.tracer.merge(outcome.spans)
             obs.metrics.absorb(outcome.metrics)
+            if self.decisions is not None:
+                self.decisions.absorb(outcome.decisions)
             if outcome.cache_stats is not None and result.cache_stats is not None:
                 result.cache_stats.absorb(outcome.cache_stats)
             if outcome.status == ResilientOutcome.QUARANTINED:
@@ -716,6 +757,7 @@ class PromotionPipeline:
                 # degraded but sound by construction.
                 result.stats[name] = FunctionPromotionStats()
                 obs.metrics.inc("resilience.quarantines")
+                self._mark_decision(name, "quarantined")
                 diags.record_quarantine(
                     name,
                     reason=outcome.reason,
@@ -727,6 +769,7 @@ class PromotionPipeline:
                 continue
             if outcome.status != ResilientOutcome.PROMOTED:
                 result.stats[name] = FunctionPromotionStats()
+                self._mark_decision(name, "rolled_back")
                 record = diags.record_rollback(
                     name,
                     stage=outcome.stage,
@@ -742,6 +785,7 @@ class PromotionPipeline:
             except TransportError as exc:
                 snap.restore()
                 result.stats[name] = FunctionPromotionStats()
+                self._mark_decision(name, "rolled_back")
                 diags.record_rollback(
                     name,
                     stage="install",
@@ -832,6 +876,7 @@ class PromotionPipeline:
                 committed[name].install(module.functions[name])
         for name in culprits:
             result.stats[name] = FunctionPromotionStats()
+            self._mark_decision(name, "rolled_back")
             diags.record_rollback(
                 name,
                 stage="re-execution",

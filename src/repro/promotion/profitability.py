@@ -62,6 +62,21 @@ class WebPlan:
             return False
         return self.profit >= 0
 
+    def rationale(self) -> dict:
+        """The §4.3 numbers behind this plan, as the decision journal
+        records them: the two profit halves, the compensation volume,
+        and the store-removal verdict they imply."""
+        return {
+            "profit_loads": self.profit_loads,
+            "profit_stores": self.profit_stores,
+            "profit": self.profit,
+            "loads_added": len(self.loads_added),
+            "stores_added": len(self.stores_added),
+            "replaceable_loads": len(self.replaceable_loads),
+            "remove_stores": self.remove_stores,
+            "worthwhile": self.worthwhile,
+        }
+
 
 def plan_web(
     web: Web,
@@ -71,12 +86,16 @@ def plan_web(
 ) -> WebPlan:
     """Compute the paper's loads-added / stores-added sets and profit.
 
-    ``count_tail_stores`` enables a refinement over the paper: the
-    stores inserted at the interval tails are charged to the store
-    profit as well.  The paper's formula omits them, which makes the
-    ``>= 0`` tie rule non-idempotent — a zero-profit web re-promoted
-    later accretes tail stores each time (measured in
-    ``tests/e2e/test_idempotence.py``).
+    ``count_tail_stores`` enables a refinement over the paper (and the
+    pipeline's default): the stores inserted at the interval tails are
+    charged to the store profit as well.  The paper's formula omits
+    them, which (a) makes the ``>= 0`` tie rule non-idempotent — a
+    zero-profit web re-promoted later accretes tail stores each time
+    (measured in ``tests/e2e/test_idempotence.py``) — and (b) approves
+    webs whose claimed store removal is illusory because the store is
+    re-materialized at the tails, net-adding the compensating entry
+    load (hypothesis seed 261 in
+    ``tests/property/test_promotion_semantics.py``).
     """
     plan = WebPlan(web)
     defined_by_store = {id(s.mem_defs[0]) for s in web.store_refs}

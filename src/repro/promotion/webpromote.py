@@ -31,6 +31,7 @@ from repro.ir.function import Function
 from repro.ir.values import VReg
 from repro.memory.resources import MemName
 from repro.ssa.incremental import update_ssa_for_cloned_resources
+from repro.observability import decisions as decision_journal
 from repro.promotion.profitability import WebPlan
 
 
@@ -43,12 +44,17 @@ class WebPromotion:
         plan: WebPlan,
         domtree: DominatorTree,
         entry_name: MemName,
+        journal=decision_journal.NULL_FUNCTION_DECISIONS,
+        interval=None,
     ) -> None:
         self.function = function
         self.plan = plan
         self.web = plan.web
         self.domtree = domtree
         self.entry_name = entry_name
+        #: Decision journal for compensating insertions (null when off).
+        self.journal = journal
+        self.interval = interval if interval is not None else plan.web.interval
         #: vrMap: memory name -> virtual register holding its value.
         self.vr_map: Dict[int, VReg] = {}
         #: (leaf name id, block id) -> register of the inserted leaf load.
@@ -87,6 +93,9 @@ class WebPromotion:
             block.insert_before(load, anchor)
             self.leaf_loads[(id(name), id(block))] = t
             self.vr_map.setdefault(id(name), t)
+            self.journal.inserted(
+                load, "load", self.web, self.interval, "phi-leaf-load"
+            )
             self.stats["loads_inserted"] += 1
 
     def replace_loads_by_copies(self) -> None:
@@ -157,6 +166,9 @@ class WebPromotion:
             store.mem_defs = [new_name]
             block.insert_before(store, anchor)
             self.cloned.append(new_name)
+            self.journal.inserted(
+                store, "store", self.web, self.interval, "aliased-load-flush-store"
+            )
             self.stats["stores_inserted"] += 1
 
     def insert_stores_at_interval_tails(self) -> None:
@@ -179,6 +191,9 @@ class WebPromotion:
             store.mem_defs = [new_name]
             tail.insert_at_front(store)
             self.cloned.append(new_name)
+            self.journal.inserted(
+                store, "store", self.web, self.interval, "interval-tail-store"
+            )
             self.stats["tail_stores_inserted"] += 1
 
     def run_ssa_update(self, all_names: List[MemName]) -> None:
@@ -204,6 +219,9 @@ class WebPromotion:
             preheader.insert_before(dummy, term)
         else:  # pragma: no cover - preheaders always end in a jump
             preheader.append(dummy)
+        self.journal.inserted(
+            dummy, "dummy", self.web, self.interval, "dummy-aliased-load"
+        )
         self.stats["dummies_inserted"] += 1
 
     # -- helpers ------------------------------------------------------------

@@ -119,6 +119,10 @@ class PipelineDiagnostics:
         #: *observed* run; stays ``None`` when tracing is disabled so a
         #: disabled run's diagnostics are byte-identical to pre-layer ones.
         self.observability: Optional[Dict[str, object]] = None
+        #: The decision-journal roll-up (``DecisionJournal.summary()``)
+        #: when journaling ran; ``None`` keeps a journal-off run's
+        #: diagnostics byte-identical to pre-journal ones.
+        self.decisions: Optional[Dict[str, object]] = None
 
     # -- recording -------------------------------------------------------
 
@@ -278,14 +282,16 @@ class PipelineDiagnostics:
             "attempt_histories": dict(self.attempt_histories),
             "resilience": dict(self.resilience) if self.resilience else None,
             "observability": dict(self.observability) if self.observability else None,
+            "decisions": dict(self.decisions) if self.decisions else None,
         }
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent)
 
     def write(self, path: str) -> None:
-        with open(path, "w") as handle:
-            handle.write(self.to_json() + "\n")
+        from repro.observability.export import atomic_write_text
+
+        atomic_write_text(path, self.to_json() + "\n")
 
 
 def _first_line(error: Optional[BaseException]) -> Optional[str]:

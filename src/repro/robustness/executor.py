@@ -130,6 +130,7 @@ class ResilientOutcome:
         quarantine: Optional[QuarantineEntry] = None,
         spans: Optional[List[Dict[str, object]]] = None,
         metrics: Optional[Dict[str, Dict[str, object]]] = None,
+        decisions: Optional[Dict[str, object]] = None,
     ) -> None:
         self.name = name
         self.status = status
@@ -142,11 +143,13 @@ class ResilientOutcome:
         self.cache_stats = cache_stats
         self.history = history or AttemptHistory(name)
         self.quarantine = quarantine
-        #: Worker span records / metrics snapshot from the *final*
-        #: attempt (earlier attempts are reconstructed from ``history``);
-        #: ``None`` when tracing was off or no attempt ran to completion.
+        #: Worker span records / metrics snapshot / decision document
+        #: from the *final* attempt (earlier attempts are reconstructed
+        #: from ``history``); ``None`` when the corresponding layer was
+        #: off or no attempt ran to completion.
         self.spans = spans
         self.metrics = metrics
+        self.decisions = decisions
 
 
 class ExecutorReport:
@@ -292,6 +295,7 @@ class ResilientExecutor:
         resilience: ResilienceOptions,
         observe: bool = False,
         pool=None,
+        extras: Optional[Dict[str, object]] = None,
     ) -> None:
         from repro.parallel.transport import export_profile
 
@@ -303,6 +307,10 @@ class ResilientExecutor:
         self._module = module
         self._pool = pool
         self._profile_map = export_profile(profile, module)
+        # Chaos rides the meta extras; caller extras (decision journaling,
+        # a distributed trace id) merge alongside it.
+        worker_extras: Dict[str, object] = dict(extras or {})
+        worker_extras["chaos"] = resilience.chaos
         self._meta = {
             "profile_map": self._profile_map,
             "options": options,
@@ -310,7 +318,7 @@ class ResilientExecutor:
             "verify": verify,
             "use_cache": use_cache,
             "observe": observe,
-            "extras": {"chaos": resilience.chaos},
+            "extras": worker_extras,
         }
         self._ir_key: Optional[str] = None
         self._meta_key: Optional[str] = None
@@ -499,6 +507,7 @@ class ResilientExecutor:
                 history=state.history,
                 spans=result.spans,
                 metrics=result.metrics,
+                decisions=result.decisions,
             )
             return
         if self.resilience.retry_policy.is_transient(result.error_type):
@@ -535,6 +544,7 @@ class ResilientExecutor:
             history=state.history,
             spans=result.spans,
             metrics=result.metrics,
+            decisions=result.decisions,
         )
 
     def _register_failure(
@@ -549,6 +559,8 @@ class ResilientExecutor:
     ) -> None:
         """Record one transient-class failed attempt: schedule a backoff
         retry, or quarantine when the budget is exhausted."""
+        from repro.observability import flightrecorder
+
         name = state.name
         state.attempts += 1
         counter = {
@@ -557,6 +569,15 @@ class ResilientExecutor:
             AttemptRecord.TRANSIENT: "transient_faults",
         }[kind]
         setattr(self.report, counter, getattr(self.report, counter) + 1)
+        flightrecorder.ambient().record(
+            "executor.attempt_failed",
+            function=name,
+            attempt=state.attempts,
+            outcome=kind,
+            error_type=error_type,
+            reason=reason,
+            stage=stage,
+        )
         if self.quarantine.exhausted(state.attempts):
             state.history.add(
                 AttemptRecord(
@@ -578,6 +599,14 @@ class ResilientExecutor:
                 last_outcome=kind,
             )
             self.report.quarantined.append(name)
+            recorder = flightrecorder.ambient()
+            recorder.record(
+                "executor.quarantine",
+                function=name,
+                attempts=state.attempts,
+                reason=entry.reason,
+            )
+            recorder.dump(f"quarantine-{name}")
             outcomes[name] = ResilientOutcome(
                 name,
                 ResilientOutcome.QUARANTINED,

@@ -94,6 +94,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="also serve JSONL envelopes over stdin/stdout; EOF drains",
     )
+    parser.add_argument(
+        "--artifacts-dir",
+        default=None,
+        metavar="DIR",
+        help="where the flight recorder dumps its ring on crash/drain",
+    )
     options = parser.parse_args(argv)
 
     limits = None
@@ -112,6 +118,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             drain_grace_s=options.drain_grace,
             body_timeout_s=options.body_timeout,
             limits=limits,
+            artifacts_dir=options.artifacts_dir,
         )
     except ValueError as exc:
         print(f"repro-serve: error: {exc}", file=sys.stderr)

@@ -23,6 +23,8 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Optional
 
+from repro.observability import flightrecorder
+
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
@@ -118,6 +120,15 @@ class CircuitBreaker:
         self.trips += 1
         self._opened_at = self._clock()
         self.consecutive_failures = 0
+        # An opening breaker is exactly the moment whose prelude matters:
+        # dump the ring so the failures that tripped it are on disk.
+        recorder = flightrecorder.ambient()
+        recorder.record(
+            "breaker.open",
+            trips=self.trips,
+            backoff_s=self._current_backoff_s(),
+        )
+        recorder.dump("breaker-open")
 
     def as_dict(self) -> Dict[str, object]:
         return {

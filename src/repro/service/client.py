@@ -76,15 +76,23 @@ class ServiceClient:
     async def get(self, path: str) -> Response:
         return await self.request("GET", path)
 
-    async def submit(self, payload: Dict[str, object], stream: bool = False):
+    async def submit(
+        self,
+        payload: Dict[str, object],
+        stream: bool = False,
+        trace=None,
+    ):
         """Submit a job.  Non-streaming returns a :class:`Response`;
-        streaming returns the list of decoded NDJSON event documents."""
+        streaming returns the list of decoded NDJSON event documents.
+        ``trace`` (a :class:`~repro.observability.tracer.TraceContext`)
+        joins the request to a distributed trace via ``traceparent``."""
         body = json.dumps(payload).encode("utf-8")
+        headers = {"traceparent": trace.to_traceparent()} if trace else None
         if not stream:
-            return await self.request("POST", "/v1/jobs", body)
+            return await self.request("POST", "/v1/jobs", body, headers)
         reader, writer = await self._connect()
         try:
-            await send_request(writer, "POST", "/v1/jobs?stream=1", body)
+            await send_request(writer, "POST", "/v1/jobs?stream=1", body, headers)
             await asyncio.wait_for(
                 reader.readuntil(b"\r\n\r\n"), timeout=self.timeout_s
             )

@@ -22,10 +22,15 @@ the router and checks the properties the sharding design promises:
    of the cluster SIGTERMs to exit 0, and no process group leaks
    workers.
 
+On top of byte identity, one streamed job runs under a caller-minted
+trace: the router's relay span and the backend's span tree must all
+carry that one ``trace_id``, parent-linked across the hop.
+
 ``--metrics-out`` writes the router's final ``/metrics`` document to a
 file (CI uploads it as an artifact); ``--artifacts-dir`` tees every
-process's stderr for post-mortem.  Exit 0 on success, 1 on a failed
-check, 2 on harness trouble.
+process's stderr for post-mortem and becomes every process's flight
+recorder dump directory.  Exit 0 on success, 1 on a failed check, 2 on
+harness trouble.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench.workloads import ORDER, WORKLOADS
+from repro.observability import TraceContext
 from repro.service.client import Response, ServiceClient
 from repro.service.cluster import LocalCluster
 from repro.service.smoke import SmokeFailure, check, fresh_serial_run
@@ -154,6 +160,45 @@ async def run_checks(
     )
     print(f"cluster-smoke: streaming ok ({len(events)} NDJSON events relayed)")
 
+    # 3c. End-to-end trace continuity: a caller-minted trace survives
+    # the router hop into the backend, and every stamped span — the
+    # router's relay span and the daemon/worker spans streamed back —
+    # agrees on the one trace id, with the daemon's root span parented
+    # on the router's span.
+    trace = TraceContext.new()
+    events = await client.submit(payloads[0][1], stream=True, trace=trace)
+    spans = [e for e in events if e.get("event") == "span"]
+    relay = [s for s in spans if s.get("name") == "router:relay"]
+    roots = [s for s in spans if s.get("name") == "daemon:job"]
+    check(len(relay) == 1, f"expected 1 router:relay span, got {len(relay)}")
+    check(len(roots) == 1, f"expected 1 daemon:job span, got {len(roots)}")
+    stamped = {
+        s["attrs"]["trace_id"]
+        for s in spans
+        if isinstance(s.get("attrs"), dict) and s["attrs"].get("trace_id")
+    }
+    check(
+        stamped == {trace.trace_id},
+        f"trace ids across the hop: {sorted(stamped)}, "
+        f"expected exactly {{{trace.trace_id!r}}}",
+    )
+    relay_span_id = relay[0]["attrs"].get("span_id")
+    root_parent = roots[0]["attrs"].get("parent_span_id")
+    check(
+        bool(relay_span_id) and root_parent == relay_span_id,
+        f"daemon:job parent_span_id {root_parent!r} does not link to "
+        f"router:relay span_id {relay_span_id!r}",
+    )
+    check(
+        events[-1].get("event") == "result"
+        and events[-1].get("trace_id") == trace.trace_id,
+        "streamed result event does not carry the caller's trace id",
+    )
+    print(
+        f"cluster-smoke: trace continuity ok ({len(spans)} spans under "
+        f"trace {trace.trace_id}, router span parents the backend tree)"
+    )
+
     # 4. Kill a serving backend mid-wave: zero failed jobs.  The wave
     # starts, the sticky home of several workloads gets SIGTERM, and
     # every job must still return 200 byte-identical — served either by
@@ -235,21 +280,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--artifacts-dir",
         metavar="DIR",
-        help="tee every process's stderr into DIR for post-mortem",
+        help="tee every process's stderr into DIR and dump flight "
+        "recorders there",
     )
     options = parser.parse_args(argv)
 
+    daemon_args = list(DAEMON_ARGS)
+    router_args = list(ROUTER_ARGS)
     if options.artifacts_dir:
         os.makedirs(options.artifacts_dir, exist_ok=True)
+        # Point every process's crash flight recorder at the artifacts
+        # dir so breaker trips, engine crashes, and drain dumps land
+        # where CI collects them.
+        daemon_args += ["--artifacts-dir", options.artifacts_dir]
+        router_args += ["--artifacts-dir", options.artifacts_dir]
     cluster = LocalCluster(
         backends=options.backends,
         workers=options.workers,
-        daemon_args=DAEMON_ARGS,
+        daemon_args=daemon_args,
         stderr_dir=options.artifacts_dir,
     )
     try:
         cluster.start()
-        router = cluster.start_router(ROUTER_ARGS)
+        router = cluster.start_router(router_args)
     except (RuntimeError, OSError, ValueError) as exc:
         print(f"cluster-smoke: boot error: {exc}", file=sys.stderr)
         cluster.kill()

@@ -50,6 +50,7 @@ class ServiceConfig:
         max_body_bytes: int = 2_500_000,
         limits: Optional[InputLimits] = None,
         result_cache_size: int = 64,
+        artifacts_dir: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -92,6 +93,10 @@ class ServiceConfig:
         self.max_body_bytes = max_body_bytes
         self.limits = limits or InputLimits()
         self.result_cache_size = result_cache_size
+        #: Where the flight recorder dumps its ring on crash, breaker
+        #: trip, quarantine, or drain; ``None`` disables dumping (events
+        #: still accumulate in memory for ``/healthz`` debugging).
+        self.artifacts_dir = artifacts_dir
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -110,4 +115,5 @@ class ServiceConfig:
             "max_body_bytes": self.max_body_bytes,
             "limits": self.limits.as_dict(),
             "result_cache_size": self.result_cache_size,
+            "artifacts_dir": self.artifacts_dir,
         }

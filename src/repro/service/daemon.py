@@ -40,7 +40,12 @@ import time
 from typing import Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.observability import Observability
+from repro.observability import FlightRecorder, Observability, TraceContext
+from repro.observability import flightrecorder as flightrecorder_mod
+from repro.observability.prometheus import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+)
+from repro.observability.prometheus import document_samples, exposition, wants_text
 from repro.service.admission import AdmissionController
 from repro.service.breaker import CircuitBreaker
 from repro.service.config import ServiceConfig
@@ -82,6 +87,12 @@ class PromotionDaemon:
         self._done: Optional[asyncio.Event] = None
         self._draining = False
         self.drained_clean: Optional[bool] = None
+        #: The crash flight recorder: a bounded ring of recent service
+        #: events, dumped to ``config.artifacts_dir`` on engine crash,
+        #: breaker trip, quarantine, or SIGTERM drain.
+        self.flight = FlightRecorder(
+            "daemon", artifacts_dir=self.config.artifacts_dir
+        )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -93,6 +104,10 @@ class PromotionDaemon:
         self._done = asyncio.Event()
         self._started_at = time.monotonic()
         self._heartbeat = self._started_at
+        # Ambient install lets deep modules (engine, breaker, resilient
+        # executor) record into the daemon's ring without plumbing.
+        flightrecorder_mod.install(self.flight)
+        self.flight.record("daemon.start", workers=self.config.workers)
         self._watchdog_task = asyncio.ensure_future(self._watchdog())
         self._server = await asyncio.start_server(
             self._handle_conn,
@@ -139,6 +154,7 @@ class PromotionDaemon:
         if self._draining:
             return
         self._draining = True
+        self.flight.record("daemon.drain", uptime_s=time.monotonic() - self._started_at)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -149,6 +165,7 @@ class PromotionDaemon:
         self.engine.shutdown(
             wait=bool(self.drained_clean) and self.engine.abandoned == 0
         )
+        self.flight.dump("sigterm-drain")
         if self._watchdog_task is not None:
             self._watchdog_task.cancel()
         if self._done is not None:
@@ -161,11 +178,16 @@ class PromotionDaemon:
 
     # -- the shared job path (HTTP and stdio both land here) -------------
 
-    async def handle_job_payload(self, payload: object, observability=None):
+    async def handle_job_payload(
+        self, payload: object, observability=None, trace=None
+    ):
         """Validate → breaker → admission → dispatch.  Returns a
         :class:`~repro.service.jobs.JobResult`; raises
-        :class:`ServiceError` for every structured rejection."""
+        :class:`ServiceError` for every structured rejection.  ``trace``
+        (or the envelope's own ``trace`` field, for headerless
+        transports) stamps the result with its trace id."""
         job = JobRequest.from_payload(payload)
+        trace = trace or job.trace
         deadline_s = min(
             job.deadline_s
             if job.deadline_s is not None
@@ -173,6 +195,7 @@ class PromotionDaemon:
             self.config.max_deadline_s,
         )
         if not self.breaker.allow():
+            self.flight.record("admission.rejected", reason="circuit-open")
             raise ServiceUnavailableError(
                 "circuit breaker is open after repeated engine failures",
                 reason="circuit-open",
@@ -183,18 +206,33 @@ class PromotionDaemon:
         started = time.monotonic()
         try:
             async with self.admission.slot():
+                self.flight.record("admission.accepted", job_id=job_id)
                 result = await self.engine.run_job(
                     job, deadline_s, job_id, observability
                 )
         except EngineCrashError:
             self.breaker.record_failure()
             raise
-        except ServiceError:
+        except ServiceError as exc:
             self.breaker.record_neutral()
+            self.flight.record(
+                "job.rejected",
+                job_id=job_id,
+                error=type(exc).__name__,
+                reason=getattr(exc, "reason", None),
+            )
             raise
         else:
             self.breaker.record_success()
             self.admission.observe_duration(time.monotonic() - started)
+            self.flight.record(
+                "job.completed",
+                job_id=job_id,
+                degraded=result.degraded,
+                duration_ms=result.duration_ms,
+            )
+            if trace is not None:
+                result.trace_id = trace.trace_id
             return result
 
     # -- HTTP ------------------------------------------------------------
@@ -251,7 +289,12 @@ class PromotionDaemon:
             await self._send_json(writer, status, body)
             return
         if method == "GET" and path == "/metrics":
-            await self._send_json(writer, 200, self.metrics())
+            if wants_text(headers.get("accept")):
+                await self._send_text(
+                    writer, 200, self.prometheus_metrics(), PROMETHEUS_CONTENT_TYPE
+                )
+            else:
+                await self._send_json(writer, 200, self.metrics())
             return
         if method != "POST" or path != "/v1/jobs":
             await self._send_json(
@@ -267,20 +310,31 @@ class PromotionDaemon:
             await self._send_error(writer, exc)
             return
 
+        trace = TraceContext.from_traceparent(headers.get("traceparent"))
         stream = query.get("stream", ["0"])[-1] not in ("0", "", "false")
         if stream:
-            await self._run_streaming_job(writer, payload)
+            await self._run_streaming_job(writer, payload, trace)
         else:
+            # Non-streaming jobs stay cacheable (no observability bundle);
+            # the trace id is echoed so a caller can still correlate.
+            extra = {"X-Repro-Trace-Id": trace.trace_id} if trace else None
             try:
-                result = await self.handle_job_payload(payload)
+                result = await self.handle_job_payload(payload, trace=trace)
             except ServiceError as exc:
-                await self._send_error(writer, exc)
+                await self._send_json(
+                    writer, exc.http_status, exc.as_dict(), extra_headers=extra
+                )
             except EngineCrashError as exc:
                 await self._send_json(
-                    writer, 500, {"error": "engine-failure", "message": str(exc)}
+                    writer,
+                    500,
+                    {"error": "engine-failure", "message": str(exc)},
+                    extra_headers=extra,
                 )
             else:
-                await self._send_json(writer, 200, result.as_dict())
+                await self._send_json(
+                    writer, 200, result.as_dict(), extra_headers=extra
+                )
 
     async def _read_body(
         self, reader: asyncio.StreamReader, headers: Dict[str, str]
@@ -315,20 +369,41 @@ class PromotionDaemon:
             raise JobValidationError(f"request body is not valid JSON: {exc}") from None
 
     async def _run_streaming_job(
-        self, writer: asyncio.StreamWriter, payload: object
+        self,
+        writer: asyncio.StreamWriter,
+        payload: object,
+        trace: Optional[TraceContext] = None,
     ) -> None:
         """NDJSON streaming: span events as they happen, then the final
         result (or error) as the last line.  A client that disconnects
         mid-stream stops receiving but the job runs to completion — the
-        admission slot is released by the job, not the socket."""
-        obs = Observability.recording()
+        admission slot is released by the job, not the socket.
+
+        Every streamed job runs under a distributed trace: ``trace``
+        (from the caller's ``traceparent`` header) or a fresh one.  A
+        ``daemon:job`` span wraps the whole dispatch so the pipeline's
+        spans — including worker-process spans merged back by the
+        scheduler — hang off one connected tree."""
+        trace = trace or TraceContext.new()
+        obs = Observability.recording(trace_id=trace.trace_id)
         await _write_raw(
             writer,
-            b"HTTP/1.1 200 OK\r\n"
-            b"Content-Type: application/x-ndjson\r\n"
-            b"Connection: close\r\n\r\n",
+            (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                f"X-Repro-Trace-Id: {trace.trace_id}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii"),
         )
-        task = asyncio.ensure_future(self.handle_job_payload(payload, obs))
+
+        async def _traced() -> object:
+            attrs: Dict[str, object] = {}
+            if trace.parent_span_id:
+                attrs["parent_span_id"] = trace.parent_span_id
+            with obs.tracer.span("daemon:job", category="service", **attrs):
+                return await self.handle_job_payload(payload, obs, trace=trace)
+
+        task = asyncio.ensure_future(_traced())
         sent = 0
         client_gone = False
         done = False
@@ -360,6 +435,7 @@ class PromotionDaemon:
         else:
             final = {"event": "result"}
             final.update(result.as_dict())
+        final["trace_id"] = trace.trace_id
         if not client_gone:
             await _write_line(writer, final)
 
@@ -369,15 +445,46 @@ class PromotionDaemon:
         await self._send_json(writer, error.http_status, error.as_dict())
 
     async def _send_json(
-        self, writer: asyncio.StreamWriter, status: int, body: Dict[str, object]
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: Dict[str, object],
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         payload = json.dumps(body).encode("utf-8")
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(payload)}\r\n"
-            f"Connection: close\r\n\r\n"
-        ).encode("ascii")
+        await self._send_body(
+            writer, status, payload, "application/json", extra_headers
+        )
+
+    async def _send_text(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        content_type: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        await self._send_body(
+            writer, status, text.encode("utf-8"), content_type, extra_headers
+        )
+
+    async def _send_body(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        content_type: str,
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
         await _write_raw(writer, head + payload)
 
     # -- health ----------------------------------------------------------
@@ -416,6 +523,11 @@ class PromotionDaemon:
             "breaker": self.breaker.as_dict(),
             "engine": self.engine.as_dict(),
         }
+
+    def prometheus_metrics(self) -> str:
+        """The same counters as :meth:`metrics`, rendered in Prometheus
+        text exposition format (``Accept: text/plain`` negotiation)."""
+        return exposition(document_samples(self.metrics(), "repro_daemon"))
 
     # -- stdio-JSONL -----------------------------------------------------
 

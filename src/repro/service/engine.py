@@ -47,6 +47,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional
 
 from repro.frontend.errors import CompileError, FrontendLimitError
+from repro.observability import flightrecorder
 from repro.frontend.limits import InputLimits
 from repro.frontend.lower import compile_source
 from repro.ir.module import Module
@@ -192,6 +193,14 @@ class PromotionEngine:
             with self._counter_lock:
                 self.jobs_total += 1
                 self.failed_total += 1
+            recorder = flightrecorder.ambient()
+            recorder.record(
+                "engine.crash",
+                job_id=job_id,
+                error_type=type(exc).__name__,
+                detail=str(exc).splitlines()[0] if str(exc) else None,
+            )
+            recorder.dump(f"engine-crash-{job_id}")
             raise EngineCrashError(
                 f"engine failure on {job_id}: {type(exc).__name__}: {exc}"
             ) from exc

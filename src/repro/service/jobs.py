@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.observability import TraceContext
 from repro.robustness.faults import ChaosConfig
 from repro.service.errors import JobValidationError
 
@@ -52,6 +53,7 @@ class JobRequest:
         "retries",
         "chaos",
         "max_steps",
+        "trace",
     )
 
     def __init__(
@@ -67,6 +69,7 @@ class JobRequest:
         retries: Optional[int] = None,
         chaos: Optional[ChaosConfig] = None,
         max_steps: Optional[int] = None,
+        trace: Optional[TraceContext] = None,
     ) -> None:
         self.kind = kind
         self.source = source
@@ -79,6 +82,11 @@ class JobRequest:
         self.retries = retries
         self.chaos = chaos
         self.max_steps = max_steps
+        #: Distributed trace context carried inside the envelope — the
+        #: way headerless transports (stdio JSONL) join a trace.  HTTP
+        #: callers use the ``traceparent`` header instead; the daemon
+        #: prefers the header when both are present.
+        self.trace = trace
 
     @property
     def wants_resilience(self) -> bool:
@@ -123,6 +131,7 @@ class JobRequest:
             "entry",
             "args",
             "options",
+            "trace",
         }
         unknown = sorted(set(payload) - known)
         _require(not unknown, f"unknown job field(s): {', '.join(unknown)}")
@@ -144,6 +153,20 @@ class JobRequest:
             "job field 'args' must be a list of integers",
         )
         _require(len(args) <= 64, "job field 'args' is limited to 64 values")
+
+        trace_spec = payload.get("trace")
+        trace = None
+        if trace_spec is not None:
+            _require(
+                isinstance(trace_spec, str),
+                "job field 'trace' must be a traceparent string",
+            )
+            trace = TraceContext.from_traceparent(trace_spec)
+            _require(
+                trace is not None,
+                "job field 'trace' is not a valid traceparent "
+                "(00-<32 hex>-<16 hex>-<2 hex>)",
+            )
 
         options = payload.get("options", {})
         _require(isinstance(options, dict), "job field 'options' must be an object")
@@ -220,6 +243,7 @@ class JobRequest:
             retries=retries,
             chaos=chaos,
             max_steps=max_steps,
+            trace=trace,
         )
         if request.wants_resilience:
             _require(
@@ -257,6 +281,7 @@ class JobResult:
         "cache_stats",
         "duration_ms",
         "cached",
+        "trace_id",
     )
 
     def __init__(
@@ -272,6 +297,7 @@ class JobResult:
         cache_stats: Optional[Dict[str, object]],
         duration_ms: float,
         cached: bool = False,
+        trace_id: Optional[str] = None,
     ) -> None:
         self.job_id = job_id
         self.ir = ir
@@ -284,6 +310,9 @@ class JobResult:
         self.cache_stats = cache_stats
         self.duration_ms = duration_ms
         self.cached = cached
+        #: The distributed trace the job ran under; stamped by the
+        #: daemon (never cached — each request gets its own).
+        self.trace_id = trace_id
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -299,4 +328,5 @@ class JobResult:
             "cache_stats": self.cache_stats,
             "duration_ms": round(self.duration_ms, 3),
             "cached": self.cached,
+            "trace_id": self.trace_id,
         }

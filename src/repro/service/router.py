@@ -50,12 +50,25 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.observability import FlightRecorder, TraceContext
+from repro.observability import flightrecorder as flightrecorder_mod
 from repro.observability.metrics import MetricsRegistry
+from repro.observability.prometheus import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+)
+from repro.observability.prometheus import (
+    Sample,
+    document_samples,
+    exposition,
+    registry_samples,
+    wants_text,
+)
 from repro.service.breaker import CircuitBreaker
 from repro.service.client import read_response, send_request
 from repro.service.daemon import _REASONS, _parse_head, _write_raw
@@ -106,6 +119,7 @@ class RouterConfig:
         breaker_reset_s: float = 5.0,
         drain_grace_s: float = 10.0,
         fingerprint_cache_size: int = 256,
+        artifacts_dir: Optional[str] = None,
     ) -> None:
         backends = list(backends)
         if not backends:
@@ -152,6 +166,9 @@ class RouterConfig:
         self.breaker_reset_s = breaker_reset_s
         self.drain_grace_s = drain_grace_s
         self.fingerprint_cache_size = fingerprint_cache_size
+        #: Flight-recorder dump directory (crash/drain forensics);
+        #: ``None`` keeps the ring memory-only.
+        self.artifacts_dir = artifacts_dir
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -170,6 +187,7 @@ class RouterConfig:
             "breaker_reset_s": self.breaker_reset_s,
             "drain_grace_s": self.drain_grace_s,
             "fingerprint_cache_size": self.fingerprint_cache_size,
+            "artifacts_dir": self.artifacts_dir,
         }
 
 
@@ -302,6 +320,12 @@ class HealthTracker:
         state.strikes += 1
         if state.strikes >= self.down_after and state.set_status(DOWN):
             self.transitions_total += 1
+            flightrecorder_mod.ambient().record(
+                "router.backend_down",
+                backend=state.id,
+                strikes=state.strikes,
+                error=state.last_probe_error,
+            )
 
     # -- polling ---------------------------------------------------------
 
@@ -369,6 +393,11 @@ class PromotionRouter:
         self._inflight = 0
         self._idle: Optional[asyncio.Event] = None
         self.drained_clean: Optional[bool] = None
+        #: Crash flight recorder: routing decisions, failovers, and
+        #: backend transitions, dumped on drain or breaker trip.
+        self.flight = FlightRecorder(
+            "router", artifacts_dir=config.artifacts_dir
+        )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -377,6 +406,10 @@ class PromotionRouter:
         self._idle = asyncio.Event()
         self._idle.set()
         self._started_at = time.monotonic()
+        # Backend breakers (repro.service.breaker) record their trips
+        # into whatever recorder is ambient — make it this router's.
+        flightrecorder_mod.install(self.flight)
+        self.flight.record("router.start", backends=list(self.backend_ids))
         self._poller_task = asyncio.ensure_future(self._poll_loop())
         self._server = await asyncio.start_server(
             self._handle_conn,
@@ -409,6 +442,9 @@ class PromotionRouter:
         if self._draining:
             return
         self._draining = True
+        self.flight.record(
+            "router.drain", uptime_s=time.monotonic() - self._started_at
+        )
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -423,6 +459,7 @@ class PromotionRouter:
                 self.drained_clean = False
         else:
             self.drained_clean = True
+        self.flight.dump("sigterm-drain")
         if self._poller_task is not None:
             self._poller_task.cancel()
         if self._done is not None:
@@ -519,7 +556,15 @@ class PromotionRouter:
             await self._send_json(writer, status, body)
             return
         if method == "GET" and path == "/metrics":
-            await self._send_json(writer, 200, self.metrics_doc())
+            if wants_text(headers.get("accept")):
+                await self._send_text(
+                    writer,
+                    200,
+                    await self.prometheus_metrics(),
+                    PROMETHEUS_CONTENT_TYPE,
+                )
+            else:
+                await self._send_json(writer, 200, self.metrics_doc())
             return
         if method != "POST" or path != "/v1/jobs":
             await self._send_json(
@@ -540,7 +585,10 @@ class PromotionRouter:
             name, _, value = pair.partition("=")
             if name == "stream" and value not in ("0", "", "false"):
                 stream = True
-        await self._route_job(writer, body, stream)
+        # Adopt the caller's distributed trace or start one at the edge;
+        # every backend leg carries it as a ``traceparent`` header.
+        trace = TraceContext.from_traceparent(headers.get("traceparent"))
+        await self._route_job(writer, body, stream, trace or TraceContext.new())
 
     async def _read_body(
         self, reader: asyncio.StreamReader, headers: Dict[str, str]
@@ -573,7 +621,11 @@ class PromotionRouter:
     # -- the relay engine ------------------------------------------------
 
     async def _route_job(
-        self, writer: asyncio.StreamWriter, body: bytes, stream: bool
+        self,
+        writer: asyncio.StreamWriter,
+        body: bytes,
+        stream: bool,
+        trace: TraceContext,
     ) -> None:
         # Idempotency precondition: every attempt re-sends this exact
         # buffered envelope, so failover can never split a job across
@@ -583,6 +635,17 @@ class PromotionRouter:
         loop = asyncio.get_event_loop()
         key, key_kind, order = await loop.run_in_executor(
             None, self.plan, payload
+        )
+        # The router's hop in the trace: each backend leg is a child of
+        # this span id, so the daemon's ``daemon:job`` span hangs off it.
+        hop = trace.child()
+        self.flight.record(
+            "router.job",
+            trace_id=trace.trace_id,
+            key=key,
+            key_kind=key_kind,
+            home=order[0],
+            stream=stream,
         )
         self.metrics.inc("router.jobs_total")
         if stream:
@@ -603,8 +666,14 @@ class PromotionRouter:
             attempts += 1
             if attempts > 1:
                 self.metrics.inc("router.failovers")
+                self.flight.record(
+                    "router.failover",
+                    trace_id=trace.trace_id,
+                    backend=backend_id,
+                    attempt=attempts,
+                )
             outcome, last_error = await self._attempt(
-                writer, state, body, stream, last_error
+                writer, state, body, stream, last_error, trace, hop
             )
             if outcome == "served":
                 self.metrics.inc("router.sticky.routed")
@@ -613,6 +682,7 @@ class PromotionRouter:
                 return
             # "failed": fall through to the next backend in HRW order.
         self.metrics.inc("router.jobs.unrouted")
+        self.flight.record("router.unrouted", trace_id=trace.trace_id, key=key)
         if last_error is not None:
             # Every backend was tried and the last wire answer was an
             # error document: relay it rather than masking the cause.
@@ -634,13 +704,15 @@ class PromotionRouter:
         body: bytes,
         stream: bool,
         last_error: Optional[Tuple[int, Dict[str, object]]],
+        trace: TraceContext,
+        hop: TraceContext,
     ) -> Tuple[str, Optional[Tuple[int, Dict[str, object]]]]:
         """One dispatch to one backend.  Returns ("served"|"failed",
         last_error); "served" means a response reached the client (or
         streaming bytes started flowing, after which failover is off
         the table)."""
         if stream:
-            outcome = await self._relay_stream(writer, state, body)
+            outcome = await self._relay_stream(writer, state, body, trace, hop)
             if outcome == "relayed":
                 state.jobs_total += 1
                 state.breaker.record_success()
@@ -652,7 +724,7 @@ class PromotionRouter:
             return "failed", last_error
 
         try:
-            response = await self._forward(state, body)
+            response = await self._forward(state, body, hop)
         except Exception:  # noqa: BLE001 - connect/read trouble: fail over
             state.failures_total += 1
             self.tracker.note_connect_failure(state)
@@ -682,16 +754,24 @@ class PromotionRouter:
             state.breaker.record_neutral()
             self.metrics.inc("router.jobs.rejected")
         self.metrics.inc(f"router.backend.{state.id}.jobs")
-        await self._relay_response(writer, response, state.id)
+        await self._relay_response(writer, response, state.id, trace)
         return "served", last_error
 
-    async def _forward(self, state: BackendState, body: bytes):
+    async def _forward(
+        self, state: BackendState, body: bytes, hop: TraceContext
+    ):
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(state.host, state.port),
             timeout=self.config.connect_timeout_s,
         )
         try:
-            await send_request(writer, "POST", "/v1/jobs", body)
+            await send_request(
+                writer,
+                "POST",
+                "/v1/jobs",
+                body,
+                headers={"traceparent": hop.to_traceparent()},
+            )
             return await asyncio.wait_for(
                 read_response(reader), timeout=self.config.upstream_timeout_s
             )
@@ -703,13 +783,24 @@ class PromotionRouter:
                 pass
 
     async def _relay_stream(
-        self, writer: asyncio.StreamWriter, state: BackendState, body: bytes
+        self,
+        writer: asyncio.StreamWriter,
+        state: BackendState,
+        body: bytes,
+        trace: TraceContext,
+        hop: TraceContext,
     ) -> str:
         """Byte-level NDJSON pass-through.  Returns "relayed" once any
         upstream byte reached (or was offered to) the client — from that
         point failover is forbidden, a second backend would fork the
         span timeline — or "connect-failed" when the backend never
-        produced a response head."""
+        produced a response head.
+
+        The relayed head gains an ``X-Repro-Backend`` attribution
+        header, and the first NDJSON line the client sees is the
+        router's own ``router:relay`` span — same ``trace_id`` as every
+        span the backend streams after it, so the whole hop is one
+        connected tree."""
         try:
             up_reader, up_writer = await asyncio.wait_for(
                 asyncio.open_connection(state.host, state.port),
@@ -717,9 +808,16 @@ class PromotionRouter:
             )
         except (OSError, asyncio.TimeoutError):
             return "connect-failed"
+        started_s = time.time()
         try:
             try:
-                await send_request(up_writer, "POST", "/v1/jobs?stream=1", body)
+                await send_request(
+                    up_writer,
+                    "POST",
+                    "/v1/jobs?stream=1",
+                    body,
+                    headers={"traceparent": hop.to_traceparent()},
+                )
                 head = await asyncio.wait_for(
                     up_reader.readuntil(b"\r\n\r\n"),
                     timeout=self.config.upstream_timeout_s,
@@ -730,7 +828,15 @@ class PromotionRouter:
                 asyncio.IncompleteReadError,
             ):
                 return "connect-failed"
+            head = (
+                head[:-2]
+                + f"X-Repro-Backend: {state.id}\r\n\r\n".encode("ascii")
+            )
             client_ok = await _write_raw(writer, head)
+            if client_ok:
+                client_ok = await _write_raw(
+                    writer, _router_span_line(trace, hop, state.id, started_s)
+                )
             while True:
                 try:
                     chunk = await asyncio.wait_for(
@@ -756,7 +862,11 @@ class PromotionRouter:
                 pass
 
     async def _relay_response(
-        self, writer: asyncio.StreamWriter, response, backend_id: str
+        self,
+        writer: asyncio.StreamWriter,
+        response,
+        backend_id: str,
+        trace: TraceContext,
     ) -> None:
         head = (
             f"HTTP/1.1 {response.status} "
@@ -764,6 +874,7 @@ class PromotionRouter:
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(response.body)}\r\n"
             f"X-Repro-Backend: {backend_id}\r\n"
+            f"X-Repro-Trace-Id: {trace.trace_id}\r\n"
             f"Connection: close\r\n\r\n"
         ).encode("ascii")
         await _write_raw(writer, head + response.body)
@@ -819,6 +930,81 @@ class PromotionRouter:
             },
         }
 
+    async def prometheus_metrics(self) -> str:
+        """The cluster view in Prometheus text exposition: the router's
+        own counters plus every live backend's ``/metrics`` scrape,
+        re-exported under ``repro_daemon_*`` with a ``backend`` label."""
+        self.metrics_doc()  # refresh the derived gauges
+        samples = registry_samples(self.metrics.as_dict(), namespace="repro")
+        rate = self.stickiness_hit_rate()
+        if rate is not None:
+            samples.append(
+                Sample("repro_router_stickiness_hit_rate", "gauge", rate)
+            )
+        for backend_id, state in self.backends.items():
+            labels = {"backend": backend_id}
+            samples.append(
+                Sample(
+                    "repro_router_backend_status",
+                    "gauge",
+                    1.0,
+                    {**labels, "status": state.status},
+                )
+            )
+            samples.append(
+                Sample(
+                    "repro_router_backend_breaker_state",
+                    "gauge",
+                    1.0,
+                    {**labels, "state": state.breaker.state},
+                )
+            )
+            samples.append(
+                Sample(
+                    "repro_router_backend_jobs_total",
+                    "counter",
+                    float(state.jobs_total),
+                    labels,
+                )
+            )
+            samples.append(
+                Sample(
+                    "repro_router_backend_failures_total",
+                    "counter",
+                    float(state.failures_total),
+                    labels,
+                )
+            )
+        scrapes = await asyncio.gather(
+            *(self._scrape_metrics(state) for state in self.backends.values())
+        )
+        for state, doc in zip(self.backends.values(), scrapes):
+            if isinstance(doc, dict):
+                samples.extend(
+                    document_samples(
+                        doc, "repro_daemon", labels={"backend": state.id}
+                    )
+                )
+        return exposition(samples)
+
+    async def _scrape_metrics(self, state: BackendState) -> Optional[Dict[str, object]]:
+        """One backend's JSON ``/metrics``, or None when it is down or
+        the scrape fails — the cluster view must stay servable while a
+        shard is not."""
+        if state.status == DOWN:
+            return None
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(
+            state.host, state.port, timeout_s=self.config.probe_timeout_s
+        )
+        try:
+            response = await client.get("/metrics")
+        except Exception:  # noqa: BLE001 - a scrape must never break /metrics
+            return None
+        doc = _json_or_none(response.body)
+        return doc if isinstance(doc, dict) else None
+
     # -- plumbing --------------------------------------------------------
 
     async def _send_error(
@@ -837,6 +1023,48 @@ class PromotionRouter:
             f"Connection: close\r\n\r\n"
         ).encode("ascii")
         await _write_raw(writer, head + payload)
+
+    async def _send_text(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        content_type: str,
+    ) -> None:
+        payload = text.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Status')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        await _write_raw(writer, head + payload)
+
+
+def _router_span_line(
+    trace: TraceContext, hop: TraceContext, backend_id: str, started_s: float
+) -> bytes:
+    """The router's own span as one NDJSON event, shaped like the
+    daemon's streamed :class:`~repro.observability.tracer.SpanRecord`
+    lines so stream consumers handle both uniformly.  It is emitted as
+    soon as the upstream head arrives (duration still unknown), because
+    the final ``result`` line must stay last on the wire."""
+    doc = {
+        "event": "span",
+        "id": 0,
+        "parent": None,
+        "name": "router:relay",
+        "category": "service",
+        "start_s": started_s,
+        "duration_ms": round((time.time() - started_s) * 1e3, 3),
+        "pid": os.getpid(),
+        "attrs": {
+            "trace_id": trace.trace_id,
+            "span_id": hop.parent_span_id,
+            "backend": backend_id,
+        },
+    }
+    return (json.dumps(doc) + "\n").encode("utf-8")
 
 
 def _json_or_none(body: bytes) -> object:
@@ -937,6 +1165,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="how long SIGTERM waits for in-flight relays",
     )
     parser.add_argument(
+        "--artifacts-dir",
+        default=None,
+        metavar="DIR",
+        help="where the flight recorder dumps its ring on crash/drain",
+    )
+    parser.add_argument(
         "--print-plan",
         metavar="SOURCE",
         help="print the routing key and chosen backend for a source "
@@ -970,6 +1204,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             connect_timeout_s=options.connect_timeout,
             upstream_timeout_s=options.upstream_timeout,
             drain_grace_s=options.drain_grace,
+            artifacts_dir=options.artifacts_dir,
         )
     except ValueError as exc:
         print(f"repro-route: error: {exc}", file=sys.stderr)

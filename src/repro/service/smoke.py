@@ -365,7 +365,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         stderr_path = os.path.join(options.artifacts_dir, "daemon-stderr.log")
         spans_path = os.path.join(options.artifacts_dir, "spans.ndjson")
 
-    daemon = DaemonProcess(stderr_path=stderr_path)
+    daemon_extra = (
+        ["--artifacts-dir", options.artifacts_dir]
+        if options.artifacts_dir
+        else None
+    )
+    daemon = DaemonProcess(extra_args=daemon_extra, stderr_path=stderr_path)
     try:
         daemon.boot()
     except (RuntimeError, OSError) as exc:

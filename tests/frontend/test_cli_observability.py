@@ -139,3 +139,98 @@ def test_unwritable_trace_does_not_mask_strict_exit_1(source_file, tmp_path, cap
     captured = capsys.readouterr()
     assert code == 1  # strict (1) outranks degraded (3); export still warns
     assert "warning: cannot write trace" in captured.err
+
+
+def _both_exports_unwritable(tmp_path):
+    return [
+        "--trace-out",
+        os.path.join(str(tmp_path), "no-such-dir", "t.json"),
+        "--metrics-out",
+        os.path.join(str(tmp_path), "no-such-dir", "m.json"),
+    ]
+
+
+def test_both_exports_unwritable_reports_both_and_keeps_exit_code(
+    source_file, tmp_path, capsys
+):
+    # One run, two failed exports: the first failure must not short-circuit
+    # the second export, and neither touches the program's exit code.
+    code = main([source_file, "--promote"] + _both_exports_unwritable(tmp_path))
+    captured = capsys.readouterr()
+    assert code == 10
+    assert "warning: cannot write trace" in captured.err
+    assert "warning: cannot write metrics" in captured.err
+
+
+def test_both_exports_unwritable_keep_degraded_exit_3(source_file, tmp_path, capsys):
+    code = main(
+        [
+            source_file,
+            "--promote",
+            "--jobs",
+            "2",
+            "--retries",
+            "1",
+            "--chaos",
+            "crash=1.0,only=step,seed=1",
+        ]
+        + _both_exports_unwritable(tmp_path)
+    )
+    captured = capsys.readouterr()
+    # Precedence 2 > 1 > 3 holds with two failed exports in one run.
+    assert code == 3
+    assert "warning: cannot write trace" in captured.err
+    assert "warning: cannot write metrics" in captured.err
+    assert "degraded" in captured.err
+
+
+def test_both_exports_unwritable_keep_strict_exit_1(source_file, tmp_path, capsys):
+    code = main(
+        [
+            source_file,
+            "--promote",
+            "--jobs",
+            "2",
+            "--retries",
+            "1",
+            "--chaos",
+            "crash=1.0,only=step,seed=1",
+            "--strict",
+        ]
+        + _both_exports_unwritable(tmp_path)
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "warning: cannot write trace" in captured.err
+    assert "warning: cannot write metrics" in captured.err
+
+
+def test_decisions_out_writes_a_reconciled_journal(source_file, tmp_path, capsys):
+    path = tmp_path / "decisions.jsonl"
+    code = main([source_file, "--promote", "--decisions-out", str(path)])
+    assert code == 10
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    head = lines[0]
+    assert head["type"] == "metadata"
+    totals = head["summary"]["totals"]
+    assert (
+        totals["promoted"] + totals["partial"] + totals["blocked"]
+        == totals["candidates"]
+    )
+    assert all(line["type"] == "decision" for line in lines[1:])
+
+
+def test_decisions_out_requires_promote(source_file, capsys):
+    code = main([source_file, "--decisions-out", "d.jsonl"])
+    assert code == 2
+    assert "requires --promote" in capsys.readouterr().err
+
+
+def test_unwritable_decisions_warns_and_keeps_the_exit_code(
+    source_file, tmp_path, capsys
+):
+    missing = os.path.join(str(tmp_path), "no-such-dir", "d.jsonl")
+    code = main([source_file, "--promote", "--decisions-out", missing])
+    captured = capsys.readouterr()
+    assert code == 10
+    assert "warning: cannot write decisions" in captured.err

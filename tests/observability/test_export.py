@@ -85,3 +85,39 @@ def test_metadata_is_self_describing():
     assert meta["schema_version"] == SCHEMA_VERSION
     assert meta["config"]["seed"] == 7
     assert meta["tool"] == "x"
+
+
+def test_writes_are_atomic_and_leave_no_temp_litter(tmp_path, monkeypatch):
+    from repro.observability.export import atomic_write_text
+
+    target = tmp_path / "out.json"
+    target.write_text("old artifact")
+
+    # A failure mid-write (simulated at fsync) keeps the old artifact
+    # intact and unlinks the temp file.
+    monkeypatch.setattr(
+        "repro.observability.export.os.fsync",
+        lambda fd: (_ for _ in ()).throw(OSError(28, "No space left on device")),
+    )
+    try:
+        atomic_write_text(str(target), "half-written")
+    except OSError:
+        pass
+    else:  # pragma: no cover - the simulated failure must propagate
+        raise AssertionError("expected the simulated fsync failure to raise")
+    assert target.read_text() == "old artifact"
+    assert list(tmp_path.iterdir()) == [target]
+
+    monkeypatch.undo()
+    atomic_write_text(str(target), "new artifact")
+    assert target.read_text() == "new artifact"
+    assert list(tmp_path.iterdir()) == [target]
+
+
+def test_trace_and_metrics_writers_go_through_the_atomic_path(tmp_path):
+    tracer, metrics = _sample()
+    trace_path = tmp_path / "t.json"
+    write_trace(str(trace_path), tracer, metrics, build_metadata())
+    write_metrics(str(tmp_path / "m.json"), metrics, build_metadata())
+    # No .tmp files survive a successful export.
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["m.json", "t.json"]

@@ -1,0 +1,98 @@
+"""The Prometheus text-exposition renderer: naming, sample mapping,
+grouping, and content negotiation."""
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.prometheus import (
+    CONTENT_TYPE,
+    Sample,
+    document_samples,
+    exposition,
+    metric_name,
+    registry_samples,
+    wants_text,
+)
+
+
+def test_metric_name_sanitizes_to_the_prometheus_charset():
+    assert metric_name("router.jobs_total", "repro") == "repro_router_jobs_total"
+    assert metric_name("cache.domtree.hits") == "cache_domtree_hits"
+    assert metric_name("weird-name with spaces") == "weird_name_with_spaces"
+    assert metric_name("7starts_numeric").startswith("_7")
+
+
+def test_registry_samples_map_counters_gauges_histograms():
+    registry = MetricsRegistry()
+    registry.inc("router.jobs_total", 3)
+    registry.set("router.backends.healthy", 2)
+    registry.observe("job.duration_ms", 5.0)
+    registry.observe("job.duration_ms", 15.0)
+    samples = registry_samples(registry.as_dict(), namespace="repro")
+    by_name = {s.name: s for s in samples}
+
+    jobs = by_name["repro_router_jobs_total"]
+    assert (jobs.kind, jobs.value) == ("counter", 3.0)
+    healthy = by_name["repro_router_backends_healthy"]
+    assert (healthy.kind, healthy.value) == ("gauge", 2.0)
+    assert by_name["repro_job_duration_ms_count"].value == 2.0
+    assert by_name["repro_job_duration_ms_sum"].value == 20.0
+    assert by_name["repro_job_duration_ms_min"].value == 5.0
+    assert by_name["repro_job_duration_ms_max"].value == 15.0
+
+
+def test_unset_gauges_are_withheld_not_zero():
+    registry = MetricsRegistry()
+    registry.gauge("pipeline.jobs_used")  # declared, never set
+    samples = registry_samples(registry.as_dict())
+    assert not any("jobs_used" in s.name for s in samples)
+
+
+def test_document_samples_flatten_and_skip_non_numeric():
+    doc = {
+        "workers": 2,
+        "breaker": {"state": "closed", "trips": 1},
+        "degraded": False,
+        "note": "ignored",
+        "missing": None,
+    }
+    samples = document_samples(doc, "repro_daemon", labels={"backend": "b0"})
+    names = {s.name: s for s in samples}
+    assert names["repro_daemon_workers"].value == 2.0
+    assert names["repro_daemon_breaker_trips"].value == 1.0
+    assert names["repro_daemon_degraded"].value == 0.0
+    assert names["repro_daemon_workers"].labels == {"backend": "b0"}
+    assert not any("state" in n or "note" in n or "missing" in n for n in names)
+
+
+def test_exposition_groups_labelled_series_under_one_type_comment():
+    samples = [
+        Sample("repro_jobs", "counter", 1.0, {"backend": "a"}),
+        Sample("repro_up", "gauge", 1.0),
+        Sample("repro_jobs", "counter", 2.0, {"backend": "b"}),
+    ]
+    body = exposition(samples)
+    lines = body.splitlines()
+    assert lines == [
+        "# TYPE repro_jobs counter",
+        'repro_jobs{backend="a"} 1',
+        'repro_jobs{backend="b"} 2',
+        "# TYPE repro_up gauge",
+        "repro_up 1",
+    ]
+    assert body.endswith("\n")
+    assert exposition([]) == ""
+
+
+def test_label_values_are_escaped():
+    sample = Sample("m", "gauge", 1.0, {"k": 'a"b\\c\nd'})
+    assert sample.line() == 'm{k="a\\"b\\\\c\\nd"} 1'
+
+
+def test_wants_text_negotiation():
+    assert not wants_text(None)
+    assert not wants_text("")
+    assert not wants_text("application/json")
+    assert not wants_text("*/*")  # JSON stays the default
+    assert wants_text("text/plain")
+    assert wants_text("text/plain; version=0.0.4")
+    assert wants_text("application/openmetrics-text")
+    assert "text/plain" in CONTENT_TYPE

@@ -1,4 +1,5 @@
-"""Span tracer: nesting, records, merge, and the null objects."""
+"""Span tracer: nesting, records, merge, trace context, and the null
+objects."""
 
 import os
 
@@ -8,6 +9,7 @@ from repro.observability.tracer import (
     NULL_SPAN,
     NULL_TRACER,
     SpanRecord,
+    TraceContext,
     Tracer,
 )
 
@@ -99,6 +101,65 @@ def test_record_round_trips_through_dict():
     assert (clone.id, clone.parent, clone.name, clone.category) == (3, 1, "n", "c")
     assert clone.pid == 99
     assert clone.attrs == {"x": "y"}
+
+
+def test_trace_context_round_trips_through_traceparent():
+    ctx = TraceContext.new()
+    assert len(ctx.trace_id) == 32 and ctx.parent_span_id is None
+
+    child = ctx.child()
+    assert child.trace_id == ctx.trace_id  # same trace...
+    assert child.parent_span_id and len(child.parent_span_id) == 16  # ...new hop
+
+    parsed = TraceContext.from_traceparent(child.to_traceparent())
+    assert parsed is not None
+    assert parsed.trace_id == ctx.trace_id
+    assert parsed.parent_span_id == child.parent_span_id
+    assert child.as_dict() == {
+        "trace_id": child.trace_id,
+        "parent_span_id": child.parent_span_id,
+    }
+
+
+def test_to_traceparent_without_a_parent_mints_a_span_id():
+    ctx = TraceContext("ab" * 16)
+    parsed = TraceContext.from_traceparent(ctx.to_traceparent())
+    assert parsed.trace_id == "ab" * 16
+    assert parsed.parent_span_id  # never the forbidden all-zero span
+
+
+def test_traceparent_parsing_is_case_insensitive():
+    header = "00-" + "AB" * 16 + "-" + "CD" * 8 + "-01"
+    ctx = TraceContext.from_traceparent(header)
+    assert ctx is not None
+    assert ctx.trace_id == "ab" * 16
+    assert ctx.parent_span_id == "cd" * 8
+
+
+@pytest.mark.parametrize(
+    "header",
+    [
+        None,
+        "",
+        "garbage",
+        "00-short-1234-01",
+        "00-" + "gg" * 16 + "-" + "cd" * 8 + "-01",  # non-hex trace id
+        "00-" + "ab" * 16 + "-" + "cd" * 8,  # missing flags
+        "00-" + "0" * 32 + "-" + "cd" * 8 + "-01",  # all-zero trace id
+    ],
+)
+def test_malformed_traceparent_is_none_not_an_error(header):
+    assert TraceContext.from_traceparent(header) is None
+
+
+def test_tracer_stamps_the_trace_id_on_root_spans_only():
+    tracer = Tracer(trace_id="ab" * 16)
+    with tracer.span("root"):
+        with tracer.span("child"):
+            pass
+    root, child = tracer.records
+    assert root.attrs["trace_id"] == "ab" * 16
+    assert "trace_id" not in child.attrs
 
 
 def test_null_tracer_is_inert():

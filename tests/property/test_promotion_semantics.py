@@ -6,7 +6,7 @@ leave the same final global state as the original — under the paper's
 algorithm and both baselines, with every option combination.
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.lucooper import LuCooperPipeline
@@ -42,6 +42,11 @@ def check_promoter(seed, make_pipeline):
 
 @SETTINGS
 @given(st.integers(0, 10**9))
+# Regression: a loop whose body breaks on the first iteration made the
+# paper's profit formula claim a store removal that tail-store insertion
+# immediately undid, net-adding one load per call (caught by the
+# decision journal; fixed by defaulting count_tail_stores on).
+@example(seed=261)
 def test_sastry_ju_preserves_semantics(seed):
     result = check_promoter(seed, PromotionPipeline)
     # The profitability gate means guided promotion never materially

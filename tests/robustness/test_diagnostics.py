@@ -79,6 +79,7 @@ def test_empty_diagnostics_serialize():
         "attempt_histories": {},
         "resilience": None,
         "observability": None,
+        "decisions": None,
     }
 
 

@@ -290,6 +290,104 @@ def test_streaming_error_is_the_final_event():
     asyncio.run(body())
 
 
+async def traced_request(host, port, path, body, traceparent):
+    """POST with a ``traceparent`` header; returns (status, response
+    headers as a lowercase dict, decoded JSON or NDJSON lines)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    payload = json.dumps(body).encode("utf-8")
+    head = (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        f"traceparent: {traceparent}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("ascii")
+    writer.write(head + payload)
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    head_bytes, _, body_bytes = raw.partition(b"\r\n\r\n")
+    head_lines = head_bytes.decode("ascii").split("\r\n")
+    status = int(head_lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in head_lines[1:]:
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    if "ndjson" in headers.get("content-type", ""):
+        decoded = [
+            json.loads(line)
+            for line in body_bytes.decode("utf-8").splitlines()
+            if line.strip()
+        ]
+    else:
+        decoded = json.loads(body_bytes) if body_bytes else None
+    return status, headers, decoded
+
+
+def test_traceparent_is_echoed_on_plain_jobs():
+    trace_id = "ab" * 16
+    header = f"00-{trace_id}-{'cd' * 8}-01"
+
+    async def body():
+        async with running_daemon(workers=1) as (_, host, port):
+            status, headers, doc = await traced_request(
+                host, port, "/v1/jobs", {"kind": "minic", "source": PROGRAM}, header
+            )
+            assert status == 200
+            assert headers["x-repro-trace-id"] == trace_id
+            assert doc["trace_id"] == trace_id
+
+            # A rejection still correlates: the echo header survives.
+            status, headers, doc = await traced_request(
+                host, port, "/v1/jobs", {"kind": "minic", "source": "  "}, header
+            )
+            assert status == 400
+            assert headers["x-repro-trace-id"] == trace_id
+
+    asyncio.run(body())
+
+
+def test_streaming_trace_is_one_connected_tree_under_the_callers_id():
+    trace_id = "12" * 16
+    caller_span = "fe" * 8
+    header = f"00-{trace_id}-{caller_span}-01"
+
+    async def body():
+        async with running_daemon(workers=1) as (_, host, port):
+            status, headers, lines = await traced_request(
+                host,
+                port,
+                "/v1/jobs?stream=1",
+                {"kind": "minic", "source": PROGRAM},
+                header,
+            )
+            assert status == 200
+            assert headers["x-repro-trace-id"] == trace_id
+
+            spans = [line for line in lines if line["event"] == "span"]
+            roots = [s for s in spans if s["parent"] is None]
+            assert len(roots) == 1, "streamed trace must have one root span"
+            root = roots[0]
+            assert root["name"] == "daemon:job"
+            assert root["attrs"]["trace_id"] == trace_id
+            assert root["attrs"]["parent_span_id"] == caller_span
+            # Every root-stamped span belongs to the caller's trace.
+            stamped = {
+                s["attrs"]["trace_id"] for s in spans if "trace_id" in s["attrs"]
+            }
+            assert stamped == {trace_id}
+
+            final = lines[-1]
+            assert final["event"] == "result"
+            assert final["trace_id"] == trace_id
+
+    asyncio.run(body())
+
+
 def test_drain_refuses_new_connections_and_reports_clean():
     async def body():
         async with running_daemon(workers=1) as (daemon, host, port):

@@ -53,6 +53,16 @@ def test_full_payload_round_trips():
     assert not job.is_default_run
 
 
+def test_trace_field_parses_into_a_trace_context():
+    header = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+    job = JobRequest.from_payload({"source": PROGRAM, "trace": header})
+    assert job.trace is not None
+    assert job.trace.trace_id == "ab" * 16
+    assert job.trace.parent_span_id == "cd" * 8
+    # Absent means no trace, not an error.
+    assert JobRequest.from_payload({"source": PROGRAM}).trace is None
+
+
 @pytest.mark.parametrize(
     "payload,fragment",
     [
@@ -81,6 +91,9 @@ def test_full_payload_round_trips():
         pytest.param({"source": PROGRAM, "options": {"max_steps": 0}}, "max_steps", id="zero-max-steps"),
         pytest.param({"source": PROGRAM, "options": {"max_steps": True}}, "'max_steps' must be an integer", id="max-steps-bool"),
         pytest.param({"source": PROGRAM, "options": {"timeout_s": 2}}, "require jobs != 1", id="resilience-serial"),
+        pytest.param({"source": PROGRAM, "trace": 7}, "'trace' must be a traceparent string", id="trace-int"),
+        pytest.param({"source": PROGRAM, "trace": "not-a-traceparent"}, "not a valid traceparent", id="trace-junk"),
+        pytest.param({"source": PROGRAM, "trace": "00-" + "0" * 32 + "-" + "1" * 16 + "-01"}, "not a valid traceparent", id="trace-zero-id"),
     ],
 )
 def test_bad_payloads_bounce_with_the_field_named(payload, fragment):
